@@ -1,0 +1,163 @@
+//! A minimal discrete-event simulation substrate.
+//!
+//! Time is measured in days (the natural unit of Figure 2's latencies).
+//! Events are ordered by time with a stable tiebreak on insertion order,
+//! so simulations are deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation clock, in days since survey start.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimClock(pub f64);
+
+/// An event scheduled on the queue.
+#[derive(Debug, Clone)]
+pub struct Event<T> {
+    pub time: f64,
+    seq: u64,
+    pub payload: T,
+}
+
+impl<T> PartialEq for Event<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Event<T> {}
+
+impl<T> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Event<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first;
+        // ties break by insertion order (earlier seq first).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The event queue.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Event<T>>,
+    next_seq: u64,
+    now: f64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0.0,
+        }
+    }
+}
+
+impl<T> EventQueue<T> {
+    pub fn new() -> EventQueue<T> {
+        EventQueue::default()
+    }
+
+    /// Current simulation time (days).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedule a payload at absolute time `at` (must not be in the past).
+    pub fn schedule_at(&mut self, at: f64, payload: T) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            time: at.max(self.now),
+            seq,
+            payload,
+        });
+    }
+
+    /// Schedule `delay` days from now.
+    pub fn schedule_in(&mut self, delay: f64, payload: T) {
+        self.schedule_at(self.now + delay.max(0.0), payload);
+    }
+
+    /// Pop the next event, advancing the clock.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        let e = self.heap.pop()?;
+        self.now = e.time;
+        Some(e)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5.0, "c");
+        q.schedule_at(1.0, "a");
+        q.schedule_at(3.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(2.0, 1);
+        q.schedule_at(2.0, 2);
+        q.schedule_at(2.0, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule_in(1.0, ());
+        q.schedule_in(0.5, ());
+        let mut last = 0.0;
+        while let Some(e) = q.pop() {
+            assert!(e.time >= last);
+            last = e.time;
+            assert_eq!(q.now(), e.time);
+        }
+    }
+
+    #[test]
+    fn schedule_relative_to_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10.0, "first");
+        q.pop();
+        assert_eq!(q.now(), 10.0);
+        q.schedule_in(4.0, "second");
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, 14.0);
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,34 @@
+//! # Archive network simulation (paper Figure 2) and the data pump
+//!
+//! The paper's data-flow: telescope tapes reach the Operational Archive
+//! within a day; calibrated data is published to the Master Science
+//! Archive within two weeks; Local Archives replicate within another two
+//! weeks; public archives receive data after 1–2 years of science
+//! verification. [`replication`] reproduces that timeline with a
+//! discrete-event simulation; [`pump`] models the central servers'
+//! sweeping data pump.
+
+pub mod event;
+pub mod pump;
+pub mod replication;
+
+pub use event::{EventQueue, SimClock};
+pub use pump::{DataPump, SweepReport};
+pub use replication::{ArchiveNetwork, ArchiveSite, PublicationRecord, SiteKind};
+
+/// Errors produced by the archive-sim crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchiveError {
+    /// Malformed network topology (unknown site, cycle, ...).
+    InvalidTopology(String),
+}
+
+impl std::fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveError::InvalidTopology(m) => write!(f, "invalid topology: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}

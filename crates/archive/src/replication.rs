@@ -1,0 +1,259 @@
+//! The Figure 2 archive network.
+//!
+//! > "Telescope data (T) is shipped on tapes to FNAL, where it is
+//! > processed into the Operational Archive (OA). Calibrated data is
+//! > transferred into the Master Science Archive (MSA) and then to Local
+//! > Archives (LA). The data gets into the public archives (MPA, PA)
+//! > after approximately 1-2 years of science verification."
+//!
+//! with the latency ladder printed beside the figure: 1 day → 1 week →
+//! 2 weeks → 1 month → 1–2 years. The simulation publishes nightly chunks
+//! through that ladder with a discrete-event queue and records when each
+//! site first holds each chunk — the data behind the `fig2_pipeline`
+//! harness.
+
+use crate::event::EventQueue;
+use crate::ArchiveError;
+use std::collections::BTreeMap;
+
+/// The archive tiers of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SiteKind {
+    /// The telescope (tape source).
+    Telescope,
+    /// Operational Archive at FNAL.
+    Operational,
+    /// Master Science Archive.
+    MasterScience,
+    /// A local (mirror) science archive.
+    Local,
+    /// Master public archive.
+    MasterPublic,
+    /// A public mirror.
+    Public,
+}
+
+impl std::fmt::Display for SiteKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SiteKind::Telescope => "T",
+            SiteKind::Operational => "OA",
+            SiteKind::MasterScience => "MSA",
+            SiteKind::Local => "LA",
+            SiteKind::MasterPublic => "MPA",
+            SiteKind::Public => "PA",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One archive site.
+#[derive(Debug, Clone)]
+pub struct ArchiveSite {
+    pub kind: SiteKind,
+    pub name: String,
+    /// chunk id → sim day it arrived here.
+    pub holdings: BTreeMap<u32, f64>,
+}
+
+/// One replication edge: data flows `from → to` with `delay_days`.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    from: usize,
+    to: usize,
+    delay_days: f64,
+}
+
+/// A publication record: when a chunk reached a site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublicationRecord {
+    pub chunk: u32,
+    pub site: String,
+    pub day: f64,
+}
+
+/// The simulated archive network.
+#[derive(Debug)]
+pub struct ArchiveNetwork {
+    sites: Vec<ArchiveSite>,
+    edges: Vec<Edge>,
+}
+
+/// Event payload: a chunk arriving at a site.
+#[derive(Debug, Clone, Copy)]
+struct Arrival {
+    chunk: u32,
+    site: usize,
+}
+
+impl ArchiveNetwork {
+    /// The paper's topology: T → OA (1 day) → MSA (2 weeks) →
+    /// `n_local` LAs (2 weeks) and MSA → MPA (1.5 years of verification)
+    /// → `n_public` PAs (1 month).
+    pub fn sdss_default(n_local: usize, n_public: usize) -> ArchiveNetwork {
+        let mut sites = vec![
+            ArchiveSite::new(SiteKind::Telescope, "APO telescope"),
+            ArchiveSite::new(SiteKind::Operational, "FNAL OA"),
+            ArchiveSite::new(SiteKind::MasterScience, "MSA"),
+            ArchiveSite::new(SiteKind::MasterPublic, "MPA"),
+        ];
+        let mut edges = vec![
+            // Tapes to FNAL and reduction into the OA: ~1 day.
+            Edge { from: 0, to: 1, delay_days: 1.0 },
+            // "Within two weeks the calibrated data is published to the
+            // Science Archive."
+            Edge { from: 1, to: 2, delay_days: 14.0 },
+            // "The data gets into the public archives after approximately
+            // 1-2 years of science verification."
+            Edge { from: 2, to: 3, delay_days: 548.0 },
+        ];
+        for i in 0..n_local {
+            let idx = sites.len();
+            sites.push(ArchiveSite::new(SiteKind::Local, &format!("LA-{i}")));
+            // "Science archive data is replicated to Local Archives within
+            // another two weeks."
+            edges.push(Edge { from: 2, to: idx, delay_days: 14.0 });
+        }
+        for i in 0..n_public {
+            let idx = sites.len();
+            sites.push(ArchiveSite::new(SiteKind::Public, &format!("PA-{i}")));
+            edges.push(Edge { from: 3, to: idx, delay_days: 30.0 });
+        }
+        ArchiveNetwork { sites, edges }
+    }
+
+    pub fn sites(&self) -> &[ArchiveSite] {
+        &self.sites
+    }
+
+    fn site_index(&self, name: &str) -> Result<usize, ArchiveError> {
+        self.sites
+            .iter()
+            .position(|s| s.name == name)
+            .ok_or_else(|| ArchiveError::InvalidTopology(format!("unknown site {name}")))
+    }
+
+    /// Run the simulation: `n_chunks` nightly chunks leave the telescope
+    /// on consecutive days; returns every arrival in time order.
+    pub fn run(&mut self, n_chunks: u32) -> Vec<PublicationRecord> {
+        let mut q: EventQueue<Arrival> = EventQueue::new();
+        for chunk in 0..n_chunks {
+            q.schedule_at(chunk as f64, Arrival { chunk, site: 0 });
+        }
+        let mut log = Vec::new();
+        while let Some(event) = q.pop() {
+            let Arrival { chunk, site } = event.payload;
+            // First arrival wins (the DAG here has unique paths anyway).
+            if self.sites[site].holdings.contains_key(&chunk) {
+                continue;
+            }
+            self.sites[site].holdings.insert(chunk, event.time);
+            log.push(PublicationRecord {
+                chunk,
+                site: self.sites[site].name.clone(),
+                day: event.time,
+            });
+            for edge in self.edges.iter().filter(|e| e.from == site) {
+                q.schedule_in(edge.delay_days, Arrival { chunk, site: edge.to });
+            }
+        }
+        log
+    }
+
+    /// Latency from telescope to a named site for a chunk, if it arrived.
+    pub fn latency_days(&self, site_name: &str, chunk: u32) -> Result<Option<f64>, ArchiveError> {
+        let site = self.site_index(site_name)?;
+        let t0 = self.sites[0].holdings.get(&chunk);
+        let t1 = self.sites[site].holdings.get(&chunk);
+        Ok(match (t0, t1) {
+            (Some(a), Some(b)) => Some(b - a),
+            _ => None,
+        })
+    }
+
+    /// Holdings count per site (how much of the survey each tier has).
+    pub fn holdings_summary(&self) -> Vec<(String, usize)> {
+        self.sites
+            .iter()
+            .map(|s| (s.name.clone(), s.holdings.len()))
+            .collect()
+    }
+}
+
+impl ArchiveSite {
+    fn new(kind: SiteKind, name: &str) -> ArchiveSite {
+        ArchiveSite {
+            kind,
+            name: name.to_string(),
+            holdings: BTreeMap::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_latency_ladder() {
+        let mut net = ArchiveNetwork::sdss_default(2, 2);
+        net.run(10);
+        // OA after 1 day.
+        assert_eq!(net.latency_days("FNAL OA", 0).unwrap(), Some(1.0));
+        // MSA at 1 day + 2 weeks.
+        assert_eq!(net.latency_days("MSA", 0).unwrap(), Some(15.0));
+        // LA two weeks later.
+        assert_eq!(net.latency_days("LA-0", 0).unwrap(), Some(29.0));
+        assert_eq!(net.latency_days("LA-1", 0).unwrap(), Some(29.0));
+        // Public after ~1.5 years of verification.
+        let mpa = net.latency_days("MPA", 0).unwrap().unwrap();
+        assert!((540.0..=620.0).contains(&mpa), "MPA latency {mpa}");
+        let pa = net.latency_days("PA-0", 0).unwrap().unwrap();
+        assert!(pa > mpa, "mirror lags the master");
+        // "after approximately 1-2 years"
+        assert!(pa / 365.25 > 1.0 && pa / 365.25 < 2.0, "{} years", pa / 365.25);
+    }
+
+    #[test]
+    fn every_chunk_reaches_every_site() {
+        let mut net = ArchiveNetwork::sdss_default(3, 1);
+        let n = 25;
+        let log = net.run(n);
+        for (site, count) in net.holdings_summary() {
+            assert_eq!(count as u32, n, "{site} is missing chunks");
+        }
+        // The log is in non-decreasing time order.
+        for w in log.windows(2) {
+            assert!(w[0].day <= w[1].day);
+        }
+    }
+
+    #[test]
+    fn chunks_arrive_in_order_per_site() {
+        let mut net = ArchiveNetwork::sdss_default(1, 1);
+        net.run(5);
+        for site in net.sites() {
+            let days: Vec<f64> = site.holdings.values().copied().collect();
+            for w in days.windows(2) {
+                assert!(w[0] <= w[1], "{}: out-of-order arrivals", site.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_site_is_an_error() {
+        let net = ArchiveNetwork::sdss_default(1, 1);
+        assert!(net.latency_days("Atlantis", 0).is_err());
+    }
+
+    #[test]
+    fn science_archive_leads_public_by_years() {
+        // The design point: astronomers see data ~18 months before the
+        // public does.
+        let mut net = ArchiveNetwork::sdss_default(1, 1);
+        net.run(3);
+        let la = net.latency_days("LA-0", 1).unwrap().unwrap();
+        let pa = net.latency_days("PA-0", 1).unwrap().unwrap();
+        assert!(pa - la > 365.0, "public lead time only {} days", pa - la);
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks for the HTM core (E2/E3 timing side):
+//! point→trixel lookup and region cover computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sdss_htm::{lookup_id, Cover, Region};
+use sdss_skycoords::{Frame, UnitVec3, Vec3};
+use std::hint::black_box;
+
+fn random_points(n: usize) -> Vec<UnitVec3> {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    (0..n)
+        .map(|_| {
+            let z: f64 = rng.gen_range(-1.0..1.0);
+            let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let r = (1.0 - z * z).sqrt();
+            Vec3::new(r * phi.cos(), r * phi.sin(), z)
+                .normalized()
+                .unwrap()
+        })
+        .collect()
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let points = random_points(1024);
+    let mut group = c.benchmark_group("htm_lookup");
+    for level in [6u8, 10, 14, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &level| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % points.len();
+                black_box(lookup_id(points[i], level).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("htm_cover");
+    for (name, domain) in [
+        ("circle_1deg", Region::circle(185.0, 15.0, 1.0).unwrap()),
+        ("circle_10deg", Region::circle(185.0, 15.0, 10.0).unwrap()),
+        (
+            "fig4_bands",
+            Region::band(Frame::Equatorial, 10.0, 25.0)
+                .unwrap()
+                .intersect(&Region::band(Frame::Galactic, 40.0, 90.0).unwrap()),
+        ),
+    ] {
+        for level in [8u8, 10] {
+            group.bench_function(format!("{name}/level{level}"), |b| {
+                b.iter(|| black_box(Cover::compute(&domain, level).unwrap()));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_point_classify(c: &mut Criterion) {
+    let points = random_points(1024);
+    let domain = Region::circle(185.0, 15.0, 5.0).unwrap();
+    let cover = Cover::compute(&domain, 10).unwrap();
+    c.bench_function("cover_classify_point", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % points.len();
+            black_box(cover.classify_point(points[i]))
+        });
+    });
+}
+
+criterion_group!(benches, bench_lookup, bench_cover, bench_point_classify);
+criterion_main!(benches);

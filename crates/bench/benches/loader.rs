@@ -1,0 +1,35 @@
+//! Criterion benches for bulk loading (E9 timing side): clustered vs
+//! naive chunk loads.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sdss_bench::standard_sky;
+use sdss_loader::chunk::chunks_from_catalog;
+use sdss_loader::{load_clustered, load_naive};
+use sdss_storage::{ObjectStore, StoreConfig};
+use std::hint::black_box;
+
+fn bench_loads(c: &mut Criterion) {
+    let objs = standard_sky(10_000, 81);
+    let chunks = chunks_from_catalog(objs, 1).unwrap();
+    let chunk = &chunks[0];
+
+    let mut group = c.benchmark_group("chunk_load_10k");
+    group.throughput(Throughput::Bytes(chunk.bytes() as u64));
+    group.sample_size(10);
+    group.bench_function("clustered", |b| {
+        b.iter(|| {
+            let mut store = ObjectStore::new(StoreConfig::default()).unwrap();
+            black_box(load_clustered(&mut store, chunk).unwrap().objects)
+        });
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut store = ObjectStore::new(StoreConfig::default()).unwrap();
+            black_box(load_naive(&mut store, chunk).unwrap().objects)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_loads);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches for the query path (E5/E8 timing side): cone
+//! queries on tag vs full stores, parse+plan latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdss_bench::{build_stores, standard_sky};
+use sdss_htm::Region;
+use sdss_query::Engine;
+use std::hint::black_box;
+
+fn bench_cone_queries(c: &mut Criterion) {
+    let objs = standard_sky(20_000, 61);
+    let (store, tags) = build_stores(&objs, 7);
+    let domain = Region::circle(185.0, 15.0, 1.0).unwrap();
+
+    let mut group = c.benchmark_group("cone_1deg");
+    group.bench_function("store_region_scan", |b| {
+        b.iter(|| black_box(store.query_region(&domain, None).unwrap().0.len()));
+    });
+    group.bench_function("tag_region_scan", |b| {
+        b.iter(|| black_box(tags.query_region(&domain, None).unwrap().0.len()));
+    });
+    group.finish();
+
+    let engine = Engine::new(&store, Some(&tags));
+    let engine_full = Engine::new(&store, None);
+    let sql = "SELECT objid, ra, dec, r FROM photoobj WHERE CIRCLE(185, 15, 1) AND r < 21";
+    let mut group = c.benchmark_group("engine_cone");
+    group.bench_function("tag_route", |b| {
+        b.iter(|| black_box(engine.run(sql).unwrap().rows.len()));
+    });
+    group.bench_function("full_route", |b| {
+        b.iter(|| black_box(engine_full.run(sql).unwrap().rows.len()));
+    });
+    group.finish();
+}
+
+fn bench_parse_plan(c: &mut Criterion) {
+    let objs = standard_sky(500, 62);
+    let (store, tags) = build_stores(&objs, 7);
+    let engine = Engine::new(&store, Some(&tags));
+    let sql = "SELECT objid, ra, dec, g - r AS color FROM photoobj \
+               WHERE CIRCLE(185, 15, 2) AND r < 22 AND class = 'GALAXY' \
+               ORDER BY color DESC LIMIT 100";
+    c.bench_function("parse_and_plan", |b| {
+        b.iter(|| black_box(engine.explain(sql).unwrap().root.size()));
+    });
+}
+
+criterion_group!(benches, bench_cone_queries, bench_parse_plan);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E16 — Figure 1's camera as a data source: pixel counts, data rate and
+//! nightly volumes feeding the ingest pipeline.
+
+use sdss_loader::DriftScanCamera;
+
+fn main() {
+    println!("E16 / Figure 1: the SDSS photometric camera as a data source\n");
+    let cam = DriftScanCamera::default();
+    println!("imaging CCDs:      {} x {}x{}", cam.n_imaging_ccds, cam.ccd_width, cam.ccd_height);
+    println!("astrometric CCDs:  {}", cam.n_astrometric_ccds);
+    println!("focus CCDs:        {}", cam.n_focus_ccds);
+    println!(
+        "imaging pixels:    {:.0}M   (paper: '120 million pixels')",
+        cam.total_pixels() as f64 / 1e6
+    );
+    println!(
+        "data rate:         {:.1} MB/s (paper: '8 Megabytes per second')",
+        cam.data_rate_bps() / 1e6
+    );
+    println!("effective exposure: {} s (paper: '55 sec')\n", cam.exposure_s);
+
+    println!("{:>12} {:>14} {:>18}", "night (h)", "raw bytes", "5-yr extrapolation");
+    println!("{}", "-".repeat(50));
+    // "The cameras can only be used under ideal conditions": roughly 30
+    // photometric nights a year reach the imaging survey.
+    let photometric_nights_per_year = 30.0;
+    for hours in [4.0, 8.0, 10.0] {
+        let night = cam.bytes_per_night(hours);
+        let five_years = night * photometric_nights_per_year * 5.0;
+        println!(
+            "{:>12} {:>13.1} GB {:>17.1} TB",
+            hours,
+            night / 1e9,
+            five_years / 1e12
+        );
+    }
+    println!(
+        "\n(paper: 'during the 5 years of the survey SDSS will collect more than\n 40 Terabytes of image data' — matched by ~10h nights x ~30 ideal\n nights/year x 5 years)"
+    );
+}

@@ -1,0 +1,53 @@
+//! E2 — Reproduce **Figure 3**: the hierarchical trisection of the sphere.
+//!
+//! Prints, per level: trixel counts (8·4^L), exact area statistics, the
+//! paper's "approximately equal areas" uniformity ratio, and the angular
+//! resolution of the mesh.
+
+use sdss_htm::stats::{level_stats, sampled_level_stats};
+use sdss_htm::name::id_to_name;
+use sdss_htm::{lookup_id, HtmId};
+use sdss_skycoords::SkyPos;
+
+fn main() {
+    println!("E2 / Figure 3: HTM — recursive 4-way trisection from the octahedron\n");
+    println!(
+        "{:>5} {:>14} {:>13} {:>13} {:>9} {:>14}",
+        "level", "trixels", "min area", "max area", "max/min", "mean size"
+    );
+    println!("{}", "-".repeat(76));
+    for level in 0..=14u8 {
+        let s = if level <= 7 {
+            level_stats(level)
+        } else {
+            sampled_level_stats(level)
+        };
+        let size = if s.mean_size_deg >= 1.0 {
+            format!("{:.2} deg", s.mean_size_deg)
+        } else if s.mean_size_deg >= 1.0 / 60.0 {
+            format!("{:.2} arcmin", s.mean_size_deg * 60.0)
+        } else {
+            format!("{:.2} arcsec", s.mean_size_deg * 3600.0)
+        };
+        println!(
+            "{:>5} {:>14} {:>13.4e} {:>13.4e} {:>9.3} {:>14}",
+            s.level, s.count, s.min_area_sr, s.max_area_sr, s.area_ratio, size
+        );
+    }
+
+    println!("\nQuad-tree ids along one subdivision path (paper: 'represented as a quad tree'):");
+    let p = SkyPos::new(185.0, 15.0).unwrap().unit_vec();
+    for level in 0..=8u8 {
+        let id = lookup_id(p, level).unwrap();
+        println!(
+            "  level {:>2}: name {:<12} id {:>12} ({:#x})",
+            level,
+            id_to_name(id),
+            id.raw(),
+            id.raw()
+        );
+    }
+    let deep = lookup_id(p, 20).unwrap();
+    println!("  level 20: {} — {} bits", deep.raw(), 64 - deep.raw().leading_zeros());
+    let _: HtmId = deep;
+}

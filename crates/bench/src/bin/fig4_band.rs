@@ -1,0 +1,55 @@
+//! E3 — Reproduce **Figure 4**: a latitude range query in one spherical
+//! coordinate system intersected with a latitude constraint in another,
+//! classified against the mesh (fully inside / bisected / rejected).
+
+use sdss_htm::{Cover, Region};
+use sdss_skycoords::Frame;
+
+fn main() {
+    println!("E3 / Figure 4: declination band ∧ galactic latitude constraint\n");
+    // "a simple range query of latitude in one spherical coordinate
+    // system (the two parallel planes) and an additional latitude
+    // constraint in another system".
+    let dec_band = Region::band(Frame::Equatorial, 10.0, 25.0).unwrap();
+    let gal_cut = Region::band(Frame::Galactic, 40.0, 90.0).unwrap();
+    let query = dec_band.intersect(&gal_cut);
+
+    println!("query: 10 <= dec <= 25  AND  40 <= galactic b <= 90\n");
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "level", "full", "partial", "rejected", "visited", "full frac"
+    );
+    println!("{}", "-".repeat(64));
+    for level in 3..=8u8 {
+        let cover = Cover::compute(&query, level).unwrap();
+        let s = cover.stats();
+        let total = 8u64 << (2 * level as u64);
+        let full_frac =
+            cover.full_ranges().count() as f64 / total as f64;
+        println!(
+            "{:>5} {:>10} {:>10} {:>10} {:>10} {:>11.4}%",
+            level,
+            cover.full_ranges().count(),
+            cover.partial_ranges().count(),
+            s.rejected,
+            s.nodes_visited,
+            full_frac * 100.0
+        );
+    }
+
+    // The paper's point: only bisected trixels need exact tests, and the
+    // pruned subtrees are never visited.
+    let cover = Cover::compute(&query, 8).unwrap();
+    println!(
+        "\nat level 8: {} intervals cover the region ({} full + {} partial trixels)",
+        cover.full_ranges().num_intervals() + cover.partial_ranges().num_intervals(),
+        cover.full_ranges().count(),
+        cover.partial_ranges().count(),
+    );
+    println!(
+        "nodes visited: {} of {} level-8 trixels ({:.2}%) — the quad-tree prunes the rest",
+        cover.stats().nodes_visited,
+        8u64 << 16,
+        cover.stats().nodes_visited as f64 / (8u64 << 16) as f64 * 100.0
+    );
+}

@@ -1,0 +1,59 @@
+//! E9 — Loading: touch-once clustered loads vs naive arrival-order
+//! loads, plus the 20 GB/day feasibility extrapolation.
+
+use sdss_bench::sky_model;
+use sdss_loader::{chunk::chunks_from_catalog, load_clustered, load_naive, IngestPipeline};
+use sdss_storage::{ObjectStore, StoreConfig};
+
+fn main() {
+    let n = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000usize);
+    println!("E9: two-phase clustered load vs naive arrival-order load ({n} objects)\n");
+    let model = sky_model(n, 46);
+    let objs = model.generate().unwrap();
+    let chunks = chunks_from_catalog(objs, 5).unwrap();
+
+    println!(
+        "{:>6} {:>9} {:>16} {:>16} {:>12} {:>12}",
+        "night", "objects", "touches (clust)", "touches (naive)", "clust objs/s", "naive objs/s"
+    );
+    println!("{}", "-".repeat(78));
+    let mut clustered_store = ObjectStore::new(StoreConfig::default()).unwrap();
+    let mut naive_store = ObjectStore::new(StoreConfig::default()).unwrap();
+    let mut total_c = 0u64;
+    let mut total_n = 0u64;
+    for chunk in &chunks {
+        let rc = load_clustered(&mut clustered_store, chunk).unwrap();
+        let rn = load_naive(&mut naive_store, chunk).unwrap();
+        total_c += rc.container_touches;
+        total_n += rn.container_touches;
+        println!(
+            "{:>6} {:>9} {:>10} ({:>3.1}x) {:>10} ({:>5.0}x) {:>12.0} {:>12.0}",
+            chunk.night,
+            rc.objects,
+            rc.container_touches,
+            rc.touches_per_container(),
+            rn.container_touches,
+            rn.touches_per_container(),
+            rc.objects_per_sec(),
+            rn.objects_per_sec(),
+        );
+    }
+    println!("{}", "-".repeat(78));
+    println!(
+        "total container touches: clustered {total_c} vs naive {total_n} ({:.0}x reduction)",
+        total_n as f64 / total_c as f64
+    );
+
+    // Feasibility of the paper's daily volume.
+    let pipeline = IngestPipeline::default();
+    let mut store = ObjectStore::new(StoreConfig::default()).unwrap();
+    let report = pipeline.run(&sky_model(n / 2, 47), &mut store, 3).unwrap();
+    println!(
+        "\nsustained clustered load rate: {:.1} MB/s → a 20 GB day loads in {:.1} min",
+        report.sustained_bps() / 1e6,
+        report.hours_for_daily_volume(20e9) * 60.0
+    );
+}

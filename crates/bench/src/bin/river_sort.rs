@@ -1,0 +1,68 @@
+//! E10 — The river sorting network: throughput vs worker count.
+//!
+//! Paper (\[Sort\]): "Current systems have demonstrated that they can sort
+//! at about 100 MBps using commodity hardware". Shape under test:
+//! near-linear scaling of run generation, merge-bound at high counts.
+
+use sdss_bench::standard_sky;
+use sdss_catalog::TagObject;
+use sdss_dataflow::{parallel_sort_by_key, RiverGraph};
+
+fn main() {
+    let n = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400_000usize);
+    println!("E10: river sorting network ({n} tag records)\n");
+    let tags: Vec<TagObject> = standard_sky(n, 48)
+        .iter()
+        .map(TagObject::from_photo)
+        .collect();
+    let key = |t: &TagObject| t.mags[2] as f64;
+
+    println!(
+        "{:>8} {:>12} {:>10} {:>9}",
+        "workers", "wall (ms)", "MB/s", "speedup"
+    );
+    println!("{}", "-".repeat(44));
+    let mut base = None;
+    for workers in [1usize, 2, 4, 8, 16] {
+        // Best of 3.
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let (_, report) = parallel_sort_by_key(&tags, key, workers).unwrap();
+            best = best.min(report.wall.as_secs_f64());
+        }
+        let mbps = (tags.len() * TagObject::SERIALIZED_LEN) as f64 / 1e6 / best;
+        if base.is_none() {
+            base = Some(best);
+        }
+        println!(
+            "{:>8} {:>12.1} {:>10.1} {:>8.2}x",
+            workers,
+            best * 1e3,
+            mbps,
+            base.unwrap() / best
+        );
+    }
+
+    // A full river: filter → map → sorting-network terminal.
+    println!("\nfull river (filter bright → extinction-correct → sort by r):");
+    let graph = RiverGraph::new(4)
+        .unwrap()
+        .filter(|t| t.mags[2] < 22.0)
+        .map(|mut t| {
+            t.mags[2] -= 0.1;
+            t
+        })
+        .sort_by(|t| t.mags[2] as f64);
+    let (out, report) = graph.run(&tags).unwrap();
+    println!(
+        "  {} in → {} out, {:.1} ms, {:.1} MB/s input rate",
+        report.records_in,
+        report.records_out,
+        report.wall.as_secs_f64() * 1e3,
+        report.mbps_in()
+    );
+    assert!(out.windows(2).all(|w| w[0].mags[2] <= w[1].mags[2]));
+}

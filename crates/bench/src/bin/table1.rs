@@ -1,0 +1,48 @@
+//! E1 — Reproduce **Table 1**: sizes of the SDSS data products.
+//!
+//! Prints model-derived rows next to the paper's quoted values.
+
+use sdss_catalog::products::{table1, total_products_bytes, SurveyParams};
+
+fn fmt(bytes: f64) -> String {
+    if bytes >= 1e12 {
+        format!("{:.1} TB", bytes / 1e12)
+    } else {
+        format!("{:.0} GB", bytes / 1e9)
+    }
+}
+
+fn main() {
+    let params = SurveyParams::default();
+    let rows = table1(&params);
+    println!("E1 / Table 1: Sizes of various SDSS datasets");
+    println!("(model derived from survey physics vs the paper's quoted sizes)\n");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>7}  formula",
+        "Product", "Items", "Model", "Paper", "ratio"
+    );
+    println!("{}", "-".repeat(110));
+    for r in &rows {
+        let items = match r.items {
+            Some(v) => format!("{v:.1e}"),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:<26} {:>10} {:>10} {:>10} {:>6.2}x  {}",
+            r.name,
+            items,
+            fmt(r.bytes),
+            fmt(r.paper_bytes),
+            r.ratio(),
+            r.formula
+        );
+    }
+    println!("{}", "-".repeat(110));
+    println!(
+        "{:<26} {:>10} {:>10} {:>10}",
+        "Products total (ex. raw)",
+        "",
+        fmt(total_products_bytes(&rows)),
+        "~3 TB"
+    );
+}

@@ -1,0 +1,256 @@
+//! Finding charts.
+//!
+//! Paper, §Typical Queries: "At the simplest level these include the
+//! on-demand creation of (color) finding charts, with position
+//! information."
+//!
+//! A [`FindingChart`] is a gnomonic (tangent-plane) projection of a field
+//! with objects rendered by magnitude (brighter = bigger) and class,
+//! plus labelled positions — renderable as ASCII for terminals or as a
+//! PGM image for files. No plotting dependencies.
+
+use crate::photoobj::ObjClass;
+use crate::tag::TagObject;
+use crate::CatalogError;
+use sdss_skycoords::angle::{format_dms, format_hms};
+use sdss_skycoords::SkyPos;
+
+/// One plotted object.
+#[derive(Debug, Clone, Copy)]
+struct ChartObject {
+    /// Tangent-plane coordinates, degrees (xi toward +RA, eta toward +Dec).
+    xi: f64,
+    eta: f64,
+    mag: f32,
+    class: ObjClass,
+}
+
+/// A finding chart for a field.
+#[derive(Debug, Clone)]
+pub struct FindingChart {
+    center: SkyPos,
+    /// Field half-width, degrees.
+    half_width_deg: f64,
+    objects: Vec<ChartObject>,
+}
+
+impl FindingChart {
+    /// Start a chart centered on `(ra, dec)` with the given full field
+    /// width in degrees.
+    pub fn new(ra_deg: f64, dec_deg: f64, width_deg: f64) -> Result<FindingChart, CatalogError> {
+        if width_deg <= 0.0 || width_deg > 90.0 {
+            return Err(CatalogError::InvalidParam(format!(
+                "chart width {width_deg} outside (0, 90] degrees"
+            )));
+        }
+        let center = SkyPos::new(ra_deg, dec_deg)
+            .map_err(|e| CatalogError::InvalidParam(e.to_string()))?;
+        Ok(FindingChart {
+            center,
+            half_width_deg: width_deg / 2.0,
+            objects: Vec::new(),
+        })
+    }
+
+    /// Gnomonic projection of a position onto the tangent plane at the
+    /// chart center. Returns `None` behind the tangent point or outside
+    /// the field.
+    fn project(&self, pos: SkyPos) -> Option<(f64, f64)> {
+        let c = self.center.unit_vec().as_vec3();
+        let p = pos.unit_vec().as_vec3();
+        let dot = c.dot(p);
+        if dot <= 1e-6 {
+            return None; // behind the tangent plane
+        }
+        // Local east/north basis at the center.
+        let east = sdss_skycoords::UnitVec3::Z.cross(self.center.unit_vec());
+        let east = east.normalized().ok()?;
+        let north = self
+            .center
+            .unit_vec()
+            .cross(east)
+            .normalized()
+            .expect("orthogonal basis");
+        let xi = (p.dot(east.as_vec3()) / dot).to_degrees();
+        let eta = (p.dot(north.as_vec3()) / dot).to_degrees();
+        if xi.abs() > self.half_width_deg || eta.abs() > self.half_width_deg {
+            return None;
+        }
+        Some((xi, eta))
+    }
+
+    /// Add an object; silently skips objects outside the field.
+    pub fn add(&mut self, tag: &TagObject) {
+        if let Some((xi, eta)) = self.project(tag.pos()) {
+            self.objects.push(ChartObject {
+                xi,
+                eta,
+                mag: tag.mag(2),
+                class: tag.class,
+            });
+        }
+    }
+
+    pub fn n_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Render as ASCII art (`cols` × `rows` characters). Symbols by
+    /// class (`*` star, `o` galaxy, `Q` quasar), capitals for bright
+    /// objects; the center is marked `+`.
+    pub fn render_ascii(&self, cols: usize, rows: usize) -> String {
+        let mut grid = vec![vec![' '; cols]; rows];
+        // North up, East left (the astronomical convention).
+        for obj in &self.objects {
+            let col = ((self.half_width_deg - obj.xi) / (2.0 * self.half_width_deg)
+                * (cols - 1) as f64)
+                .round() as usize;
+            let row = ((self.half_width_deg - obj.eta) / (2.0 * self.half_width_deg)
+                * (rows - 1) as f64)
+                .round() as usize;
+            let bright = obj.mag < 18.0;
+            let symbol = match (obj.class, bright) {
+                (ObjClass::Star, true) => '*',
+                (ObjClass::Star, false) => '.',
+                (ObjClass::Galaxy, true) => 'O',
+                (ObjClass::Galaxy, false) => 'o',
+                (ObjClass::Quasar, _) => 'Q',
+                (ObjClass::Unknown, _) => '?',
+            };
+            if row < rows && col < cols {
+                // Brighter objects overwrite fainter marks.
+                let cell = &mut grid[row][col];
+                if *cell == ' ' || *cell == '.' || *cell == 'o' {
+                    *cell = symbol;
+                }
+            }
+        }
+        // Center crosshair.
+        grid[rows / 2][cols / 2] = '+';
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Finding chart  {}  {}   field {:.2} deg   N up, E left\n",
+            format_hms(self.center.ra_deg()),
+            format_dms(self.center.dec_deg()),
+            self.half_width_deg * 2.0
+        ));
+        out.push_str(&format!("({} objects)\n", self.objects.len()));
+        for row in grid {
+            out.push_str(&row.into_iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str("* / . bright/faint star   O / o bright/faint galaxy   Q quasar\n");
+        out
+    }
+
+    /// Render as a binary PGM (P5) grayscale image: objects are filled
+    /// disks whose radius scales with brightness.
+    pub fn render_pgm(&self, size: usize) -> Vec<u8> {
+        let mut pixels = vec![0u8; size * size];
+        for obj in &self.objects {
+            let cx = (self.half_width_deg - obj.xi) / (2.0 * self.half_width_deg)
+                * (size - 1) as f64;
+            let cy = (self.half_width_deg - obj.eta) / (2.0 * self.half_width_deg)
+                * (size - 1) as f64;
+            // Radius: 1 px at mag 22, ~6 px at mag 14.
+            let radius = ((22.0 - obj.mag as f64) * 0.6).clamp(1.0, 8.0);
+            let value = match obj.class {
+                ObjClass::Quasar => 255u8,
+                _ => (255.0 - (obj.mag as f64 - 14.0) * 18.0).clamp(80.0, 255.0) as u8,
+            };
+            let r = radius.ceil() as i64;
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    if (dx * dx + dy * dy) as f64 <= radius * radius {
+                        let x = cx as i64 + dx;
+                        let y = cy as i64 + dy;
+                        if (0..size as i64).contains(&x) && (0..size as i64).contains(&y) {
+                            let idx = y as usize * size + x as usize;
+                            pixels[idx] = pixels[idx].max(value);
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = format!("P5\n{size} {size}\n255\n").into_bytes();
+        out.extend_from_slice(&pixels);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::SkyModel;
+
+    fn field_chart(seed: u64) -> FindingChart {
+        let objs = SkyModel::small(seed).generate().unwrap();
+        let mut chart = FindingChart::new(185.0, 15.0, 1.0).unwrap();
+        for o in &objs {
+            chart.add(&TagObject::from_photo(o));
+        }
+        chart
+    }
+
+    #[test]
+    fn only_field_objects_are_plotted() {
+        let objs = SkyModel::small(1).generate().unwrap();
+        let mut chart = FindingChart::new(185.0, 15.0, 1.0).unwrap();
+        for o in &objs {
+            chart.add(&TagObject::from_photo(o));
+        }
+        // The 5-deg generated cap holds far more objects than the 1-deg
+        // chart field.
+        assert!(chart.n_objects() > 0);
+        assert!(chart.n_objects() < objs.len());
+        // Everything plotted is inside the (square) field — check via a
+        // fresh projection of a corner object.
+        let far = SkyPos::new(190.0, 18.0).unwrap();
+        assert!(chart.project(far).is_none());
+    }
+
+    #[test]
+    fn projection_center_is_origin() {
+        let chart = FindingChart::new(120.0, -30.0, 2.0).unwrap();
+        let (xi, eta) = chart.project(SkyPos::new(120.0, -30.0).unwrap()).unwrap();
+        assert!(xi.abs() < 1e-12 && eta.abs() < 1e-12);
+        // A point 0.5 deg north maps to eta ~ +0.5, xi ~ 0.
+        let (xi, eta) = chart.project(SkyPos::new(120.0, -29.5).unwrap()).unwrap();
+        assert!(xi.abs() < 1e-9);
+        assert!((eta - 0.5).abs() < 0.01, "eta = {eta}");
+    }
+
+    #[test]
+    fn ascii_chart_renders() {
+        let chart = field_chart(2);
+        let art = chart.render_ascii(60, 24);
+        assert!(art.contains("Finding chart"));
+        assert!(art.contains('+'), "center crosshair missing");
+        // At least one object symbol appears.
+        assert!(art.chars().any(|c| "*.OoQ".contains(c)));
+        // Correct dimensions: header(2) + rows + legend(1).
+        assert_eq!(art.lines().count(), 2 + 24 + 1);
+        for line in art.lines().skip(2).take(24) {
+            assert_eq!(line.chars().count(), 60);
+        }
+    }
+
+    #[test]
+    fn pgm_is_well_formed() {
+        let chart = field_chart(3);
+        let pgm = chart.render_pgm(128);
+        assert!(pgm.starts_with(b"P5\n128 128\n255\n"));
+        let header_len = b"P5\n128 128\n255\n".len();
+        assert_eq!(pgm.len(), header_len + 128 * 128);
+        // Some pixels lit.
+        assert!(pgm[header_len..].iter().any(|&p| p > 0));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(FindingChart::new(0.0, 0.0, 0.0).is_err());
+        assert!(FindingChart::new(0.0, 0.0, 100.0).is_err());
+        assert!(FindingChart::new(0.0, 95.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,570 @@
+//! The full photometric object: the archive's base record.
+//!
+//! The real SDSS photometric catalog carries "about 500 distinct
+//! attributes" per object at ~1.3 KB each (Table 1: 400 GB / 3·10⁸
+//! objects). This struct models the same shape: identifiers, the dual
+//! angular+Cartesian position (the paper stores x,y,z explicitly), per-band
+//! photometry blocks with radial profiles, and an opaque extension block
+//! standing in for the long tail of attributes, bringing the serialized
+//! width to ~1.2 KB so that scan-rate and tag-speedup experiments see
+//! paper-like byte ratios.
+
+use crate::CatalogError;
+use bytes::{Buf, BufMut};
+use sdss_skycoords::{SkyPos, UnitVec3};
+
+/// The five SDSS filters, blue to red.
+pub const BAND_NAMES: [&str; 5] = ["u", "g", "r", "i", "z"];
+/// Number of photometric bands.
+pub const N_BANDS: usize = 5;
+/// Radial profile bins per band (the real pipeline uses 15).
+pub const N_PROFILE_BINS: usize = 15;
+/// Width of the opaque "remaining attributes" block, in f32 slots.
+pub const N_EXTRA_ATTRS: usize = 64;
+
+/// Object classification from the photometric pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum ObjClass {
+    #[default]
+    Unknown = 0,
+    Star = 1,
+    Galaxy = 2,
+    Quasar = 3,
+}
+
+impl ObjClass {
+    pub fn from_u8(v: u8) -> Result<ObjClass, CatalogError> {
+        match v {
+            0 => Ok(ObjClass::Unknown),
+            1 => Ok(ObjClass::Star),
+            2 => Ok(ObjClass::Galaxy),
+            3 => Ok(ObjClass::Quasar),
+            other => Err(CatalogError::Corrupt(format!("bad class byte {other}"))),
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ObjClass::Unknown => "UNKNOWN",
+            ObjClass::Star => "STAR",
+            ObjClass::Galaxy => "GALAXY",
+            ObjClass::Quasar => "QSO",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<ObjClass> {
+        match s.to_ascii_uppercase().as_str() {
+            "UNKNOWN" => Some(ObjClass::Unknown),
+            "STAR" => Some(ObjClass::Star),
+            "GALAXY" => Some(ObjClass::Galaxy),
+            "QSO" | "QUASAR" => Some(ObjClass::Quasar),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ObjClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-band photometric measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BandPhot {
+    pub psf_mag: f32,
+    pub psf_mag_err: f32,
+    pub petro_mag: f32,
+    pub petro_mag_err: f32,
+    pub model_mag: f32,
+    pub model_mag_err: f32,
+    pub fiber_mag: f32,
+    pub fiber_mag_err: f32,
+    /// Petrosian radius, arcsec.
+    pub petro_rad: f32,
+    pub petro_rad_err: f32,
+    /// Radii containing 50% / 90% of the Petrosian flux, arcsec.
+    pub petro_r50: f32,
+    pub petro_r90: f32,
+    /// Isophotal ellipse axes (arcsec) and position angle (deg).
+    pub iso_a: f32,
+    pub iso_b: f32,
+    pub iso_phi: f32,
+    /// Mean surface brightness within r50, mag/arcsec².
+    pub surface_brightness: f32,
+    /// Stokes shape parameters.
+    pub stokes_q: f32,
+    pub stokes_u: f32,
+    pub sky_flux: f32,
+    pub sky_flux_err: f32,
+    /// Galactic extinction correction in this band, mag.
+    pub extinction: f32,
+    /// Star/exponential/de-Vaucouleurs profile likelihoods.
+    pub star_likelihood: f32,
+    pub exp_likelihood: f32,
+    pub dev_likelihood: f32,
+    /// Azimuthally averaged radial profile.
+    pub profile: [f32; N_PROFILE_BINS],
+    /// Per-band pipeline flags.
+    pub flags: u32,
+}
+
+impl BandPhot {
+    /// Serialized width: 24 named f32s + profile bins + u32 flags.
+    pub const SERIALIZED_LEN: usize = (24 + N_PROFILE_BINS) * 4 + 4;
+
+    fn write_to(&self, buf: &mut impl BufMut) {
+        for v in [
+            self.psf_mag,
+            self.psf_mag_err,
+            self.petro_mag,
+            self.petro_mag_err,
+            self.model_mag,
+            self.model_mag_err,
+            self.fiber_mag,
+            self.fiber_mag_err,
+            self.petro_rad,
+            self.petro_rad_err,
+            self.petro_r50,
+            self.petro_r90,
+            self.iso_a,
+            self.iso_b,
+            self.iso_phi,
+            self.surface_brightness,
+            self.stokes_q,
+            self.stokes_u,
+            self.sky_flux,
+            self.sky_flux_err,
+            self.extinction,
+            self.star_likelihood,
+            self.exp_likelihood,
+            self.dev_likelihood,
+        ] {
+            buf.put_f32_le(v);
+        }
+        for v in self.profile {
+            buf.put_f32_le(v);
+        }
+        buf.put_u32_le(self.flags);
+    }
+
+    fn read_from(buf: &mut impl Buf) -> BandPhot {
+        let mut named = [0f32; 24];
+        for v in named.iter_mut() {
+            *v = buf.get_f32_le();
+        }
+        let mut profile = [0f32; N_PROFILE_BINS];
+        for v in profile.iter_mut() {
+            *v = buf.get_f32_le();
+        }
+        let flags = buf.get_u32_le();
+        BandPhot {
+            psf_mag: named[0],
+            psf_mag_err: named[1],
+            petro_mag: named[2],
+            petro_mag_err: named[3],
+            model_mag: named[4],
+            model_mag_err: named[5],
+            fiber_mag: named[6],
+            fiber_mag_err: named[7],
+            petro_rad: named[8],
+            petro_rad_err: named[9],
+            petro_r50: named[10],
+            petro_r90: named[11],
+            iso_a: named[12],
+            iso_b: named[13],
+            iso_phi: named[14],
+            surface_brightness: named[15],
+            stokes_q: named[16],
+            stokes_u: named[17],
+            sky_flux: named[18],
+            sky_flux_err: named[19],
+            extinction: named[20],
+            star_likelihood: named[21],
+            exp_likelihood: named[22],
+            dev_likelihood: named[23],
+            profile,
+            flags,
+        }
+    }
+}
+
+/// A full photometric catalog object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhotoObj {
+    /// Survey-unique object id (bit-packed run/rerun/camcol/field/obj,
+    /// see [`pack_obj_id`]).
+    pub obj_id: u64,
+    /// Imaging run number.
+    pub run: u16,
+    /// Processing rerun.
+    pub rerun: u8,
+    /// Camera column, 1..=6 (Figure 1: the 5×6 CCD array).
+    pub camcol: u8,
+    /// Field number within the run.
+    pub field: u16,
+    /// Object number within the field.
+    pub id_in_field: u16,
+    /// Right ascension / declination, J2000 degrees.
+    pub ra_deg: f64,
+    pub dec_deg: f64,
+    /// The stored Cartesian unit vector (paper: "We store the angular
+    /// coordinates in a Cartesian form, i.e. as a triplet of x,y,z").
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+    /// Astrometric errors, arcsec.
+    pub ra_err_arcsec: f32,
+    pub dec_err_arcsec: f32,
+    /// Photometric classification.
+    pub class: ObjClass,
+    /// Object-level pipeline flags.
+    pub flags: u64,
+    /// Survey status bits (primary/secondary, masked, ...).
+    pub status: u32,
+    /// Deep (level-20) HTM id of the position, precomputed at load time.
+    pub htm20: u64,
+    /// Modified Julian Date of the observation.
+    pub mjd: f64,
+    /// Parent object id for deblended children (0 = none).
+    pub parent_id: u64,
+    /// Whether targeted for spectroscopy.
+    pub spectro_target: bool,
+    /// Per-band photometry, indexed u,g,r,i,z.
+    pub bands: [BandPhot; N_BANDS],
+    /// Opaque block standing in for the long tail of the ~500 real
+    /// attributes (observation metadata, covariances, match tables, ...).
+    pub extra: [f32; N_EXTRA_ATTRS],
+}
+
+impl Default for PhotoObj {
+    fn default() -> Self {
+        PhotoObj {
+            obj_id: 0,
+            run: 0,
+            rerun: 0,
+            camcol: 0,
+            field: 0,
+            id_in_field: 0,
+            ra_deg: 0.0,
+            dec_deg: 0.0,
+            // Default position is (ra=0, dec=0) whose unit vector is +x;
+            // keeping x=1 preserves the Cartesian/angular invariant.
+            x: 1.0,
+            y: 0.0,
+            z: 0.0,
+            ra_err_arcsec: 0.0,
+            dec_err_arcsec: 0.0,
+            class: ObjClass::Unknown,
+            flags: 0,
+            status: 0,
+            htm20: 0,
+            mjd: 0.0,
+            parent_id: 0,
+            spectro_target: false,
+            bands: [BandPhot::default(); N_BANDS],
+            extra: [0.0; N_EXTRA_ATTRS],
+        }
+    }
+}
+
+impl PhotoObj {
+    /// Fixed serialized width in bytes (see `write_to` for the layout).
+    pub const SERIALIZED_LEN: usize = 8 // obj_id
+        + 2 + 1 + 1 + 2 + 2            // run..id_in_field
+        + 8 * 5                        // ra, dec, x, y, z
+        + 4 + 4                        // astrometric errors
+        + 1 + 1                        // class, spectro_target
+        + 8 + 4 + 8 + 8 + 8            // flags, status, htm20, mjd, parent
+        + N_BANDS * BandPhot::SERIALIZED_LEN
+        + N_EXTRA_ATTRS * 4;
+
+    /// Set position fields (angular + Cartesian) consistently.
+    pub fn set_position(&mut self, pos: SkyPos) {
+        self.ra_deg = pos.ra_deg();
+        self.dec_deg = pos.dec_deg();
+        let v = pos.unit_vec();
+        self.x = v.x();
+        self.y = v.y();
+        self.z = v.z();
+    }
+
+    /// The stored Cartesian position.
+    #[inline]
+    pub fn unit_vec(&self) -> UnitVec3 {
+        UnitVec3::new_unchecked(self.x, self.y, self.z)
+    }
+
+    pub fn pos(&self) -> SkyPos {
+        SkyPos::new(self.ra_deg, self.dec_deg).expect("stored position is valid")
+    }
+
+    /// Model magnitude in band `b` (0..5 = u,g,r,i,z).
+    #[inline]
+    pub fn mag(&self, b: usize) -> f32 {
+        self.bands[b].model_mag
+    }
+
+    /// Colors: differences of adjacent-band model magnitudes.
+    #[inline]
+    pub fn color_ug(&self) -> f32 {
+        self.mag(0) - self.mag(1)
+    }
+
+    #[inline]
+    pub fn color_gr(&self) -> f32 {
+        self.mag(1) - self.mag(2)
+    }
+
+    #[inline]
+    pub fn color_ri(&self) -> f32 {
+        self.mag(2) - self.mag(3)
+    }
+
+    #[inline]
+    pub fn color_iz(&self) -> f32 {
+        self.mag(3) - self.mag(4)
+    }
+
+    /// Petrosian radius in r: the "1 size" attribute of the tag object.
+    #[inline]
+    pub fn size_arcsec(&self) -> f32 {
+        self.bands[2].petro_rad
+    }
+
+    /// Serialize into a fixed-width little-endian record.
+    pub fn write_to(&self, buf: &mut impl BufMut) {
+        buf.put_u64_le(self.obj_id);
+        buf.put_u16_le(self.run);
+        buf.put_u8(self.rerun);
+        buf.put_u8(self.camcol);
+        buf.put_u16_le(self.field);
+        buf.put_u16_le(self.id_in_field);
+        buf.put_f64_le(self.ra_deg);
+        buf.put_f64_le(self.dec_deg);
+        buf.put_f64_le(self.x);
+        buf.put_f64_le(self.y);
+        buf.put_f64_le(self.z);
+        buf.put_f32_le(self.ra_err_arcsec);
+        buf.put_f32_le(self.dec_err_arcsec);
+        buf.put_u8(self.class as u8);
+        buf.put_u8(self.spectro_target as u8);
+        buf.put_u64_le(self.flags);
+        buf.put_u32_le(self.status);
+        buf.put_u64_le(self.htm20);
+        buf.put_f64_le(self.mjd);
+        buf.put_u64_le(self.parent_id);
+        for band in &self.bands {
+            band.write_to(buf);
+        }
+        for v in self.extra {
+            buf.put_f32_le(v);
+        }
+    }
+
+    /// Deserialize a record written by [`PhotoObj::write_to`].
+    pub fn read_from(buf: &mut impl Buf) -> Result<PhotoObj, CatalogError> {
+        if buf.remaining() < Self::SERIALIZED_LEN {
+            return Err(CatalogError::Corrupt(format!(
+                "need {} bytes for PhotoObj, have {}",
+                Self::SERIALIZED_LEN,
+                buf.remaining()
+            )));
+        }
+        let obj_id = buf.get_u64_le();
+        let run = buf.get_u16_le();
+        let rerun = buf.get_u8();
+        let camcol = buf.get_u8();
+        let field = buf.get_u16_le();
+        let id_in_field = buf.get_u16_le();
+        let ra_deg = buf.get_f64_le();
+        let dec_deg = buf.get_f64_le();
+        let x = buf.get_f64_le();
+        let y = buf.get_f64_le();
+        let z = buf.get_f64_le();
+        let ra_err_arcsec = buf.get_f32_le();
+        let dec_err_arcsec = buf.get_f32_le();
+        let class = ObjClass::from_u8(buf.get_u8())?;
+        let spectro_target = buf.get_u8() != 0;
+        let flags = buf.get_u64_le();
+        let status = buf.get_u32_le();
+        let htm20 = buf.get_u64_le();
+        let mjd = buf.get_f64_le();
+        let parent_id = buf.get_u64_le();
+        let mut bands = [BandPhot::default(); N_BANDS];
+        for band in bands.iter_mut() {
+            *band = BandPhot::read_from(buf);
+        }
+        let mut extra = [0f32; N_EXTRA_ATTRS];
+        for v in extra.iter_mut() {
+            *v = buf.get_f32_le();
+        }
+        Ok(PhotoObj {
+            obj_id,
+            run,
+            rerun,
+            camcol,
+            field,
+            id_in_field,
+            ra_deg,
+            dec_deg,
+            x,
+            y,
+            z,
+            ra_err_arcsec,
+            dec_err_arcsec,
+            class,
+            flags,
+            status,
+            htm20,
+            mjd,
+            parent_id,
+            spectro_target,
+            bands,
+            extra,
+        })
+    }
+}
+
+/// Pack SDSS-style identifiers into a survey-unique 64-bit object id:
+/// `run(16) | rerun(8) | camcol(4) | field(16) | id_in_field(16)`,
+/// with a leading version nibble.
+pub fn pack_obj_id(run: u16, rerun: u8, camcol: u8, field: u16, id_in_field: u16) -> u64 {
+    debug_assert!(camcol <= 15, "camcol must fit 4 bits");
+    (1u64 << 60)
+        | ((run as u64) << 44)
+        | ((rerun as u64) << 36)
+        | ((camcol as u64) << 32)
+        | ((field as u64) << 16)
+        | id_in_field as u64
+}
+
+/// Unpack an id produced by [`pack_obj_id`].
+pub fn unpack_obj_id(id: u64) -> (u16, u8, u8, u16, u16) {
+    (
+        ((id >> 44) & 0xffff) as u16,
+        ((id >> 36) & 0xff) as u8,
+        ((id >> 32) & 0xf) as u8,
+        ((id >> 16) & 0xffff) as u16,
+        (id & 0xffff) as u16,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use proptest::prelude::*;
+
+    #[test]
+    fn serialized_len_matches_write() {
+        let obj = PhotoObj::default();
+        let mut buf = BytesMut::new();
+        obj.write_to(&mut buf);
+        assert_eq!(buf.len(), PhotoObj::SERIALIZED_LEN);
+        // Paper scale check: the real catalog runs ~1.33 KB/object
+        // (400 GB / 3e8); ours must be within 2x of that. (Evaluated on
+        // the measured buffer so the assertion isn't constant-folded.)
+        assert!(buf.len() > 650 && buf.len() < 2700, "len = {}", buf.len());
+    }
+
+    #[test]
+    fn roundtrip_default() {
+        let obj = PhotoObj::default();
+        let mut buf = BytesMut::new();
+        obj.write_to(&mut buf);
+        let back = PhotoObj::read_from(&mut buf.freeze()).unwrap();
+        assert_eq!(back, obj);
+    }
+
+    #[test]
+    fn read_from_short_buffer_fails() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(42);
+        assert!(matches!(
+            PhotoObj::read_from(&mut buf.freeze()),
+            Err(CatalogError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn class_byte_roundtrip_and_rejects() {
+        for c in [ObjClass::Unknown, ObjClass::Star, ObjClass::Galaxy, ObjClass::Quasar] {
+            assert_eq!(ObjClass::from_u8(c as u8).unwrap(), c);
+            assert_eq!(ObjClass::parse(c.as_str()), Some(c));
+        }
+        assert!(ObjClass::from_u8(4).is_err());
+        assert_eq!(ObjClass::parse("QUASAR"), Some(ObjClass::Quasar));
+        assert_eq!(ObjClass::parse("nebula"), None);
+    }
+
+    #[test]
+    fn position_consistency() {
+        let mut obj = PhotoObj::default();
+        let pos = SkyPos::new(185.0, 15.5).unwrap();
+        obj.set_position(pos);
+        assert!((obj.unit_vec().separation_deg(pos.unit_vec())).abs() < 1e-12);
+        assert!((obj.pos().separation_deg(pos)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn colors_are_band_differences() {
+        let mut obj = PhotoObj::default();
+        for (i, mag) in [19.0f32, 18.0, 17.5, 17.2, 17.0].into_iter().enumerate() {
+            obj.bands[i].model_mag = mag;
+        }
+        assert!((obj.color_ug() - 1.0).abs() < 1e-6);
+        assert!((obj.color_gr() - 0.5).abs() < 1e-6);
+        assert!((obj.color_ri() - 0.3).abs() < 1e-6);
+        assert!((obj.color_iz() - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn obj_id_packing() {
+        let id = pack_obj_id(752, 40, 3, 618, 213);
+        let (run, rerun, camcol, field, obj) = unpack_obj_id(id);
+        assert_eq!((run, rerun, camcol, field, obj), (752, 40, 3, 618, 213));
+        // Ids are unique across distinct coordinates.
+        assert_ne!(id, pack_obj_id(752, 40, 3, 618, 214));
+        assert_ne!(id, pack_obj_id(752, 40, 4, 618, 213));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_serialization_roundtrip(
+            obj_id in any::<u64>(),
+            run in any::<u16>(), field in any::<u16>(),
+            ra in 0.0f64..360.0, dec in -90.0f64..90.0,
+            mags in proptest::array::uniform5(10.0f32..25.0),
+            profile0 in any::<f32>(),
+            flags in any::<u64>(),
+            class_byte in 0u8..4,
+        ) {
+            let mut obj = PhotoObj {
+                obj_id,
+                run,
+                field,
+                flags,
+                class: ObjClass::from_u8(class_byte).unwrap(),
+                ..PhotoObj::default()
+            };
+            obj.set_position(SkyPos::new(ra, dec).unwrap());
+            for (i, m) in mags.into_iter().enumerate() {
+                obj.bands[i].model_mag = m;
+                obj.bands[i].profile[0] = profile0;
+            }
+            let mut buf = BytesMut::new();
+            obj.write_to(&mut buf);
+            prop_assert_eq!(buf.len(), PhotoObj::SERIALIZED_LEN);
+            let back = PhotoObj::read_from(&mut buf.freeze()).unwrap();
+            prop_assert_eq!(back, obj);
+        }
+
+        #[test]
+        fn prop_obj_id_roundtrip(run in any::<u16>(), rerun in any::<u8>(), camcol in 0u8..16, field in any::<u16>(), obj in any::<u16>()) {
+            let id = pack_obj_id(run, rerun, camcol, field, obj);
+            prop_assert_eq!(unpack_obj_id(id), (run, rerun, camcol, field, obj));
+        }
+    }
+}

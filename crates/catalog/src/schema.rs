@@ -1,0 +1,399 @@
+//! Schema registry with multi-representation export.
+//!
+//! Paper, §Broader Metadata Issues: "The schema is defined in a high
+//! level format, and an automated script generator creates the .h files
+//! for the C++ classes, and the .ddl files for Objectivity/DB. This
+//! approach enables us to easily create new data model representations in
+//! the future (SQL, IDL, XML, etc)."
+//!
+//! Here the high-level format is Rust data ([`TableDef`]); exporters emit
+//! SQL DDL, XML and JSON. The registry carries the actual archive schema
+//! ([`archive_schema`]) used by tests and documentation.
+
+/// Attribute types in the abstract schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrType {
+    F32,
+    F64,
+    I16,
+    I32,
+    I64,
+    U8,
+    Bool,
+    Text,
+}
+
+impl AttrType {
+    fn sql(self) -> &'static str {
+        match self {
+            AttrType::F32 => "REAL",
+            AttrType::F64 => "DOUBLE PRECISION",
+            AttrType::I16 => "SMALLINT",
+            AttrType::I32 => "INTEGER",
+            AttrType::I64 => "BIGINT",
+            AttrType::U8 => "SMALLINT",
+            AttrType::Bool => "BOOLEAN",
+            AttrType::Text => "VARCHAR",
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            AttrType::F32 => "f32",
+            AttrType::F64 => "f64",
+            AttrType::I16 => "i16",
+            AttrType::I32 => "i32",
+            AttrType::I64 => "i64",
+            AttrType::U8 => "u8",
+            AttrType::Bool => "bool",
+            AttrType::Text => "text",
+        }
+    }
+}
+
+/// One attribute of a table.
+#[derive(Debug, Clone)]
+pub struct AttrDef {
+    pub name: String,
+    pub ty: AttrType,
+    pub unit: String,
+    pub description: String,
+    /// Repeat count > 1 models array attributes (radial profiles...).
+    pub count: usize,
+}
+
+impl AttrDef {
+    pub fn new(name: &str, ty: AttrType, unit: &str, description: &str) -> AttrDef {
+        AttrDef {
+            name: name.into(),
+            ty,
+            unit: unit.into(),
+            description: description.into(),
+            count: 1,
+        }
+    }
+
+    pub fn array(mut self, count: usize) -> AttrDef {
+        self.count = count;
+        self
+    }
+}
+
+/// One table (object class) of the archive.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    pub name: String,
+    pub description: String,
+    pub attrs: Vec<AttrDef>,
+    pub primary_key: String,
+}
+
+/// The whole schema.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaRegistry {
+    pub tables: Vec<TableDef>,
+}
+
+impl SchemaRegistry {
+    pub fn table(&self, name: &str) -> Option<&TableDef> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Total attribute count (arrays count by repeat) of one table.
+    pub fn attr_count(&self, table: &str) -> usize {
+        self.table(table)
+            .map(|t| t.attrs.iter().map(|a| a.count).sum())
+            .unwrap_or(0)
+    }
+
+    /// SQL DDL export.
+    pub fn export_sql(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tables {
+            out.push_str(&format!("-- {}\n", t.description));
+            out.push_str(&format!("CREATE TABLE {} (\n", t.name));
+            let mut cols = Vec::new();
+            for a in &t.attrs {
+                if a.count == 1 {
+                    cols.push(format!("    {} {}", a.name, a.ty.sql()));
+                } else {
+                    for i in 0..a.count {
+                        cols.push(format!("    {}_{} {}", a.name, i, a.ty.sql()));
+                    }
+                }
+            }
+            cols.push(format!("    PRIMARY KEY ({})", t.primary_key));
+            out.push_str(&cols.join(",\n"));
+            out.push_str("\n);\n\n");
+        }
+        out
+    }
+
+    /// XML export (the interchange representation the paper plans:
+    /// "We plan to define the interchange formats in XML, XSL, and XQL").
+    pub fn export_xml(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\"?>\n<schema>\n");
+        for t in &self.tables {
+            out.push_str(&format!(
+                "  <table name=\"{}\" pk=\"{}\">\n    <description>{}</description>\n",
+                t.name,
+                t.primary_key,
+                xml_escape(&t.description)
+            ));
+            for a in &t.attrs {
+                out.push_str(&format!(
+                    "    <attribute name=\"{}\" type=\"{}\" unit=\"{}\" count=\"{}\">{}</attribute>\n",
+                    a.name,
+                    a.ty.name(),
+                    a.unit,
+                    a.count,
+                    xml_escape(&a.description)
+                ));
+            }
+            out.push_str("  </table>\n");
+        }
+        out.push_str("</schema>\n");
+        out
+    }
+
+    /// JSON export (hand-rolled; no serde_json dependency).
+    pub fn export_json(&self) -> String {
+        let mut out = String::from("{\n  \"tables\": [\n");
+        let tables: Vec<String> = self
+            .tables
+            .iter()
+            .map(|t| {
+                let attrs: Vec<String> = t
+                    .attrs
+                    .iter()
+                    .map(|a| {
+                        format!(
+                            "        {{\"name\": \"{}\", \"type\": \"{}\", \"unit\": \"{}\", \"count\": {}, \"description\": \"{}\"}}",
+                            a.name,
+                            a.ty.name(),
+                            a.unit,
+                            a.count,
+                            json_escape(&a.description)
+                        )
+                    })
+                    .collect();
+                format!(
+                    "    {{\n      \"name\": \"{}\",\n      \"description\": \"{}\",\n      \"primary_key\": \"{}\",\n      \"attributes\": [\n{}\n      ]\n    }}",
+                    t.name,
+                    json_escape(&t.description),
+                    t.primary_key,
+                    attrs.join(",\n")
+                )
+            })
+            .collect();
+        out.push_str(&tables.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Build the actual archive schema: photoobj (with per-band blocks),
+/// tag, and spectro.
+pub fn archive_schema() -> SchemaRegistry {
+    let mut photo = TableDef {
+        name: "photoobj".into(),
+        description: "Full photometric catalog object (~500 attributes)".into(),
+        attrs: vec![
+            AttrDef::new("objid", AttrType::I64, "", "survey-unique object id"),
+            AttrDef::new("run", AttrType::I16, "", "imaging run"),
+            AttrDef::new("rerun", AttrType::U8, "", "processing rerun"),
+            AttrDef::new("camcol", AttrType::U8, "", "camera column 1..6"),
+            AttrDef::new("field", AttrType::I16, "", "field within the run"),
+            AttrDef::new("obj", AttrType::I16, "", "object within the field"),
+            AttrDef::new("ra", AttrType::F64, "deg", "right ascension J2000"),
+            AttrDef::new("dec", AttrType::F64, "deg", "declination J2000"),
+            AttrDef::new("cx", AttrType::F64, "", "unit vector x"),
+            AttrDef::new("cy", AttrType::F64, "", "unit vector y"),
+            AttrDef::new("cz", AttrType::F64, "", "unit vector z"),
+            AttrDef::new("ra_err", AttrType::F32, "arcsec", "astrometric error"),
+            AttrDef::new("dec_err", AttrType::F32, "arcsec", "astrometric error"),
+            AttrDef::new("class", AttrType::U8, "", "star/galaxy/qso classification"),
+            AttrDef::new("flags", AttrType::I64, "", "pipeline flags"),
+            AttrDef::new("status", AttrType::I32, "", "survey status bits"),
+            AttrDef::new("htm20", AttrType::I64, "", "level-20 HTM id"),
+            AttrDef::new("mjd", AttrType::F64, "day", "observation epoch"),
+            AttrDef::new("parent", AttrType::I64, "", "deblend parent id"),
+            AttrDef::new("spectro_target", AttrType::Bool, "", "spectro follow-up"),
+        ],
+        primary_key: "objid".into(),
+    };
+    // Per-band photometric block, 5 bands.
+    for band in crate::photoobj::BAND_NAMES {
+        for (field, unit, desc) in [
+            ("psf_mag", "mag", "PSF magnitude"),
+            ("psf_mag_err", "mag", "PSF magnitude error"),
+            ("petro_mag", "mag", "Petrosian magnitude"),
+            ("petro_mag_err", "mag", "Petrosian magnitude error"),
+            ("model_mag", "mag", "model magnitude"),
+            ("model_mag_err", "mag", "model magnitude error"),
+            ("fiber_mag", "mag", "3-arcsec fiber magnitude"),
+            ("fiber_mag_err", "mag", "fiber magnitude error"),
+            ("petro_rad", "arcsec", "Petrosian radius"),
+            ("petro_rad_err", "arcsec", "Petrosian radius error"),
+            ("petro_r50", "arcsec", "half-light radius"),
+            ("petro_r90", "arcsec", "90%-light radius"),
+            ("iso_a", "arcsec", "isophotal major axis"),
+            ("iso_b", "arcsec", "isophotal minor axis"),
+            ("iso_phi", "deg", "isophotal position angle"),
+            ("sb", "mag/arcsec2", "mean surface brightness"),
+            ("stokes_q", "", "Stokes Q"),
+            ("stokes_u", "", "Stokes U"),
+            ("sky", "mag/arcsec2", "sky level"),
+            ("sky_err", "mag/arcsec2", "sky level error"),
+            ("extinction", "mag", "galactic extinction"),
+            ("l_star", "", "star likelihood"),
+            ("l_exp", "", "exponential likelihood"),
+            ("l_dev", "", "de Vaucouleurs likelihood"),
+        ] {
+            photo
+                .attrs
+                .push(AttrDef::new(&format!("{field}_{band}"), AttrType::F32, unit, desc));
+        }
+        photo.attrs.push(
+            AttrDef::new(
+                &format!("profile_{band}"),
+                AttrType::F32,
+                "maggies/arcsec2",
+                "radial profile bins",
+            )
+            .array(crate::photoobj::N_PROFILE_BINS),
+        );
+        photo.attrs.push(AttrDef::new(
+            &format!("flags_{band}"),
+            AttrType::I32,
+            "",
+            "per-band flags",
+        ));
+    }
+    photo.attrs.push(
+        AttrDef::new("extra", AttrType::F32, "", "extension attribute block")
+            .array(crate::photoobj::N_EXTRA_ATTRS),
+    );
+
+    let tag = TableDef {
+        name: "tag".into(),
+        description: "Vertical partition: the 10 most popular attributes".into(),
+        attrs: vec![
+            AttrDef::new("objid", AttrType::I64, "", "pointer to photoobj"),
+            AttrDef::new("cx", AttrType::F64, "", "unit vector x"),
+            AttrDef::new("cy", AttrType::F64, "", "unit vector y"),
+            AttrDef::new("cz", AttrType::F64, "", "unit vector z"),
+            AttrDef::new("mag_u", AttrType::F32, "mag", "u magnitude"),
+            AttrDef::new("mag_g", AttrType::F32, "mag", "g magnitude"),
+            AttrDef::new("mag_r", AttrType::F32, "mag", "r magnitude"),
+            AttrDef::new("mag_i", AttrType::F32, "mag", "i magnitude"),
+            AttrDef::new("mag_z", AttrType::F32, "mag", "z magnitude"),
+            AttrDef::new("size", AttrType::F32, "arcsec", "Petrosian radius in r"),
+            AttrDef::new("class", AttrType::U8, "", "classification"),
+        ],
+        primary_key: "objid".into(),
+    };
+
+    let spectro = TableDef {
+        name: "spectroobj".into(),
+        description: "Spectroscopic catalog object with 1-D spectrum".into(),
+        attrs: vec![
+            AttrDef::new("objid", AttrType::I64, "", "photometric counterpart"),
+            AttrDef::new("plate", AttrType::I16, "", "spectroscopic plate"),
+            AttrDef::new("fiber", AttrType::I16, "", "fiber 1..640"),
+            AttrDef::new("z", AttrType::F64, "", "heliocentric redshift"),
+            AttrDef::new("z_err", AttrType::F64, "", "redshift error"),
+            AttrDef::new("class", AttrType::U8, "", "spectral classification"),
+            AttrDef::new("lines", AttrType::F32, "angstrom", "identified lines").array(64),
+            AttrDef::new("flux", AttrType::F32, "maggies", "1-D spectrum").array(128),
+        ],
+        primary_key: "objid".into(),
+    };
+
+    SchemaRegistry {
+        tables: vec![photo, tag, spectro],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn photoobj_has_paper_scale_attribute_count() {
+        let schema = archive_schema();
+        let n = schema.attr_count("photoobj");
+        // The paper says "about 500 distinct attributes".
+        assert!(
+            (250..=650).contains(&n),
+            "photoobj models {n} attributes, expected paper-scale (~500)"
+        );
+        // Tag carries the 10 popular attributes + pointer.
+        assert_eq!(schema.attr_count("tag"), 11);
+    }
+
+    #[test]
+    fn sql_export_is_complete() {
+        let schema = archive_schema();
+        let sql = schema.export_sql();
+        assert!(sql.contains("CREATE TABLE photoobj"));
+        assert!(sql.contains("CREATE TABLE tag"));
+        assert!(sql.contains("CREATE TABLE spectroobj"));
+        assert!(sql.contains("PRIMARY KEY (objid)"));
+        assert!(sql.contains("profile_r_0 REAL"));
+        assert!(sql.contains("ra DOUBLE PRECISION"));
+        // One CREATE per table, balanced parens.
+        assert_eq!(sql.matches("CREATE TABLE").count(), 3);
+        assert_eq!(sql.matches('(').count(), sql.matches(')').count());
+    }
+
+    #[test]
+    fn xml_export_is_well_formed_enough() {
+        let schema = archive_schema();
+        let xml = schema.export_xml();
+        assert!(xml.starts_with("<?xml"));
+        assert_eq!(xml.matches("<table").count(), xml.matches("</table>").count());
+        assert_eq!(
+            xml.matches("<attribute").count(),
+            xml.matches("</attribute>").count()
+        );
+        assert!(xml.contains("name=\"photoobj\""));
+        assert!(xml.ends_with("</schema>\n"));
+    }
+
+    #[test]
+    fn json_export_balances_braces() {
+        let schema = archive_schema();
+        let json = schema.export_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"name\": \"tag\""));
+        // Every quote is paired (even count).
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(xml_escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+        assert_eq!(json_escape("say \"hi\" \\ bye"), "say \\\"hi\\\" \\\\ bye");
+    }
+
+    #[test]
+    fn lookup_api() {
+        let schema = archive_schema();
+        assert!(schema.table("photoobj").is_some());
+        assert!(schema.table("nope").is_none());
+        assert_eq!(schema.attr_count("nope"), 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Spectroscopic catalog records.
+//!
+//! The paper: "The spectroscopic catalog will contain identified emission
+//! and absorption lines, and one-dimensional spectra for 1 million
+//! galaxies, 100,000 stars, and 100,000 quasars." Each record carries a
+//! redshift (the Doppler distance measure driving the 3-D galaxy map), a
+//! line list and a 1-D flux array — variable length, so serialization is
+//! length-prefixed rather than fixed-width.
+
+use crate::CatalogError;
+use bytes::{Buf, BufMut};
+
+/// Spectral classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum SpecClass {
+    #[default]
+    Unknown = 0,
+    Star = 1,
+    Galaxy = 2,
+    Quasar = 3,
+}
+
+impl SpecClass {
+    pub fn from_u8(v: u8) -> Result<SpecClass, CatalogError> {
+        match v {
+            0 => Ok(SpecClass::Unknown),
+            1 => Ok(SpecClass::Star),
+            2 => Ok(SpecClass::Galaxy),
+            3 => Ok(SpecClass::Quasar),
+            other => Err(CatalogError::Corrupt(format!("bad spec class {other}"))),
+        }
+    }
+}
+
+/// An identified emission or absorption line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralLine {
+    /// Rest-frame wavelength, Ångström.
+    pub rest_wavelength: f32,
+    /// Observed wavelength, Ångström.
+    pub observed_wavelength: f32,
+    /// Equivalent width (negative = emission by convention).
+    pub equivalent_width: f32,
+    /// Detection significance.
+    pub significance: f32,
+}
+
+/// A spectroscopic catalog object with its 1-D spectrum.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpectroObj {
+    /// Pointer to the photometric object.
+    pub obj_id: u64,
+    /// Fiber and plate identifiers (640 fibers per tile in the paper).
+    pub plate: u16,
+    pub fiber: u16,
+    /// Heliocentric redshift and its error.
+    pub redshift: f64,
+    pub redshift_err: f64,
+    /// Classification from the spectrum.
+    pub class: SpecClass,
+    /// Identified lines.
+    pub lines: Vec<SpectralLine>,
+    /// 1-D spectrum: flux per wavelength bin over 3900–9200 Å
+    /// (the spectrograph coverage quoted in the paper).
+    pub flux: Vec<f32>,
+}
+
+/// Spectrograph wavelength coverage from the paper, Ångström.
+pub const WAVELENGTH_MIN_A: f32 = 3900.0;
+pub const WAVELENGTH_MAX_A: f32 = 9200.0;
+
+impl SpectroObj {
+    /// Wavelength of flux bin `i` for a spectrum with `n` bins
+    /// (log-linear grid like the real spectrographs).
+    pub fn wavelength_of_bin(i: usize, n: usize) -> f32 {
+        let log_lo = WAVELENGTH_MIN_A.ln();
+        let log_hi = WAVELENGTH_MAX_A.ln();
+        let frac = i as f32 / (n.max(2) - 1) as f32;
+        (log_lo + (log_hi - log_lo) * frac).exp()
+    }
+
+    /// Serialized size of this record.
+    pub fn serialized_len(&self) -> usize {
+        8 + 2 + 2 + 8 + 8 + 1 + 4 + self.lines.len() * 16 + 4 + self.flux.len() * 4
+    }
+
+    /// Length-prefixed serialization.
+    pub fn write_to(&self, buf: &mut impl BufMut) {
+        buf.put_u64_le(self.obj_id);
+        buf.put_u16_le(self.plate);
+        buf.put_u16_le(self.fiber);
+        buf.put_f64_le(self.redshift);
+        buf.put_f64_le(self.redshift_err);
+        buf.put_u8(self.class as u8);
+        buf.put_u32_le(self.lines.len() as u32);
+        for line in &self.lines {
+            buf.put_f32_le(line.rest_wavelength);
+            buf.put_f32_le(line.observed_wavelength);
+            buf.put_f32_le(line.equivalent_width);
+            buf.put_f32_le(line.significance);
+        }
+        buf.put_u32_le(self.flux.len() as u32);
+        for &f in &self.flux {
+            buf.put_f32_le(f);
+        }
+    }
+
+    pub fn read_from(buf: &mut impl Buf) -> Result<SpectroObj, CatalogError> {
+        const FIXED_HEAD: usize = 8 + 2 + 2 + 8 + 8 + 1 + 4;
+        if buf.remaining() < FIXED_HEAD {
+            return Err(CatalogError::Corrupt("spectro header truncated".into()));
+        }
+        let obj_id = buf.get_u64_le();
+        let plate = buf.get_u16_le();
+        let fiber = buf.get_u16_le();
+        let redshift = buf.get_f64_le();
+        let redshift_err = buf.get_f64_le();
+        let class = SpecClass::from_u8(buf.get_u8())?;
+        let n_lines = buf.get_u32_le() as usize;
+        if buf.remaining() < n_lines * 16 + 4 {
+            return Err(CatalogError::Corrupt("spectro line list truncated".into()));
+        }
+        let mut lines = Vec::with_capacity(n_lines);
+        for _ in 0..n_lines {
+            lines.push(SpectralLine {
+                rest_wavelength: buf.get_f32_le(),
+                observed_wavelength: buf.get_f32_le(),
+                equivalent_width: buf.get_f32_le(),
+                significance: buf.get_f32_le(),
+            });
+        }
+        let n_flux = buf.get_u32_le() as usize;
+        if buf.remaining() < n_flux * 4 {
+            return Err(CatalogError::Corrupt("spectro flux truncated".into()));
+        }
+        let mut flux = Vec::with_capacity(n_flux);
+        for _ in 0..n_flux {
+            flux.push(buf.get_f32_le());
+        }
+        Ok(SpectroObj {
+            obj_id,
+            plate,
+            fiber,
+            redshift,
+            redshift_err,
+            class,
+            lines,
+            flux,
+        })
+    }
+
+    /// Check the line list is redshift-consistent: every observed
+    /// wavelength equals rest · (1 + z) within tolerance.
+    pub fn lines_consistent(&self, tol: f32) -> bool {
+        self.lines.iter().all(|l| {
+            let predicted = l.rest_wavelength * (1.0 + self.redshift as f32);
+            (l.observed_wavelength - predicted).abs() <= tol * predicted
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use proptest::prelude::*;
+
+    fn sample() -> SpectroObj {
+        SpectroObj {
+            obj_id: 42,
+            plate: 266,
+            fiber: 113,
+            redshift: 0.1045,
+            redshift_err: 0.0002,
+            class: SpecClass::Galaxy,
+            lines: vec![
+                SpectralLine {
+                    rest_wavelength: 6562.8, // H-alpha
+                    observed_wavelength: 6562.8 * 1.1045,
+                    equivalent_width: -35.0,
+                    significance: 18.0,
+                },
+                SpectralLine {
+                    rest_wavelength: 4861.3, // H-beta
+                    observed_wavelength: 4861.3 * 1.1045,
+                    equivalent_width: -9.0,
+                    significance: 6.5,
+                },
+            ],
+            flux: (0..256).map(|i| (i as f32 * 0.1).sin().abs()).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample();
+        let mut buf = BytesMut::new();
+        s.write_to(&mut buf);
+        assert_eq!(buf.len(), s.serialized_len());
+        let back = SpectroObj::read_from(&mut buf.freeze()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let s = sample();
+        let mut buf = BytesMut::new();
+        s.write_to(&mut buf);
+        for cut in [3usize, 20, 30, buf.len() - 2] {
+            let trunc = buf.clone().freeze().slice(..cut);
+            assert!(
+                SpectroObj::read_from(&mut trunc.clone()).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn line_consistency_check() {
+        let s = sample();
+        assert!(s.lines_consistent(1e-4));
+        let mut broken = s.clone();
+        broken.lines[0].observed_wavelength *= 1.05;
+        assert!(!broken.lines_consistent(1e-4));
+    }
+
+    #[test]
+    fn wavelength_grid_spans_coverage() {
+        let n = 512;
+        let w0 = SpectroObj::wavelength_of_bin(0, n);
+        let w_last = SpectroObj::wavelength_of_bin(n - 1, n);
+        assert!((w0 - WAVELENGTH_MIN_A).abs() < 1.0, "{w0}");
+        assert!((w_last - WAVELENGTH_MAX_A).abs() < 1.0, "{w_last}");
+        // Monotonic.
+        let mut prev = 0.0;
+        for i in 0..n {
+            let w = SpectroObj::wavelength_of_bin(i, n);
+            assert!(w > prev);
+            prev = w;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            obj_id in any::<u64>(),
+            z in 0.0f64..6.0,
+            n_lines in 0usize..8,
+            n_flux in 0usize..64,
+        ) {
+            let s = SpectroObj {
+                obj_id,
+                redshift: z,
+                class: SpecClass::Quasar,
+                lines: (0..n_lines).map(|i| SpectralLine {
+                    rest_wavelength: 4000.0 + i as f32 * 100.0,
+                    observed_wavelength: (4000.0 + i as f32 * 100.0) * (1.0 + z as f32),
+                    equivalent_width: -1.0,
+                    significance: 5.0,
+                }).collect(),
+                flux: (0..n_flux).map(|i| i as f32).collect(),
+                ..SpectroObj::default()
+            };
+            let mut buf = BytesMut::new();
+            s.write_to(&mut buf);
+            prop_assert_eq!(buf.len(), s.serialized_len());
+            let back = SpectroObj::read_from(&mut buf.freeze()).unwrap();
+            prop_assert_eq!(back, s);
+        }
+    }
+}

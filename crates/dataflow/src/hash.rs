@@ -1,0 +1,398 @@
+//! The hash machine: spatial hash join for pairwise comparisons.
+//!
+//! Paper, §Scalable Server Architectures: "The hash phase scans the entire
+//! dataset, selects a subset of the objects based on some predicate, and
+//! 'hashes' each object to the appropriate buckets — a single object may
+//! go to several buckets (to allow objects near the edges of a region to
+//! go to all the neighboring regions as well). In a second phase all the
+//! objects in a bucket are compared to one another. [...] These
+//! operations are analogous to relational hash-join. [...] The
+//! application of the hash-machine to tasks like finding gravitational
+//! lenses or clustering by spectral type [...] should be obvious: each
+//! bucket represents a neighborhood."
+//!
+//! Buckets are HTM trixels at a configurable level. Margin replication
+//! sends each object to every trixel intersecting a cap of `margin_deg`
+//! around it; with `margin ≥ pair radius` no cross-bucket pair can be
+//! missed (proof in `find_pairs` docs), which the E15 ablation probes by
+//! shrinking the margin below the radius.
+
+use crate::DataflowError;
+use crossbeam::channel::unbounded;
+use sdss_catalog::TagObject;
+use sdss_htm::{lookup_id, Cover, Region};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// User-supplied pair predicate ("bucket analysis function").
+pub type PairPredicate = Arc<dyn Fn(&TagObject, &TagObject) -> bool + Send + Sync>;
+
+/// One matched pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairResult {
+    pub a: u64,
+    pub b: u64,
+    pub sep_arcsec: f64,
+}
+
+impl PairResult {
+    /// Canonical ordering so result sets compare independent of discovery
+    /// order.
+    fn canonical(a: &TagObject, b: &TagObject) -> PairResult {
+        let sep = a.unit_vec().separation_deg(b.unit_vec()) * 3600.0;
+        if a.obj_id <= b.obj_id {
+            PairResult {
+                a: a.obj_id,
+                b: b.obj_id,
+                sep_arcsec: sep,
+            }
+        } else {
+            PairResult {
+                a: b.obj_id,
+                b: a.obj_id,
+                sep_arcsec: sep,
+            }
+        }
+    }
+}
+
+/// Statistics of one hash-machine run.
+#[derive(Debug, Clone)]
+pub struct HashReport {
+    pub n_objects: usize,
+    pub n_buckets: usize,
+    /// Total bucket entries (> n_objects because of margin replication).
+    pub n_entries: usize,
+    /// Candidate pairs actually compared.
+    pub comparisons: usize,
+    pub pairs: usize,
+    pub wall: Duration,
+}
+
+impl HashReport {
+    /// Replication overhead: entries per object (1.0 = no duplication).
+    pub fn replication_factor(&self) -> f64 {
+        self.n_entries as f64 / self.n_objects.max(1) as f64
+    }
+}
+
+/// The hash machine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HashMachine {
+    /// HTM level of the buckets. Deeper ⇒ smaller neighborhoods, less
+    /// quadratic work, more replication.
+    pub bucket_level: u8,
+    /// Replication margin in degrees (normally = the pair radius).
+    pub margin_deg: f64,
+    /// Worker threads for the bucket phase.
+    pub n_workers: usize,
+}
+
+impl Default for HashMachine {
+    fn default() -> Self {
+        HashMachine {
+            bucket_level: 9,
+            margin_deg: 10.0 / 3600.0,
+            n_workers: 4,
+        }
+    }
+}
+
+impl HashMachine {
+    /// Find all pairs within `radius_deg` satisfying `pred`.
+    ///
+    /// Correctness: every pair (a, b) with `sep ≤ radius ≤ margin` is
+    /// found exactly once. b is replicated to every trixel intersecting
+    /// `cap(b, margin)`; since `sep(a,b) ≤ margin`, a's home trixel
+    /// contains a point of that cap (a itself), so b lands in a's home
+    /// bucket. The pair is emitted only from the home bucket of its
+    /// smaller-id member, hence exactly once.
+    pub fn find_pairs(
+        &self,
+        tags: &[TagObject],
+        radius_deg: f64,
+        pred: &PairPredicate,
+    ) -> Result<(Vec<PairResult>, HashReport), DataflowError> {
+        if self.n_workers == 0 {
+            return Err(DataflowError::InvalidConfig("zero workers".into()));
+        }
+        if radius_deg < 0.0 || self.margin_deg < 0.0 {
+            return Err(DataflowError::InvalidConfig(
+                "negative radius or margin".into(),
+            ));
+        }
+        let start = Instant::now();
+
+        // --- Phase 1: hash objects to buckets (with margin replication).
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut homes: Vec<u64> = Vec::with_capacity(tags.len());
+        let mut n_entries = 0usize;
+        for (idx, t) in tags.iter().enumerate() {
+            let v = t.unit_vec();
+            let home = lookup_id(v, self.bucket_level)
+                .map_err(|e| DataflowError::InvalidConfig(e.to_string()))?
+                .raw();
+            homes.push(home);
+            if self.margin_deg > 0.0 {
+                let cap = Region::circle_vec(v, self.margin_deg)
+                    .map_err(|e| DataflowError::InvalidConfig(e.to_string()))?;
+                let cover = Cover::compute(&cap, self.bucket_level)
+                    .map_err(|e| DataflowError::InvalidConfig(e.to_string()))?;
+                for id in cover.touched_ranges().iter_ids() {
+                    buckets.entry(id).or_default().push(idx as u32);
+                    n_entries += 1;
+                }
+            } else {
+                buckets.entry(home).or_default().push(idx as u32);
+                n_entries += 1;
+            }
+        }
+
+        // --- Phase 2: per-bucket all-pairs, parallel over buckets.
+        let bucket_list: Vec<(u64, Vec<u32>)> = buckets.into_iter().collect();
+        let n_buckets = bucket_list.len();
+        let (tx, rx) = unbounded::<PairResult>();
+        let chunk = bucket_list.len().div_ceil(self.n_workers).max(1);
+
+        std::thread::scope(|scope| {
+            for work in bucket_list.chunks(chunk) {
+                let tx = tx.clone();
+                let pred = pred.clone();
+                let homes = &homes;
+                scope.spawn(move || {
+                    for (bucket_id, members) in work {
+                        for i in 0..members.len() {
+                            for j in (i + 1)..members.len() {
+                                let (ia, ib) = (members[i] as usize, members[j] as usize);
+                                if ia == ib {
+                                    continue;
+                                }
+                                let (a, b) = (&tags[ia], &tags[ib]);
+                                // Emit from the smaller-id member's home
+                                // bucket only (exactly-once rule).
+                                let anchor_home =
+                                    if a.obj_id <= b.obj_id { homes[ia] } else { homes[ib] };
+                                if anchor_home != *bucket_id {
+                                    continue;
+                                }
+                                let sep = a.unit_vec().separation_deg(b.unit_vec());
+                                if sep <= radius_deg && pred(a, b) {
+                                    let _ = tx.send(PairResult::canonical(a, b));
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            let mut pairs = Vec::new();
+            for p in rx.iter() {
+                pairs.push(p);
+            }
+            pairs.sort_by_key(|x| (x.a, x.b));
+            pairs.dedup_by(|x, y| (x.a, x.b) == (y.a, y.b));
+            let comparisons = count_comparisons(&bucket_list, &homes, tags);
+            let report = HashReport {
+                n_objects: tags.len(),
+                n_buckets,
+                n_entries,
+                comparisons,
+                pairs: pairs.len(),
+                wall: start.elapsed(),
+            };
+            Ok((pairs, report))
+        })
+    }
+}
+
+/// Count the candidate comparisons the bucket phase performs (pairs that
+/// pass the exactly-once anchor rule). Separated from the hot loop so the
+/// loop stays simple.
+fn count_comparisons(buckets: &[(u64, Vec<u32>)], homes: &[u64], tags: &[TagObject]) -> usize {
+    let mut n = 0usize;
+    for (bucket_id, members) in buckets {
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                let (ia, ib) = (members[i] as usize, members[j] as usize);
+                let (a, b) = (&tags[ia], &tags[ib]);
+                let anchor_home = if a.obj_id <= b.obj_id { homes[ia] } else { homes[ib] };
+                if anchor_home == *bucket_id {
+                    n += 1;
+                }
+            }
+        }
+    }
+    n
+}
+
+/// O(n²) reference implementation for tests and the E7 crossover bench.
+pub fn brute_force_pairs(
+    tags: &[TagObject],
+    radius_deg: f64,
+    pred: &PairPredicate,
+) -> Vec<PairResult> {
+    let mut out = Vec::new();
+    for i in 0..tags.len() {
+        for j in (i + 1)..tags.len() {
+            let (a, b) = (&tags[i], &tags[j]);
+            let sep = a.unit_vec().separation_deg(b.unit_vec());
+            if sep <= radius_deg && pred(a, b) {
+                out.push(PairResult::canonical(a, b));
+            }
+        }
+    }
+    out.sort_by_key(|x| (x.a, x.b));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdss_catalog::{SkyModel, TagObject};
+
+    fn tags(seed: u64, n: usize) -> Vec<TagObject> {
+        let model = SkyModel {
+            n_galaxies: n * 7 / 10,
+            n_stars: n * 2 / 10,
+            n_quasars: n - n * 7 / 10 - n * 2 / 10,
+            ..SkyModel::small(seed)
+        };
+        model
+            .generate()
+            .unwrap()
+            .iter()
+            .map(TagObject::from_photo)
+            .collect()
+    }
+
+    fn any_pair() -> PairPredicate {
+        Arc::new(|_, _| true)
+    }
+
+    #[test]
+    fn hash_matches_brute_force_proximity() {
+        let ts = tags(1, 1200);
+        let radius = 30.0 / 3600.0; // 30 arcsec
+        let machine = HashMachine {
+            bucket_level: 8,
+            margin_deg: radius,
+            n_workers: 4,
+        };
+        let (pairs, report) = machine.find_pairs(&ts, radius, &any_pair()).unwrap();
+        let brute = brute_force_pairs(&ts, radius, &any_pair());
+        assert_eq!(pairs, brute, "hash machine must find exactly the pairs");
+        assert!(report.pairs == brute.len());
+        assert!(report.n_buckets > 0);
+        // The clustered sky must actually contain close pairs for this
+        // test to mean anything.
+        assert!(!brute.is_empty(), "no close pairs in the test sky");
+    }
+
+    #[test]
+    fn exactly_once_no_duplicates() {
+        let ts = tags(2, 800);
+        let radius = 60.0 / 3600.0;
+        let machine = HashMachine {
+            bucket_level: 7, // coarse buckets → heavy replication
+            margin_deg: radius,
+            n_workers: 3,
+        };
+        let (pairs, _) = machine.find_pairs(&ts, radius, &any_pair()).unwrap();
+        let mut keys: Vec<(u64, u64)> = pairs.iter().map(|p| (p.a, p.b)).collect();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "duplicate pairs emitted");
+    }
+
+    #[test]
+    fn margin_smaller_than_radius_misses_pairs() {
+        // The E15 ablation in miniature: margin 0 loses cross-bucket pairs.
+        let ts = tags(3, 1500);
+        let radius = 60.0 / 3600.0;
+        let with_margin = HashMachine {
+            bucket_level: 9,
+            margin_deg: radius,
+            n_workers: 4,
+        };
+        let without_margin = HashMachine {
+            bucket_level: 9,
+            margin_deg: 0.0,
+            n_workers: 4,
+        };
+        let (full, _) = with_margin.find_pairs(&ts, radius, &any_pair()).unwrap();
+        let (partial, rep) = without_margin.find_pairs(&ts, radius, &any_pair()).unwrap();
+        assert!(
+            partial.len() < full.len(),
+            "margin 0 found {} of {} pairs — expected missing cross-bucket pairs",
+            partial.len(),
+            full.len()
+        );
+        assert!((rep.replication_factor() - 1.0).abs() < 1e-9);
+        // Everything it did find is correct.
+        for p in &partial {
+            assert!(full.contains(p));
+        }
+    }
+
+    #[test]
+    fn lens_predicate_filters() {
+        let ts = tags(4, 1500);
+        let radius = 10.0 / 3600.0;
+        // The paper's lens condition inlined: within 10 arcsec, identical
+        // colors (0.1 mag tolerance), brightness differing by >= 0.5 mag.
+        let lens: PairPredicate = Arc::new(move |a, b| {
+            let sep = a.unit_vec().separation_deg(b.unit_vec()) * 3600.0;
+            let colors_match = (a.color_ug() - b.color_ug()).abs() <= 0.1
+                && (a.color_gr() - b.color_gr()).abs() <= 0.1
+                && (a.color_ri() - b.color_ri()).abs() <= 0.1
+                && (a.color_iz() - b.color_iz()).abs() <= 0.1;
+            sep <= 10.0 && colors_match && (a.mag(2) - b.mag(2)).abs() >= 0.5
+        });
+        let machine = HashMachine {
+            bucket_level: 9,
+            margin_deg: radius,
+            n_workers: 4,
+        };
+        let (pairs, _) = machine.find_pairs(&ts, radius, &lens).unwrap();
+        let brute = brute_force_pairs(&ts, radius, &lens);
+        assert_eq!(pairs, brute);
+        // Lens pairs are a subset of proximity pairs.
+        let (all, _) = machine.find_pairs(&ts, radius, &any_pair()).unwrap();
+        assert!(pairs.len() <= all.len());
+    }
+
+    #[test]
+    fn config_validation() {
+        let ts = tags(5, 50);
+        let bad_workers = HashMachine {
+            n_workers: 0,
+            ..HashMachine::default()
+        };
+        assert!(bad_workers.find_pairs(&ts, 0.01, &any_pair()).is_err());
+        let bad_radius = HashMachine::default();
+        assert!(bad_radius.find_pairs(&ts, -1.0, &any_pair()).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let machine = HashMachine::default();
+        let (pairs, report) = machine.find_pairs(&[], 0.01, &any_pair()).unwrap();
+        assert!(pairs.is_empty());
+        assert_eq!(report.n_objects, 0);
+    }
+
+    #[test]
+    fn report_counts_replication() {
+        let ts = tags(6, 400);
+        let radius = 120.0 / 3600.0;
+        let machine = HashMachine {
+            bucket_level: 10, // trixel size ~ margin → strong replication
+            margin_deg: radius,
+            n_workers: 2,
+        };
+        let (_, report) = machine.find_pairs(&ts, radius, &any_pair()).unwrap();
+        assert!(report.replication_factor() >= 1.0);
+        assert!(report.n_entries >= report.n_objects);
+    }
+}

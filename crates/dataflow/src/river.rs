@@ -1,0 +1,275 @@
+//! The river: general dataflow graphs over record streams.
+//!
+//! Paper, §Scalable Server Architectures: "We propose to let astronomers
+//! construct dataflow graphs where the nodes consume one or more data
+//! streams, filter and combine the data, and then produce one or more
+//! result streams. These dataflow graphs will be executed on a
+//! river-machine similar to the scan and hash machine. The simplest river
+//! systems are sorting networks."
+//!
+//! A [`RiverGraph`] is a linear pipeline of stages, each running
+//! `n_workers` threads connected by bounded channels (record batches).
+//! Filter/Map stages stream; the terminal stage either collects or
+//! sort-merges (the sorting network). Stage workers pull from a shared
+//! input channel — automatic load balancing exactly like River's
+//! distributed queues.
+
+use crate::sort::KeyFn;
+use crate::DataflowError;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use sdss_catalog::TagObject;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Batch size for river channels.
+const BATCH: usize = 256;
+const DEPTH: usize = 8;
+
+/// A pipeline stage.
+#[derive(Clone)]
+pub enum RiverStage {
+    /// Keep records satisfying the predicate.
+    Filter(Arc<dyn Fn(&TagObject) -> bool + Send + Sync>),
+    /// Transform records.
+    Map(Arc<dyn Fn(TagObject) -> TagObject + Send + Sync>),
+}
+
+impl std::fmt::Debug for RiverStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RiverStage::Filter(_) => f.write_str("Filter"),
+            RiverStage::Map(_) => f.write_str("Map"),
+        }
+    }
+}
+
+/// Report of one river run.
+#[derive(Debug, Clone)]
+pub struct RiverReport {
+    pub workers: usize,
+    pub stages: usize,
+    pub records_in: usize,
+    pub records_out: usize,
+    pub wall: Duration,
+}
+
+impl RiverReport {
+    pub fn mbps_in(&self) -> f64 {
+        (self.records_in * TagObject::SERIALIZED_LEN) as f64
+            / 1e6
+            / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// A linear dataflow pipeline.
+pub struct RiverGraph {
+    n_workers: usize,
+    stages: Vec<RiverStage>,
+    /// Terminal sort key (None = plain collect).
+    sort_key: Option<KeyFn>,
+}
+
+impl RiverGraph {
+    pub fn new(n_workers: usize) -> Result<RiverGraph, DataflowError> {
+        if n_workers == 0 {
+            return Err(DataflowError::InvalidConfig("zero workers".into()));
+        }
+        Ok(RiverGraph {
+            n_workers,
+            stages: Vec::new(),
+            sort_key: None,
+        })
+    }
+
+    pub fn filter(mut self, f: impl Fn(&TagObject) -> bool + Send + Sync + 'static) -> Self {
+        self.stages.push(RiverStage::Filter(Arc::new(f)));
+        self
+    }
+
+    pub fn map(mut self, f: impl Fn(TagObject) -> TagObject + Send + Sync + 'static) -> Self {
+        self.stages.push(RiverStage::Map(Arc::new(f)));
+        self
+    }
+
+    /// Terminate with a sorting network on `key`.
+    pub fn sort_by(mut self, key: KeyFn) -> Self {
+        self.sort_key = Some(key);
+        self
+    }
+
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Run the pipeline over `input`, returning the output stream's
+    /// records and a throughput report.
+    pub fn run(&self, input: &[TagObject]) -> Result<(Vec<TagObject>, RiverReport), DataflowError> {
+        let start = Instant::now();
+        let n = self.n_workers;
+
+        // Channel fabric: source → stage1 → ... → stageK → sink.
+        // Each stage has one shared input channel its workers pull from.
+        #[allow(clippy::type_complexity)]
+        let mut channels: Vec<(Sender<Vec<TagObject>>, Receiver<Vec<TagObject>>)> =
+            Vec::with_capacity(self.stages.len() + 1);
+        for _ in 0..=self.stages.len() {
+            channels.push(bounded(DEPTH * n));
+        }
+
+        let out = std::thread::scope(|scope| {
+            // Source: feed input batches into the first channel.
+            {
+                let tx = channels[0].0.clone();
+                scope.spawn(move || {
+                    for batch in input.chunks(BATCH) {
+                        if tx.send(batch.to_vec()).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+
+            // Stages: n workers each, pulling from stage input, pushing to
+            // stage output.
+            for (i, stage) in self.stages.iter().enumerate() {
+                for _ in 0..n {
+                    let rx = channels[i].1.clone();
+                    let tx = channels[i + 1].0.clone();
+                    let stage = stage.clone();
+                    scope.spawn(move || {
+                        for batch in rx.iter() {
+                            let out_batch: Vec<TagObject> = match &stage {
+                                RiverStage::Filter(f) => {
+                                    batch.into_iter().filter(|t| f(t)).collect()
+                                }
+                                RiverStage::Map(f) => batch.into_iter().map(|t| f(t)).collect(),
+                            };
+                            if !out_batch.is_empty() && tx.send(out_batch).is_err() {
+                                return;
+                            }
+                        }
+                    });
+                }
+            }
+
+            // Keep only the sink's receiver; dropping the original
+            // sender/receiver pairs ensures each channel closes as soon as
+            // the upstream workers holding its clones finish.
+            let sink_rx = channels[self.stages.len()].1.clone();
+            channels.clear();
+
+            // Sink: collect everything.
+            let mut out: Vec<TagObject> = Vec::new();
+            for batch in sink_rx.iter() {
+                out.extend(batch);
+            }
+            out
+        });
+
+        // Terminal sorting network (parallel runs + merge).
+        let (records_out, out) = match self.sort_key {
+            Some(key) => {
+                let (sorted, _) = crate::sort::parallel_sort_by_key(&out, key, n)?;
+                (sorted.len(), sorted)
+            }
+            None => (out.len(), out),
+        };
+
+        let report = RiverReport {
+            workers: n,
+            stages: self.stages.len(),
+            records_in: input.len(),
+            records_out,
+            wall: start.elapsed(),
+        };
+        Ok((out, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdss_catalog::{ObjClass, SkyModel};
+
+    fn tags(seed: u64) -> Vec<TagObject> {
+        SkyModel::small(seed)
+            .generate()
+            .unwrap()
+            .iter()
+            .map(TagObject::from_photo)
+            .collect()
+    }
+
+    #[test]
+    fn filter_map_pipeline_matches_serial() {
+        let ts = tags(1);
+        let graph = RiverGraph::new(4)
+            .unwrap()
+            .filter(|t| t.class == ObjClass::Galaxy)
+            .map(|mut t| {
+                // Extinction-correct r by a constant for the test.
+                t.mags[2] -= 0.1;
+                t
+            })
+            .filter(|t| t.mags[2] < 21.0);
+        let (out, report) = graph.run(&ts).unwrap();
+
+        let want: Vec<u64> = ts
+            .iter()
+            .filter(|t| t.class == ObjClass::Galaxy)
+            .map(|t| (t.obj_id, t.mags[2] - 0.1))
+            .filter(|(_, r)| *r < 21.0)
+            .map(|(id, _)| id)
+            .collect();
+        let mut got: Vec<u64> = out.iter().map(|t| t.obj_id).collect();
+        got.sort_unstable();
+        let mut want = want;
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert_eq!(report.records_in, ts.len());
+        assert_eq!(report.records_out, got.len());
+        assert_eq!(report.stages, 3);
+    }
+
+    #[test]
+    fn sorting_network_terminal() {
+        let ts = tags(2);
+        let graph = RiverGraph::new(3)
+            .unwrap()
+            .filter(|t| t.mags[2] < 22.0)
+            .sort_by(|t| t.mags[2] as f64);
+        let (out, _) = graph.run(&ts).unwrap();
+        assert!(!out.is_empty());
+        for w in out.windows(2) {
+            assert!(w[0].mags[2] <= w[1].mags[2]);
+        }
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let ts = tags(3);
+        let graph = RiverGraph::new(2).unwrap();
+        let (out, report) = graph.run(&ts).unwrap();
+        assert_eq!(out.len(), ts.len());
+        assert_eq!(report.records_out, ts.len());
+        let mut got: Vec<u64> = out.iter().map(|t| t.obj_id).collect();
+        let mut want: Vec<u64> = ts.iter().map(|t| t.obj_id).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        assert!(RiverGraph::new(0).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let graph = RiverGraph::new(2).unwrap().filter(|_| true);
+        let (out, report) = graph.run(&[]).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(report.records_in, 0);
+        assert!(report.mbps_in() >= 0.0);
+    }
+}

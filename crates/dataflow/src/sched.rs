@@ -1,0 +1,204 @@
+//! Scheduling policies for the machines.
+//!
+//! Paper: "The scan machine will be interactively scheduled: when an
+//! astronomer has a query, it is added to the query mix immediately. [...]
+//! The hash and river machines will be batch scheduled."
+//!
+//! Interactive attachment is the scan machine's `attach` itself; this
+//! module provides the batch queue: FIFO within a class, interactive
+//! class ahead of batch.
+
+use std::collections::VecDeque;
+
+/// Scheduling class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobClass {
+    /// Joins the mix immediately (scan-machine queries).
+    Interactive,
+    /// Runs when a slot frees up (hash / river jobs).
+    Batch,
+}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    Queued,
+    Running,
+    Done,
+}
+
+/// A scheduled job.
+#[derive(Debug, Clone)]
+pub struct Job {
+    pub id: u64,
+    pub name: String,
+    pub class: JobClass,
+    pub state: JobState,
+    /// Estimated cost (seconds) from the storage cost model, used for
+    /// queue-time predictions.
+    pub est_seconds: f64,
+}
+
+/// A two-class FIFO scheduler.
+#[derive(Debug, Default)]
+pub struct BatchScheduler {
+    next_id: u64,
+    interactive: VecDeque<Job>,
+    batch: VecDeque<Job>,
+    running: Vec<Job>,
+    done: Vec<Job>,
+    /// Concurrent slots (the paper batches hash/river jobs machine-wide).
+    slots: usize,
+}
+
+impl BatchScheduler {
+    pub fn new(slots: usize) -> BatchScheduler {
+        BatchScheduler {
+            slots: slots.max(1),
+            ..BatchScheduler::default()
+        }
+    }
+
+    /// Submit a job; returns its id.
+    pub fn submit(&mut self, name: &str, class: JobClass, est_seconds: f64) -> u64 {
+        self.next_id += 1;
+        let job = Job {
+            id: self.next_id,
+            name: name.to_string(),
+            class,
+            state: JobState::Queued,
+            est_seconds,
+        };
+        match class {
+            JobClass::Interactive => self.interactive.push_back(job),
+            JobClass::Batch => self.batch.push_back(job),
+        }
+        self.next_id
+    }
+
+    /// Dispatch the next job if a slot is free. Interactive jobs always
+    /// dispatch ahead of batch jobs.
+    pub fn dispatch(&mut self) -> Option<&Job> {
+        if self.running.len() >= self.slots {
+            return None;
+        }
+        let mut job = self
+            .interactive
+            .pop_front()
+            .or_else(|| self.batch.pop_front())?;
+        job.state = JobState::Running;
+        self.running.push(job);
+        self.running.last()
+    }
+
+    /// Mark a running job finished.
+    pub fn complete(&mut self, id: u64) -> bool {
+        if let Some(pos) = self.running.iter().position(|j| j.id == id) {
+            let mut job = self.running.remove(pos);
+            job.state = JobState::Done;
+            self.done.push(job);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn state_of(&self, id: u64) -> Option<JobState> {
+        self.interactive
+            .iter()
+            .chain(self.batch.iter())
+            .chain(self.running.iter())
+            .chain(self.done.iter())
+            .find(|j| j.id == id)
+            .map(|j| j.state)
+    }
+
+    /// Predicted wait before a newly submitted batch job would start:
+    /// the queued work ahead of it divided by the slot count.
+    pub fn predicted_batch_wait_seconds(&self) -> f64 {
+        let queued: f64 = self
+            .interactive
+            .iter()
+            .chain(self.batch.iter())
+            .map(|j| j.est_seconds)
+            .sum();
+        let running: f64 = self.running.iter().map(|j| j.est_seconds).sum();
+        (queued + running) / self.slots as f64
+    }
+
+    pub fn queued(&self) -> usize {
+        self.interactive.len() + self.batch.len()
+    }
+
+    pub fn running(&self) -> usize {
+        self.running.len()
+    }
+
+    pub fn finished(&self) -> usize {
+        self.done.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_class() {
+        let mut s = BatchScheduler::new(1);
+        let a = s.submit("a", JobClass::Batch, 1.0);
+        let b = s.submit("b", JobClass::Batch, 1.0);
+        let first = s.dispatch().unwrap().id;
+        assert_eq!(first, a);
+        assert!(s.dispatch().is_none(), "only one slot");
+        s.complete(a);
+        assert_eq!(s.dispatch().unwrap().id, b);
+    }
+
+    #[test]
+    fn interactive_preempts_queue_order() {
+        let mut s = BatchScheduler::new(1);
+        let _b1 = s.submit("batch1", JobClass::Batch, 10.0);
+        let i = s.submit("interactive", JobClass::Interactive, 0.1);
+        assert_eq!(s.dispatch().unwrap().id, i, "interactive first");
+    }
+
+    #[test]
+    fn lifecycle_states() {
+        let mut s = BatchScheduler::new(2);
+        let id = s.submit("x", JobClass::Batch, 1.0);
+        assert_eq!(s.state_of(id), Some(JobState::Queued));
+        s.dispatch();
+        assert_eq!(s.state_of(id), Some(JobState::Running));
+        assert!(s.complete(id));
+        assert_eq!(s.state_of(id), Some(JobState::Done));
+        assert!(!s.complete(id), "double complete is rejected");
+        assert_eq!(s.state_of(999), None);
+        assert_eq!(s.finished(), 1);
+    }
+
+    #[test]
+    fn wait_prediction_scales_with_queue() {
+        let mut s = BatchScheduler::new(2);
+        assert_eq!(s.predicted_batch_wait_seconds(), 0.0);
+        s.submit("a", JobClass::Batch, 10.0);
+        s.submit("b", JobClass::Batch, 10.0);
+        let w = s.predicted_batch_wait_seconds();
+        assert!((w - 10.0).abs() < 1e-9, "two 10s jobs over 2 slots = {w}");
+    }
+
+    #[test]
+    fn slots_bound_concurrency() {
+        let mut s = BatchScheduler::new(3);
+        for k in 0..5 {
+            s.submit(&format!("j{k}"), JobClass::Batch, 1.0);
+        }
+        let mut dispatched = 0;
+        while s.dispatch().is_some() {
+            dispatched += 1;
+        }
+        assert_eq!(dispatched, 3);
+        assert_eq!(s.running(), 3);
+        assert_eq!(s.queued(), 2);
+    }
+}

@@ -1,0 +1,540 @@
+//! Region covers: the recursive trixel classification of Figure 4.
+//!
+//! Given a [`Domain`] and a depth, [`Cover::compute`] walks the quad-tree
+//! from the 8 octahedron faces, classifying every visited trixel as
+//! **Inside** (fully accepted — "wholly accepted" in the paper), **Outside**
+//! (rejected, subtree pruned) or **Partial** (bisected — only these are
+//! recursed into, and at the bottom level they are the only trixels whose
+//! objects need the exact geometric test).
+//!
+//! ## Soundness contract
+//!
+//! The classifier is *conservative*: it may report `Partial` for a trixel
+//! that is really fully inside or fully outside (costing efficiency, never
+//! correctness), but
+//!
+//! * `Inside` is only reported when every point of the trixel satisfies
+//!   the region, and
+//! * `Outside` only when no point does.
+//!
+//! Property tests in this module and the storage/query crates rely on this
+//! contract: objects in `full` trixels are accepted without any geometry
+//! re-check.
+
+use crate::ranges::HtmRangeSet;
+use crate::region::{Convex, Domain, Halfspace};
+use crate::trixel::{Trixel, MAX_LEVEL};
+use crate::HtmError;
+use sdss_skycoords::UnitVec3;
+
+/// Classification of one trixel against a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classification {
+    /// Trixel certainly fully inside the region.
+    Inside,
+    /// Trixel certainly disjoint from the region.
+    Outside,
+    /// Trixel (possibly) straddles the region boundary.
+    Partial,
+}
+
+/// Counters describing the classification work — the data behind the
+/// paper's Figure 4 ("the triangles in the hierarchy, intersecting with
+/// the query, as they were selected").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoverStats {
+    /// Trixels accepted whole, per level visited.
+    pub full: usize,
+    /// Trixels rejected whole (subtree pruned).
+    pub rejected: usize,
+    /// Trixels bisected at the deepest level (need exact filtering).
+    pub partial_leaves: usize,
+    /// Total classification tests performed.
+    pub nodes_visited: usize,
+}
+
+/// The result of covering a region at some depth.
+#[derive(Debug, Clone)]
+pub struct Cover {
+    level: u8,
+    /// Ranges (at `level`) of trixels certainly fully inside.
+    full: HtmRangeSet,
+    /// Ranges (at `level`) of trixels that straddle the boundary.
+    partial: HtmRangeSet,
+    stats: CoverStats,
+}
+
+impl Cover {
+    /// Classify the whole mesh down to `level` against `domain`.
+    ///
+    /// Interior trixels stop recursing as soon as they are proven fully
+    /// inside at a shallow level (their whole deep range is emitted), so
+    /// cost is proportional to the boundary length, not the area.
+    pub fn compute(domain: &Domain, level: u8) -> Result<Cover, HtmError> {
+        if level > MAX_LEVEL {
+            return Err(HtmError::LevelTooDeep(level));
+        }
+        let mut full = Vec::new();
+        let mut partial = Vec::new();
+        let mut stats = CoverStats::default();
+        for root in Trixel::roots() {
+            classify_recursive(&root, domain, level, &mut full, &mut partial, &mut stats);
+        }
+        Ok(Cover {
+            level,
+            full: HtmRangeSet::from_unsorted(full),
+            partial: HtmRangeSet::from_unsorted(partial),
+            stats,
+        })
+    }
+
+    /// The depth the ranges are expressed at.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Ranges of level-`level` trixel ids fully inside the region.
+    pub fn full_ranges(&self) -> &HtmRangeSet {
+        &self.full
+    }
+
+    /// Ranges of level-`level` trixel ids straddling the boundary.
+    pub fn partial_ranges(&self) -> &HtmRangeSet {
+        &self.partial
+    }
+
+    pub fn stats(&self) -> CoverStats {
+        self.stats
+    }
+
+    /// Classify a point using only the cover (no region geometry):
+    /// `Inside` / `Outside` are definitive, `Partial` means "must test the
+    /// region exactly".
+    pub fn classify_point(&self, p: UnitVec3) -> Classification {
+        let id = crate::mesh::lookup_id(p, self.level)
+            .expect("cover level is valid by construction");
+        if self.full.contains(id.raw()) {
+            Classification::Inside
+        } else if self.partial.contains(id.raw()) {
+            Classification::Partial
+        } else {
+            Classification::Outside
+        }
+    }
+
+    /// Union of full and partial ranges: every trixel that may hold
+    /// matching objects — what the storage layer actually fetches.
+    pub fn touched_ranges(&self) -> HtmRangeSet {
+        self.full.union(&self.partial)
+    }
+
+    /// Fraction of the sphere covered by `full` trixels (steradian
+    /// estimate assuming equal trixel areas — good to ~30% which is fine
+    /// for cost prediction).
+    pub fn full_area_estimate_sr(&self) -> f64 {
+        let per_trixel = 4.0 * std::f64::consts::PI / (8u64 << (2 * self.level as u64)) as f64;
+        self.full.count() as f64 * per_trixel
+    }
+
+    /// Same estimate for partial trixels.
+    pub fn partial_area_estimate_sr(&self) -> f64 {
+        let per_trixel = 4.0 * std::f64::consts::PI / (8u64 << (2 * self.level as u64)) as f64;
+        self.partial.count() as f64 * per_trixel
+    }
+}
+
+fn classify_recursive(
+    t: &Trixel,
+    domain: &Domain,
+    level: u8,
+    full: &mut Vec<(u64, u64)>,
+    partial: &mut Vec<(u64, u64)>,
+    stats: &mut CoverStats,
+) {
+    stats.nodes_visited += 1;
+    match classify_trixel_domain(t, domain) {
+        Classification::Inside => {
+            stats.full += 1;
+            full.push(t.id().deep_range(level));
+        }
+        Classification::Outside => {
+            stats.rejected += 1;
+        }
+        Classification::Partial => {
+            if t.level() == level {
+                stats.partial_leaves += 1;
+                partial.push(t.id().deep_range(level));
+            } else {
+                for child in t.children() {
+                    classify_recursive(&child, domain, level, full, partial, stats);
+                }
+            }
+        }
+    }
+}
+
+/// Classify a trixel against a full domain (union of convexes).
+pub fn classify_trixel_domain(t: &Trixel, domain: &Domain) -> Classification {
+    let mut any_partial = false;
+    for convex in domain.convexes() {
+        match classify_trixel_convex(t, convex) {
+            Classification::Inside => return Classification::Inside,
+            Classification::Partial => any_partial = true,
+            Classification::Outside => {}
+        }
+    }
+    if any_partial {
+        Classification::Partial
+    } else {
+        Classification::Outside
+    }
+}
+
+/// Classify a trixel against a convex (intersection of half-spaces).
+///
+/// * If the trixel is fully outside *any* half-space, it is outside the
+///   convex.
+/// * If it is fully inside *all* half-spaces, it is inside the convex.
+/// * Otherwise partial. (This can over-report `Partial` when the joint
+///   intersection is empty but no single half-space proves it — the
+///   conservative direction.)
+pub fn classify_trixel_convex(t: &Trixel, convex: &Convex) -> Classification {
+    let mut all_inside = true;
+    for h in convex.halfspaces() {
+        match classify_trixel_halfspace(t, h) {
+            Classification::Outside => return Classification::Outside,
+            Classification::Partial => all_inside = false,
+            Classification::Inside => {}
+        }
+    }
+    if all_inside {
+        Classification::Inside
+    } else {
+        Classification::Partial
+    }
+}
+
+/// Classify a trixel against a single half-space (spherical cap).
+pub fn classify_trixel_halfspace(t: &Trixel, h: &Halfspace) -> Classification {
+    let corners = t.corners();
+    let inside = [
+        h.contains(corners[0]),
+        h.contains(corners[1]),
+        h.contains(corners[2]),
+    ];
+    let n_inside = inside.iter().filter(|&&b| b).count();
+
+    match n_inside {
+        3 => {
+            if h.is_convex_cap() {
+                // Caps no larger than a hemisphere are geodesically convex:
+                // all corners inside ⇒ every geodesic between them inside
+                // ⇒ the whole triangle inside.
+                Classification::Inside
+            } else {
+                // Large cap: the triangle is inside unless it wraps around
+                // the complementary ("hole") cap. The hole is small
+                // (convex); it pokes through the triangle iff its center is
+                // inside the triangle or its boundary crosses an edge.
+                let hole = h.complement();
+                if t.contains(hole.normal) || any_edge_intersects_cap_boundary(t, &hole) {
+                    Classification::Partial
+                } else {
+                    Classification::Inside
+                }
+            }
+        }
+        0 => {
+            if !h.is_convex_cap() {
+                // All corners outside a large cap means all corners are
+                // inside the small complementary cap, which is convex ⇒
+                // the whole triangle is inside the complement ⇒ disjoint
+                // from h.
+                Classification::Outside
+            } else {
+                // Small cap with no corner inside: it can still intersect
+                // the triangle by poking through the interior or clipping
+                // an edge.
+                if t.contains(h.normal) || any_edge_intersects_cap_boundary(t, h) {
+                    Classification::Partial
+                } else {
+                    Classification::Outside
+                }
+            }
+        }
+        _ => Classification::Partial,
+    }
+}
+
+/// Does any edge (great-circle arc) of the trixel cross the cap boundary
+/// circle `p · n = d`?
+fn any_edge_intersects_cap_boundary(t: &Trixel, h: &Halfspace) -> bool {
+    let [a, b, c] = t.corners();
+    edge_intersects_cap_boundary(a, b, h)
+        || edge_intersects_cap_boundary(b, c, h)
+        || edge_intersects_cap_boundary(c, a, h)
+}
+
+/// Exact arc/circle intersection test.
+///
+/// A point on the minor arc u→v is `p(t) = ((1−t)u + tv)/‖·‖`, t ∈ [0,1].
+/// Setting `p(t)·n = d` and squaring gives a quadratic in t (the squaring
+/// step can introduce spurious roots with the wrong sign of `p·n − d`,
+/// filtered at the end):
+///
+/// ```text
+/// [(1−t)A + tB]² = d²·q(t)
+/// q(t) = (1−t)² + t² + 2t(1−t)γ ,  γ = u·v ,  A = u·n ,  B = v·n
+/// ```
+fn edge_intersects_cap_boundary(u: UnitVec3, v: UnitVec3, h: &Halfspace) -> bool {
+    let n = h.normal;
+    let d = h.dist;
+    let a_dot = u.dot(n);
+    let b_dot = v.dot(n);
+    let gamma = u.dot(v);
+
+    // Quadratic coefficients of
+    //   t²[(B−A)² − 2d²(1−γ)] + t[2A(B−A) + 2d²(1−γ)] + (A² − d²) = 0
+    let diff = b_dot - a_dot;
+    let k = 2.0 * d * d * (1.0 - gamma);
+    let qa = diff * diff - k;
+    let qb = 2.0 * a_dot * diff + k;
+    let qc = a_dot * a_dot - d * d;
+
+    let mut roots = [0.0f64; 2];
+    let n_roots = solve_quadratic(qa, qb, qc, &mut roots);
+
+    for &t in &roots[..n_roots] {
+        if !(0.0..=1.0).contains(&t) {
+            continue;
+        }
+        // Filter spurious roots introduced by squaring: at a genuine
+        // boundary crossing the (unnormalized) dot product has the same
+        // sign as d.
+        let p_dot = (1.0 - t) * a_dot + t * b_dot;
+        if p_dot * d >= 0.0 || d == 0.0 {
+            return true;
+        }
+    }
+    false
+}
+
+/// Solve `qa·t² + qb·t + qc = 0`; writes roots and returns their count.
+fn solve_quadratic(qa: f64, qb: f64, qc: f64, roots: &mut [f64; 2]) -> usize {
+    if qa.abs() < 1e-300 {
+        if qb.abs() < 1e-300 {
+            return 0;
+        }
+        roots[0] = -qc / qb;
+        return 1;
+    }
+    let disc = qb * qb - 4.0 * qa * qc;
+    if disc < 0.0 {
+        return 0;
+    }
+    let sq = disc.sqrt();
+    // Numerically stable: compute the larger-magnitude root first.
+    let q = -0.5 * (qb + qb.signum() * sq);
+    if q == 0.0 {
+        roots[0] = 0.0;
+        return 1;
+    }
+    roots[0] = q / qa;
+    roots[1] = qc / q;
+    2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+    use proptest::prelude::*;
+    use sdss_skycoords::{Frame, SkyPos, Vec3};
+
+    fn arb_unit() -> impl Strategy<Value = UnitVec3> {
+        (-1.0f64..1.0, 0.0f64..std::f64::consts::TAU).prop_map(|(z, phi)| {
+            let r = (1.0 - z * z).max(0.0).sqrt();
+            Vec3::new(r * phi.cos(), r * phi.sin(), z)
+                .normalized()
+                .unwrap()
+        })
+    }
+
+    #[test]
+    fn whole_sky_cover_is_all_full() {
+        let d = Domain::from_convex(Convex::whole_sky());
+        let cover = Cover::compute(&d, 3).unwrap();
+        // 8 * 4^3 = 512 trixels, all full, none partial.
+        assert_eq!(cover.full_ranges().count(), 512);
+        assert_eq!(cover.partial_ranges().count(), 0);
+        // Only the 8 roots were visited (each proven Inside immediately).
+        assert_eq!(cover.stats().nodes_visited, 8);
+    }
+
+    #[test]
+    fn tiny_cap_cover_is_small() {
+        let d = Region::circle(185.0, 15.0, 0.1).unwrap();
+        let cover = Cover::compute(&d, 8).unwrap();
+        // A 0.1-degree cap at level 8 (trixel size ~0.3 deg) touches at
+        // most a handful of trixels.
+        let touched = cover.full_ranges().count() + cover.partial_ranges().count();
+        assert!(touched > 0 && touched < 32, "touched = {touched}");
+        // The cap center must be in a touched trixel.
+        let p = SkyPos::new(185.0, 15.0).unwrap().unit_vec();
+        assert_ne!(cover.classify_point(p), Classification::Outside);
+    }
+
+    #[test]
+    fn hemisphere_split() {
+        // Northern hemisphere: exactly the 4 N faces are full at level 0...
+        // but corners lie on the boundary; test at level 4 instead: half
+        // the sphere is full+partial, half rejected, roughly.
+        let d = Region::band(Frame::Equatorial, 0.0, 90.0).unwrap();
+        let cover = Cover::compute(&d, 4).unwrap();
+        let full = cover.full_ranges().count() as f64;
+        let total = (8u64 << 8) as f64; // 8 * 4^4 = 2048
+        assert!(full / total > 0.4, "full fraction {}", full / total);
+        assert!(full / total <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn figure4_band_pair_query() {
+        // The paper's Figure 4: a latitude range in one system plus a
+        // latitude constraint in another.
+        let dec_band = Region::band(Frame::Equatorial, 10.0, 25.0).unwrap();
+        let gal_band = Region::band(Frame::Galactic, 40.0, 90.0).unwrap();
+        let query = dec_band.intersect(&gal_band);
+        let cover = Cover::compute(&query, 6).unwrap();
+        assert!(cover.full_ranges().count() > 0);
+        assert!(cover.partial_ranges().count() > 0);
+        // Spot-check classification against direct evaluation on a grid.
+        for ra in (0..360).step_by(17) {
+            for dec in (-88..=88).step_by(11) {
+                let p = SkyPos::new(ra as f64, dec as f64).unwrap().unit_vec();
+                let want = query.contains(p);
+                match cover.classify_point(p) {
+                    Classification::Inside => assert!(want, "({ra},{dec}) claimed inside"),
+                    Classification::Outside => assert!(!want, "({ra},{dec}) claimed outside"),
+                    Classification::Partial => {} // exact test needed, fine
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_cap_inside_logic() {
+        // Cap of 170 degrees around Z: almost the whole sphere. Trixels
+        // near the south pole are outside; most others fully inside.
+        let d = Region::circle(0.0, 90.0, 170.0).unwrap();
+        let cover = Cover::compute(&d, 5).unwrap();
+        let p_north = SkyPos::new(10.0, 80.0).unwrap().unit_vec();
+        let p_south = SkyPos::new(10.0, -89.0).unwrap().unit_vec();
+        assert_eq!(cover.classify_point(p_north), Classification::Inside);
+        assert_eq!(cover.classify_point(p_south), Classification::Outside);
+    }
+
+    #[test]
+    fn cap_smaller_than_trixel_is_found() {
+        // A 0.01-deg cap entirely interior to one level-2 trixel: no corner
+        // of any trixel is inside it, yet it must not be classified away.
+        let center = Trixel::roots()[3].child(2).child(0).center();
+        let d = Region::circle_vec(center, 0.01).unwrap();
+        let cover = Cover::compute(&d, 2).unwrap();
+        assert_ne!(cover.classify_point(center), Classification::Outside);
+        let touched = cover.full_ranges().count() + cover.partial_ranges().count();
+        assert!(touched >= 1);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let d = Region::circle(45.0, 45.0, 20.0).unwrap();
+        let cover = Cover::compute(&d, 6).unwrap();
+        let s = cover.stats();
+        assert!(s.nodes_visited >= s.full + s.rejected + s.partial_leaves);
+        assert_eq!(cover.partial_ranges().count() as usize, s.partial_leaves);
+    }
+
+    #[test]
+    fn quadratic_solver() {
+        let mut r = [0.0; 2];
+        // t^2 - 3t + 2 = 0 → 1, 2
+        assert_eq!(solve_quadratic(1.0, -3.0, 2.0, &mut r), 2);
+        let mut roots = [r[0], r[1]];
+        roots.sort_by(f64::total_cmp);
+        assert!((roots[0] - 1.0).abs() < 1e-12 && (roots[1] - 2.0).abs() < 1e-12);
+        // No real roots.
+        assert_eq!(solve_quadratic(1.0, 0.0, 1.0, &mut r), 0);
+        // Linear.
+        assert_eq!(solve_quadratic(0.0, 2.0, -4.0, &mut r), 1);
+        assert!((r[0] - 2.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The soundness contract: points in full trixels always satisfy
+        /// the region; points in rejected trixels never do.
+        #[test]
+        fn prop_cover_soundness_circle(
+            center in arb_unit(), radius in 0.5f64..60.0, p in arb_unit(), level in 2u8..8
+        ) {
+            let d = Region::circle_vec(center, radius).unwrap();
+            let cover = Cover::compute(&d, level).unwrap();
+            let actually_inside = center.separation_deg(p) <= radius;
+            match cover.classify_point(p) {
+                Classification::Inside => prop_assert!(actually_inside),
+                Classification::Outside => prop_assert!(!actually_inside),
+                Classification::Partial => {}
+            }
+        }
+
+        #[test]
+        fn prop_cover_soundness_band(
+            lo in -80.0f64..70.0, width in 1.0f64..40.0, p in arb_unit(), level in 2u8..7
+        ) {
+            let hi = (lo + width).min(90.0);
+            let d = Region::band(Frame::Galactic, lo, hi).unwrap();
+            let cover = Cover::compute(&d, level).unwrap();
+            let inside = d.contains(p);
+            match cover.classify_point(p) {
+                Classification::Inside => prop_assert!(inside),
+                Classification::Outside => prop_assert!(!inside),
+                Classification::Partial => {}
+            }
+        }
+
+        /// Completeness at the mesh level: the union of full+partial
+        /// trixels contains every matching point (follows from soundness of
+        /// Outside, tested from the other side here).
+        #[test]
+        fn prop_matching_points_are_touched(
+            center in arb_unit(), radius in 0.5f64..30.0, level in 2u8..8,
+            pa in 0.0f64..360.0, frac in 0.0f64..1.0
+        ) {
+            // Construct a point guaranteed inside the cap.
+            let pos = SkyPos::from_unit_vec(center).offset_by(pa, radius * frac * 0.999);
+            let p = pos.unit_vec();
+            let d = Region::circle_vec(center, radius).unwrap();
+            let cover = Cover::compute(&d, level).unwrap();
+            prop_assert_ne!(cover.classify_point(p), Classification::Outside);
+        }
+
+        /// Deeper covers never lose area: everything full at level L is
+        /// full-or-partial at level L+1, and full area grows.
+        #[test]
+        fn prop_deeper_cover_refines(center in arb_unit(), radius in 1.0f64..45.0) {
+            let d = Region::circle_vec(center, radius).unwrap();
+            let shallow = Cover::compute(&d, 4).unwrap();
+            let deep = Cover::compute(&d, 6).unwrap();
+            prop_assert!(deep.full_area_estimate_sr() >= shallow.full_area_estimate_sr() - 1e-12);
+            let exact = d.convexes()[0].halfspaces()[0].area_sr();
+            // The estimates assume equal trixel areas, but real areas vary
+            // ~2x around the mean, so only loose bounds hold:
+            // full (true) <= exact <= full+partial (true).
+            prop_assert!(deep.full_area_estimate_sr() <= exact * 1.6 + 1e-9);
+            prop_assert!(
+                deep.full_area_estimate_sr() + deep.partial_area_estimate_sr() >= exact * 0.4 - 1e-9
+            );
+        }
+    }
+}

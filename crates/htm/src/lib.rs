@@ -1,0 +1,73 @@
+//! # Hierarchical Triangular Mesh (HTM)
+//!
+//! The spatial index at the heart of the SDSS Science Archive (Szalay,
+//! Kunszt, Thakar & Gray, SIGMOD 2000; Figure 3 and \[Szalay99\]):
+//!
+//! > "Starting with an octahedron base set, each spherical triangle can be
+//! > recursively divided into 4 sub-triangles of approximately equal areas.
+//! > [...] Such hierarchical subdivisions can be very efficiently
+//! > represented in the form of quad-trees."
+//!
+//! and the query side (Figure 4):
+//!
+//! > "Each query can be represented as a set of half-space constraints,
+//! > connected by Boolean operators, all in three-dimensional space. [...]
+//! > Classify nodes, as fully outside the query, fully inside the query or
+//! > partially intersecting the query polyhedron. If a node is rejected,
+//! > that node's children can be ignored. Only the children of bisected
+//! > triangles need be further investigated."
+//!
+//! ## Module map
+//!
+//! * [`trixel`] — trixel ids, levels, corner geometry, child subdivision
+//! * [`name`] — the `N012…`/`S31…` textual id scheme
+//! * [`mesh`] — point → trixel location (the index "hash" function)
+//! * [`region`] — half-spaces (caps), convexes, domains; circle / band /
+//!   rect / polygon constructors
+//! * [`cover`] — the recursive full/partial/reject classification
+//! * [`ranges`] — compacted sorted id-interval sets with set algebra
+//! * [`neighbors`] — edge/vertex adjacency between trixels
+//! * [`stats`] — per-level area statistics (Figure 3 reproduction)
+
+pub mod cover;
+pub mod mesh;
+pub mod name;
+pub mod neighbors;
+pub mod ranges;
+pub mod region;
+pub mod stats;
+pub mod trixel;
+
+pub use cover::{Classification, Cover, CoverStats};
+pub use mesh::{lookup, lookup_id};
+pub use ranges::HtmRangeSet;
+pub use region::{Convex, Domain, Halfspace, Region};
+pub use trixel::{HtmId, Trixel, MAX_LEVEL};
+
+/// Errors produced by the HTM crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HtmError {
+    /// Requested subdivision level exceeds [`MAX_LEVEL`].
+    LevelTooDeep(u8),
+    /// An id that is not a valid HTM id (wrong bit pattern / zero).
+    InvalidId(u64),
+    /// A textual name that does not follow the `N|S` + digits-0..3 scheme.
+    InvalidName(String),
+    /// Region construction failed (degenerate polygon, bad radius, ...).
+    InvalidRegion(String),
+}
+
+impl std::fmt::Display for HtmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HtmError::LevelTooDeep(l) => {
+                write!(f, "HTM level {l} exceeds maximum {MAX_LEVEL}")
+            }
+            HtmError::InvalidId(id) => write!(f, "invalid HTM id {id:#x}"),
+            HtmError::InvalidName(n) => write!(f, "invalid HTM name {n:?}"),
+            HtmError::InvalidRegion(msg) => write!(f, "invalid region: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HtmError {}

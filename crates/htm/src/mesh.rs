@@ -1,0 +1,140 @@
+//! Point → trixel location: the mesh's index function.
+//!
+//! `lookup(p, level)` walks the quad-tree from the octahedron face
+//! containing `p` down to the requested level, testing the point against
+//! child triangles. Cost is O(level); at level 20 that is 20 triangle
+//! tests of three dot products each.
+
+use crate::trixel::{HtmId, Trixel, MAX_LEVEL};
+use crate::HtmError;
+use sdss_skycoords::{SkyPos, UnitVec3};
+
+/// Locate the trixel containing `p` at `level`.
+///
+/// Every point on the sphere maps to exactly one trixel; points exactly on
+/// shared edges are assigned deterministically to the first containing
+/// child in `0..4` order.
+pub fn lookup(p: UnitVec3, level: u8) -> Result<Trixel, HtmError> {
+    if level > MAX_LEVEL {
+        return Err(HtmError::LevelTooDeep(level));
+    }
+    let mut current = *Trixel::roots()
+        .iter()
+        .find(|t| t.contains(p))
+        // The roots tile the sphere; with the shared boundary tolerance a
+        // point always lands in at least one root.
+        .expect("octahedron faces tile the sphere");
+    for _ in 0..level {
+        let children = current.children();
+        current = *children
+            .iter()
+            .find(|t| t.contains(p))
+            .expect("children tile their parent");
+    }
+    Ok(current)
+}
+
+/// Like [`lookup`] but returns only the id (the common case for storage).
+#[inline]
+pub fn lookup_id(p: UnitVec3, level: u8) -> Result<HtmId, HtmError> {
+    lookup(p, level).map(|t| t.id())
+}
+
+/// Locate an angular position.
+pub fn lookup_pos(pos: SkyPos, level: u8) -> Result<HtmId, HtmError> {
+    lookup_id(pos.unit_vec(), level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sdss_skycoords::Vec3;
+
+    fn arb_unit() -> impl Strategy<Value = UnitVec3> {
+        (-1.0f64..1.0, 0.0f64..std::f64::consts::TAU).prop_map(|(z, phi)| {
+            let r = (1.0 - z * z).max(0.0).sqrt();
+            Vec3::new(r * phi.cos(), r * phi.sin(), z)
+                .normalized()
+                .unwrap()
+        })
+    }
+
+    #[test]
+    fn known_locations() {
+        // The north pole lives in an N face at every level.
+        let pole = SkyPos::new(0.0, 90.0).unwrap();
+        let id = lookup_pos(pole, 5).unwrap();
+        assert!(crate::name::id_to_name(id).starts_with('N'));
+        // The south pole in an S face.
+        let spole = SkyPos::new(0.0, -90.0).unwrap();
+        let id = lookup_pos(spole, 5).unwrap();
+        assert!(crate::name::id_to_name(id).starts_with('S'));
+        // (ra=0, dec=0) is the octahedron vertex v1 shared by S0,S3,N0,N3;
+        // deterministic tie-break must still give a stable answer.
+        let origin = SkyPos::new(0.0, 0.0).unwrap();
+        let a = lookup_pos(origin, 8).unwrap();
+        let b = lookup_pos(origin, 8).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn level_zero_matches_base_faces() {
+        // A point clearly inside N3 (ra 45, dec 45).
+        let p = SkyPos::new(45.0, 45.0).unwrap();
+        let id = lookup_pos(p, 0).unwrap();
+        assert_eq!(crate::name::id_to_name(id), "N3");
+        // Antipode is in S... hemisphere.
+        let q = SkyPos::new(225.0, -45.0).unwrap();
+        let id = lookup_pos(q, 0).unwrap();
+        assert!(crate::name::id_to_name(id).starts_with('S'));
+    }
+
+    #[test]
+    fn rejects_too_deep() {
+        let p = UnitVec3::Z;
+        assert!(lookup(p, MAX_LEVEL + 1).is_err());
+        assert!(lookup(p, MAX_LEVEL).is_ok());
+    }
+
+    #[test]
+    fn deep_lookup_consistent_with_shallow() {
+        let p = SkyPos::new(185.3, 14.7).unwrap().unit_vec();
+        let deep = lookup_id(p, 12).unwrap();
+        for level in 0..12 {
+            let shallow = lookup_id(p, level).unwrap();
+            assert_eq!(deep.ancestor_at(level), shallow, "level {level}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lookup_result_contains_point(p in arb_unit(), level in 0u8..12) {
+            let t = lookup(p, level).unwrap();
+            prop_assert!(t.contains(p));
+            prop_assert_eq!(t.level(), level);
+        }
+
+        #[test]
+        fn prop_prefix_consistency(p in arb_unit()) {
+            // The level-k id is always the ancestor of the level-(k+1) id.
+            let mut prev = lookup_id(p, 0).unwrap();
+            for level in 1u8..10 {
+                let id = lookup_id(p, level).unwrap();
+                prop_assert_eq!(id.parent().unwrap().ancestor_at(level - 1), prev.ancestor_at(level-1));
+                prop_assert_eq!(id.ancestor_at(level - 1), prev);
+                prev = id;
+            }
+        }
+
+        #[test]
+        fn prop_from_id_agrees_with_lookup(p in arb_unit(), level in 0u8..10) {
+            // Rebuilding the trixel from its id alone gives the same
+            // geometry the walk produced, and it still contains p.
+            let t = lookup(p, level).unwrap();
+            let rebuilt = Trixel::from_id(t.id());
+            prop_assert_eq!(rebuilt, t);
+            prop_assert!(rebuilt.contains(p));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Textual trixel names: `N0`…`S3` roots with `0`–`3` digits appended.
+//!
+//! The paper's Figure 3 labels mesh nodes this way; the names double as a
+//! human-readable quad-tree path ("N012" = root N0 → child 1 → child 2).
+
+use crate::trixel::HtmId;
+use crate::HtmError;
+
+/// Names of the 8 root trixels, indexed by `HtmId::root_index()`.
+const ROOT_NAMES: [&str; 8] = ["S0", "S1", "S2", "S3", "N0", "N1", "N2", "N3"];
+
+/// Convert an id to its textual name.
+pub fn id_to_name(id: HtmId) -> String {
+    let mut s = String::with_capacity(2 + id.level() as usize);
+    s.push_str(ROOT_NAMES[id.root_index() as usize]);
+    for d in id.path_digits() {
+        s.push((b'0' + d) as char);
+    }
+    s
+}
+
+/// Parse a textual name back into an id.
+pub fn name_to_id(name: &str) -> Result<HtmId, HtmError> {
+    let bytes = name.as_bytes();
+    if bytes.len() < 2 {
+        return Err(HtmError::InvalidName(name.to_string()));
+    }
+    let hemisphere = match bytes[0] {
+        b'N' | b'n' => 4u8,
+        b'S' | b's' => 0u8,
+        _ => return Err(HtmError::InvalidName(name.to_string())),
+    };
+    let face = match bytes[1] {
+        b'0'..=b'3' => bytes[1] - b'0',
+        _ => return Err(HtmError::InvalidName(name.to_string())),
+    };
+    let mut id = HtmId::root(hemisphere + face);
+    for &b in &bytes[2..] {
+        match b {
+            b'0'..=b'3' => id = id.child(b - b'0'),
+            _ => return Err(HtmError::InvalidName(name.to_string())),
+        }
+        if id.level() as usize > crate::MAX_LEVEL as usize {
+            return Err(HtmError::LevelTooDeep(id.level()));
+        }
+    }
+    Ok(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roots_have_expected_names() {
+        assert_eq!(id_to_name(HtmId::root(0)), "S0");
+        assert_eq!(id_to_name(HtmId::root(3)), "S3");
+        assert_eq!(id_to_name(HtmId::root(4)), "N0");
+        assert_eq!(id_to_name(HtmId::root(7)), "N3");
+    }
+
+    #[test]
+    fn known_path() {
+        let id = HtmId::root(6).child(0).child(1).child(2);
+        assert_eq!(id_to_name(id), "N2012");
+        assert_eq!(name_to_id("N2012").unwrap(), id);
+        // Case-insensitive root letter.
+        assert_eq!(name_to_id("n2012").unwrap(), id);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "N", "X0", "N4", "N01x", "S0123456789012345678901234567890"] {
+            assert!(name_to_id(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_name_roundtrip(root in 0u8..8, path in proptest::collection::vec(0u8..4, 0..12)) {
+            let mut id = HtmId::root(root);
+            for k in path {
+                id = id.child(k);
+            }
+            let name = id_to_name(id);
+            prop_assert_eq!(name_to_id(&name).unwrap(), id);
+            prop_assert_eq!(name.len(), 2 + id.level() as usize);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Trixel adjacency.
+//!
+//! The hash machine replicates objects near trixel edges into neighboring
+//! buckets ("a single object may go to several buckets"); tests for that
+//! machinery need ground-truth adjacency, computed here.
+//!
+//! The edge neighbor across edge (a, b) is found by nudging the edge
+//! midpoint away from the opposite corner and looking the nudged point up
+//! at the same level — robust and O(level), with no special-casing of the
+//! octahedron seams.
+
+use crate::mesh::lookup_id;
+use crate::trixel::{HtmId, Trixel};
+use sdss_skycoords::UnitVec3;
+
+/// The three trixels sharing an edge with `id`, in opposite-corner order.
+pub fn edge_neighbors(id: HtmId) -> [HtmId; 3] {
+    let t = Trixel::from_id(id);
+    let [a, b, c] = t.corners();
+    [
+        neighbor_across(a, b, c, id),
+        neighbor_across(b, c, a, id),
+        neighbor_across(c, a, b, id),
+    ]
+}
+
+/// All trixels at the same level sharing at least a vertex with `id`
+/// (excluding `id` itself). Found by probing points on a small circle
+/// around each corner.
+pub fn vertex_neighbors(id: HtmId) -> Vec<HtmId> {
+    let t = Trixel::from_id(id);
+    let level = t.level();
+    // Probe radius: a small fraction of the trixel size, so probes stay
+    // within the immediate ring of neighbors.
+    let probe_deg = t.angular_size_deg() * 0.05;
+    let mut found = Vec::new();
+    for corner in t.corners() {
+        let axis = corner.any_orthogonal();
+        let start = corner.rotated_about(axis, probe_deg);
+        // 12 probes around the corner catch every trixel meeting there
+        // (at most 8 meet at an octahedron vertex, 6 elsewhere).
+        for k in 0..12 {
+            let p = start.rotated_about(corner, k as f64 * 30.0);
+            let n = lookup_id(p, level).expect("level is valid");
+            if n != id && !found.contains(&n) {
+                found.push(n);
+            }
+        }
+    }
+    found.sort_unstable();
+    found
+}
+
+fn neighbor_across(a: UnitVec3, b: UnitVec3, opposite: UnitVec3, id: HtmId) -> HtmId {
+    let level = id.level();
+    let mid = a.midpoint(b).expect("trixel edge endpoints are not antipodal");
+    // Tangent direction at `mid` pointing *into* the triangle (toward the
+    // opposite corner); stepping along its negative leaves the triangle
+    // through this edge.
+    let inward = (opposite.as_vec3() - mid.as_vec3() * mid.dot(opposite))
+        .normalized()
+        .expect("opposite corner is never (anti)parallel to the edge midpoint");
+    // Step a small fraction of the trixel scale across the edge.
+    let step = (Trixel::from_id(id).angular_size_deg() * 0.01).to_radians();
+    let probe = (mid.as_vec3() * step.cos() - inward.as_vec3() * step.sin())
+        .normalized()
+        .expect("rotation of a unit vector");
+    lookup_id(probe, level).expect("level is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn root_edge_neighbors() {
+        // S0 = (v1, v5, v2) shares edges with S1, S3 (around the south
+        // pole) and N3 (across the equator).
+        let n = edge_neighbors(HtmId::root(0));
+        let names: Vec<String> = n.iter().map(|i| crate::name::id_to_name(*i)).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec!["N3", "S1", "S3"], "got {names:?}");
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let id = HtmId::root(5).child(2).child(1);
+        for n in edge_neighbors(id) {
+            assert!(
+                edge_neighbors(n).contains(&id),
+                "{} not a neighbor of its neighbor {}",
+                crate::name::id_to_name(id),
+                crate::name::id_to_name(n)
+            );
+        }
+    }
+
+    #[test]
+    fn interior_child_neighbors_are_siblings() {
+        // Child 3 (the center triangle) always has its three siblings as
+        // edge neighbors.
+        let parent = HtmId::root(6).child(1);
+        let center = parent.child(3);
+        let mut n = edge_neighbors(center).to_vec();
+        n.sort_unstable();
+        let mut want = vec![parent.child(0), parent.child(1), parent.child(2)];
+        want.sort_unstable();
+        assert_eq!(n, want);
+    }
+
+    #[test]
+    fn vertex_neighbors_superset_of_edge_neighbors() {
+        let id = HtmId::root(2).child(0).child(3);
+        let vn = vertex_neighbors(id);
+        for en in edge_neighbors(id) {
+            assert!(vn.contains(&en));
+        }
+        assert!(!vn.contains(&id));
+        // A trixel meets at most 3 corners * (8-1) others.
+        assert!(vn.len() >= 3 && vn.len() <= 21, "{}", vn.len());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_edge_neighbors_distinct_same_level(root in 0u8..8, path in proptest::collection::vec(0u8..4, 1..6)) {
+            let mut id = HtmId::root(root);
+            for k in path {
+                id = id.child(k);
+            }
+            let n = edge_neighbors(id);
+            prop_assert!(n[0] != n[1] && n[1] != n[2] && n[0] != n[2]);
+            for x in n {
+                prop_assert_eq!(x.level(), id.level());
+                prop_assert!(x != id);
+            }
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! Sky regions as Boolean combinations of half-space constraints.
+//!
+//! Paper, §Indexing the Sky: "Each query can be represented as a set of
+//! half-space constraints, connected by Boolean operators, all in
+//! three-dimensional space."
+//!
+//! A [`Halfspace`] is a plane cutting the unit sphere: the points `p` with
+//! `p · n ≥ d`. Geometrically it is a spherical cap of angular radius
+//! `acos(d)` around `n`:
+//!
+//! * a **cone search** of radius θ around direction `c` is the single
+//!   half-space `(c, cos θ)`;
+//! * a **declination band** `b0 ≤ lat ≤ b1` *in any frame* is the pair
+//!   `(pole, sin b0)` and `(−pole, −sin b1)` — this is why the archive
+//!   stores Cartesian coordinates (paper Figure 4 shows exactly this
+//!   query: two parallel planes plus a constraint in a second frame);
+//! * a **great-circle polygon** edge is a half-space with `d = 0`.
+//!
+//! A [`Convex`] intersects half-spaces; a [`Domain`] unions convexes.
+//! Together they close the shapes under AND/OR, which is all the paper's
+//! query language needs.
+
+use crate::HtmError;
+use sdss_skycoords::{Frame, SkyPos, UnitVec3};
+
+/// The points `p` on the unit sphere with `p · normal >= dist`.
+///
+/// `dist` in `[-1, 1]`: `1` is the single point `normal`, `0` a hemisphere,
+/// `-1` the full sphere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Halfspace {
+    pub normal: UnitVec3,
+    pub dist: f64,
+}
+
+impl Halfspace {
+    /// Construct, validating `dist ∈ [-1, 1]`.
+    pub fn new(normal: UnitVec3, dist: f64) -> Result<Halfspace, HtmError> {
+        if !(-1.0..=1.0).contains(&dist) || !dist.is_finite() {
+            return Err(HtmError::InvalidRegion(format!(
+                "halfspace distance {dist} outside [-1, 1]"
+            )));
+        }
+        Ok(Halfspace { normal, dist })
+    }
+
+    /// The cap of angular radius `radius_deg` around `center`.
+    pub fn cap(center: UnitVec3, radius_deg: f64) -> Result<Halfspace, HtmError> {
+        if !(0.0..=180.0).contains(&radius_deg) || !radius_deg.is_finite() {
+            return Err(HtmError::InvalidRegion(format!(
+                "cap radius {radius_deg} outside [0, 180] degrees"
+            )));
+        }
+        Ok(Halfspace {
+            normal: center,
+            dist: radius_deg.to_radians().cos(),
+        })
+    }
+
+    /// Membership test — one dot product and one compare, the "linear
+    /// combinations of the three Cartesian coordinates" of the paper.
+    #[inline]
+    pub fn contains(&self, p: UnitVec3) -> bool {
+        self.normal.dot(p) >= self.dist
+    }
+
+    /// The complementary cap (`p · n < d`, closed on its own boundary).
+    #[inline]
+    pub fn complement(&self) -> Halfspace {
+        Halfspace {
+            normal: self.normal.neg(),
+            dist: -self.dist,
+        }
+    }
+
+    /// Angular radius of the cap in degrees.
+    #[inline]
+    pub fn radius_deg(&self) -> f64 {
+        self.dist.clamp(-1.0, 1.0).acos().to_degrees()
+    }
+
+    /// Solid angle of the cap in steradians: `2π(1 − d)`.
+    #[inline]
+    pub fn area_sr(&self) -> f64 {
+        2.0 * std::f64::consts::PI * (1.0 - self.dist)
+    }
+
+    /// Whether the cap is geodesically convex (no bigger than a hemisphere).
+    /// Convexity is what lets the cover prove "corners inside ⇒ triangle
+    /// inside".
+    #[inline]
+    pub fn is_convex_cap(&self) -> bool {
+        self.dist >= 0.0
+    }
+}
+
+/// Intersection of half-spaces ("convex" in HTM terminology even when some
+/// caps are larger than a hemisphere).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Convex {
+    halfspaces: Vec<Halfspace>,
+}
+
+impl Convex {
+    /// The whole sphere (no constraints).
+    pub fn whole_sky() -> Convex {
+        Convex { halfspaces: Vec::new() }
+    }
+
+    pub fn new(halfspaces: Vec<Halfspace>) -> Convex {
+        Convex { halfspaces }
+    }
+
+    pub fn push(&mut self, h: Halfspace) {
+        self.halfspaces.push(h);
+    }
+
+    pub fn halfspaces(&self) -> &[Halfspace] {
+        &self.halfspaces
+    }
+
+    #[inline]
+    pub fn contains(&self, p: UnitVec3) -> bool {
+        self.halfspaces.iter().all(|h| h.contains(p))
+    }
+
+    /// Add another convex's constraints (set intersection).
+    pub fn intersect_with(&mut self, other: &Convex) {
+        self.halfspaces.extend_from_slice(&other.halfspaces);
+    }
+
+    /// A crude but sound upper bound on the solid angle (steradians):
+    /// the tightest single cap. Used by the storage cost model to predict
+    /// output volume (paper: "A prediction of the output data volume and
+    /// search time can be computed from the intersection volume").
+    pub fn area_upper_bound_sr(&self) -> f64 {
+        self.halfspaces
+            .iter()
+            .map(Halfspace::area_sr)
+            .fold(4.0 * std::f64::consts::PI, f64::min)
+    }
+}
+
+/// Union of convexes — the general region shape.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Domain {
+    convexes: Vec<Convex>,
+}
+
+impl Domain {
+    pub fn new(convexes: Vec<Convex>) -> Domain {
+        Domain { convexes }
+    }
+
+    pub fn from_convex(c: Convex) -> Domain {
+        Domain { convexes: vec![c] }
+    }
+
+    pub fn convexes(&self) -> &[Convex] {
+        &self.convexes
+    }
+
+    pub fn push(&mut self, c: Convex) {
+        self.convexes.push(c);
+    }
+
+    /// Union with another domain.
+    pub fn union_with(&mut self, other: &Domain) {
+        self.convexes.extend_from_slice(&other.convexes);
+    }
+
+    /// Intersection distributes over the union of convexes
+    /// (A ∪ B) ∩ (C ∪ D) = AC ∪ AD ∪ BC ∪ BD.
+    pub fn intersect(&self, other: &Domain) -> Domain {
+        let mut out = Vec::with_capacity(self.convexes.len() * other.convexes.len());
+        for a in &self.convexes {
+            for b in &other.convexes {
+                let mut c = a.clone();
+                c.intersect_with(b);
+                out.push(c);
+            }
+        }
+        Domain { convexes: out }
+    }
+
+    #[inline]
+    pub fn contains(&self, p: UnitVec3) -> bool {
+        self.convexes.iter().any(|c| c.contains(p))
+    }
+
+    pub fn is_empty_definition(&self) -> bool {
+        self.convexes.is_empty()
+    }
+
+    pub fn area_upper_bound_sr(&self) -> f64 {
+        self.convexes
+            .iter()
+            .map(Convex::area_upper_bound_sr)
+            .sum::<f64>()
+            .min(4.0 * std::f64::consts::PI)
+    }
+}
+
+/// Convenience constructors for the shapes the archive's query language
+/// exposes. All angles in degrees; all positions equatorial J2000.
+pub struct Region;
+
+impl Region {
+    /// Cone search: all points within `radius_deg` of `(ra, dec)`.
+    pub fn circle(ra_deg: f64, dec_deg: f64, radius_deg: f64) -> Result<Domain, HtmError> {
+        let center = SkyPos::new(ra_deg, dec_deg)
+            .map_err(|e| HtmError::InvalidRegion(e.to_string()))?
+            .unit_vec();
+        Ok(Domain::from_convex(Convex::new(vec![Halfspace::cap(
+            center, radius_deg,
+        )?])))
+    }
+
+    /// Cone search around a unit vector.
+    pub fn circle_vec(center: UnitVec3, radius_deg: f64) -> Result<Domain, HtmError> {
+        Ok(Domain::from_convex(Convex::new(vec![Halfspace::cap(
+            center, radius_deg,
+        )?])))
+    }
+
+    /// Latitude band `lat_lo ≤ lat ≤ lat_hi` in an arbitrary frame — the
+    /// Figure 4 query ("a simple range query of latitude in one spherical
+    /// coordinate system ... and an additional latitude constraint in
+    /// another system" is two of these intersected).
+    pub fn band(frame: Frame, lat_lo_deg: f64, lat_hi_deg: f64) -> Result<Domain, HtmError> {
+        if lat_lo_deg > lat_hi_deg {
+            return Err(HtmError::InvalidRegion(format!(
+                "band with lat_lo {lat_lo_deg} > lat_hi {lat_hi_deg}"
+            )));
+        }
+        if !(-90.0..=90.0).contains(&lat_lo_deg) || !(-90.0..=90.0).contains(&lat_hi_deg) {
+            return Err(HtmError::InvalidRegion(
+                "band latitude outside [-90, 90]".to_string(),
+            ));
+        }
+        let pole = frame.pole();
+        // lat >= lo  ⇔  p·pole >= sin(lo)
+        let lower = Halfspace::new(pole, lat_lo_deg.to_radians().sin())?;
+        // lat <= hi  ⇔  p·(−pole) >= −sin(hi)
+        let upper = Halfspace::new(pole.neg(), -lat_hi_deg.to_radians().sin())?;
+        Ok(Domain::from_convex(Convex::new(vec![lower, upper])))
+    }
+
+    /// Spherical rectangle: an RA interval × a Dec interval (equatorial).
+    ///
+    /// The RA bounds are great-circle half-spaces through the poles; the
+    /// Dec bounds are the band construction above. Handles RA wrap-around
+    /// (`ra_lo > ra_hi` means the interval crosses RA 0).
+    pub fn rect(
+        ra_lo_deg: f64,
+        ra_hi_deg: f64,
+        dec_lo_deg: f64,
+        dec_hi_deg: f64,
+    ) -> Result<Domain, HtmError> {
+        let span = if ra_hi_deg >= ra_lo_deg {
+            ra_hi_deg - ra_lo_deg
+        } else {
+            ra_hi_deg - ra_lo_deg + 360.0
+        };
+        if span >= 180.0 {
+            // Split wide rectangles into two convex lunes.
+            let mid = ra_lo_deg + span / 2.0;
+            let mut d = Region::rect(ra_lo_deg, mid, dec_lo_deg, dec_hi_deg)?;
+            let d2 = Region::rect(mid, ra_hi_deg, dec_lo_deg, dec_hi_deg)?;
+            d.union_with(&d2);
+            return Ok(d);
+        }
+        let band = Region::band(Frame::Equatorial, dec_lo_deg, dec_hi_deg)?;
+        // Half-space "east of the lo meridian": normal is the direction
+        // 90 deg east of ra_lo on the equator.
+        let east_of_lo = Halfspace::new(
+            SkyPos::new(ra_lo_deg + 90.0, 0.0)
+                .map_err(|e| HtmError::InvalidRegion(e.to_string()))?
+                .unit_vec(),
+            0.0,
+        )?;
+        let west_of_hi = Halfspace::new(
+            SkyPos::new(ra_hi_deg - 90.0, 0.0)
+                .map_err(|e| HtmError::InvalidRegion(e.to_string()))?
+                .unit_vec(),
+            0.0,
+        )?;
+        let mut convex = Convex::new(vec![east_of_lo, west_of_hi]);
+        convex.intersect_with(&band.convexes()[0]);
+        Ok(Domain::from_convex(convex))
+    }
+
+    /// Convex spherical polygon from counter-clockwise vertices (as seen
+    /// from outside the sphere). Each edge becomes a great-circle
+    /// half-space.
+    pub fn polygon(vertices: &[SkyPos]) -> Result<Domain, HtmError> {
+        if vertices.len() < 3 {
+            return Err(HtmError::InvalidRegion(
+                "polygon needs at least 3 vertices".to_string(),
+            ));
+        }
+        let vecs: Vec<UnitVec3> = vertices.iter().map(|p| p.unit_vec()).collect();
+        let mut halfspaces = Vec::with_capacity(vecs.len());
+        for i in 0..vecs.len() {
+            let a = vecs[i];
+            let b = vecs[(i + 1) % vecs.len()];
+            let normal = a
+                .cross(b)
+                .normalized()
+                .map_err(|_| HtmError::InvalidRegion("degenerate polygon edge".to_string()))?;
+            halfspaces.push(Halfspace::new(normal, 0.0)?);
+        }
+        let convex = Convex::new(halfspaces);
+        // Sanity: the centroid must satisfy all constraints, otherwise the
+        // vertex order was clockwise (or the polygon non-convex).
+        let centroid = vecs
+            .iter()
+            .fold(sdss_skycoords::Vec3::ZERO, |acc, v| acc + v.as_vec3())
+            .normalized()
+            .map_err(|_| HtmError::InvalidRegion("degenerate polygon".to_string()))?;
+        if !convex.contains(centroid) {
+            return Err(HtmError::InvalidRegion(
+                "polygon vertices must be counter-clockwise and convex".to_string(),
+            ));
+        }
+        Ok(Domain::from_convex(convex))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sdss_skycoords::Vec3;
+
+    fn arb_unit() -> impl Strategy<Value = UnitVec3> {
+        (-1.0f64..1.0, 0.0f64..std::f64::consts::TAU).prop_map(|(z, phi)| {
+            let r = (1.0 - z * z).max(0.0).sqrt();
+            Vec3::new(r * phi.cos(), r * phi.sin(), z)
+                .normalized()
+                .unwrap()
+        })
+    }
+
+    #[test]
+    fn halfspace_validation() {
+        assert!(Halfspace::new(UnitVec3::Z, 1.5).is_err());
+        assert!(Halfspace::new(UnitVec3::Z, f64::NAN).is_err());
+        assert!(Halfspace::cap(UnitVec3::Z, -1.0).is_err());
+        assert!(Halfspace::cap(UnitVec3::Z, 181.0).is_err());
+    }
+
+    #[test]
+    fn cap_membership() {
+        let cap = Halfspace::cap(UnitVec3::Z, 10.0).unwrap();
+        assert!(cap.contains(UnitVec3::Z));
+        let inside = SkyPos::new(0.0, 85.0).unwrap().unit_vec();
+        let outside = SkyPos::new(0.0, 75.0).unwrap().unit_vec();
+        assert!(cap.contains(inside));
+        assert!(!cap.contains(outside));
+        assert!((cap.radius_deg() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let cap = Halfspace::cap(UnitVec3::X, 30.0).unwrap();
+        let comp = cap.complement();
+        let p = SkyPos::new(50.0, 0.0).unwrap().unit_vec(); // 50 deg from X
+        assert!(!cap.contains(p));
+        assert!(comp.contains(p));
+        // Areas sum to the full sphere.
+        assert!((cap.area_sr() + comp.area_sr() - 4.0 * std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_in_galactic_frame() {
+        // |b| <= 10: the galactic plane region.
+        let plane = Region::band(Frame::Galactic, -10.0, 10.0).unwrap();
+        let gc = Frame::Galactic.to_equatorial_pos(SkyPos::new(33.0, 0.0).unwrap());
+        assert!(plane.contains(gc.unit_vec()));
+        let cap_pos = Frame::Galactic.to_equatorial_pos(SkyPos::new(100.0, 60.0).unwrap());
+        assert!(!plane.contains(cap_pos.unit_vec()));
+        // Boundary behaviour: just inside vs just outside.
+        let inside = Frame::Galactic.to_equatorial_pos(SkyPos::new(10.0, 9.99).unwrap());
+        let outside = Frame::Galactic.to_equatorial_pos(SkyPos::new(10.0, 10.01).unwrap());
+        assert!(plane.contains(inside.unit_vec()));
+        assert!(!plane.contains(outside.unit_vec()));
+    }
+
+    #[test]
+    fn band_rejects_inverted() {
+        assert!(Region::band(Frame::Equatorial, 10.0, -10.0).is_err());
+        assert!(Region::band(Frame::Equatorial, -100.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn rect_membership() {
+        let r = Region::rect(180.0, 190.0, 10.0, 20.0).unwrap();
+        assert!(r.contains(SkyPos::new(185.0, 15.0).unwrap().unit_vec()));
+        assert!(!r.contains(SkyPos::new(175.0, 15.0).unwrap().unit_vec()));
+        assert!(!r.contains(SkyPos::new(185.0, 25.0).unwrap().unit_vec()));
+        assert!(!r.contains(SkyPos::new(5.0, 15.0).unwrap().unit_vec()));
+    }
+
+    #[test]
+    fn rect_wraps_ra_zero() {
+        let r = Region::rect(350.0, 10.0, -5.0, 5.0).unwrap();
+        assert!(r.contains(SkyPos::new(0.0, 0.0).unwrap().unit_vec()));
+        assert!(r.contains(SkyPos::new(355.0, 0.0).unwrap().unit_vec()));
+        assert!(r.contains(SkyPos::new(5.0, 0.0).unwrap().unit_vec()));
+        assert!(!r.contains(SkyPos::new(180.0, 0.0).unwrap().unit_vec()));
+    }
+
+    #[test]
+    fn wide_rect_splits() {
+        // A 300-degree-wide rectangle must still work via splitting.
+        let r = Region::rect(30.0, 330.0, -5.0, 5.0).unwrap();
+        assert!(r.contains(SkyPos::new(180.0, 0.0).unwrap().unit_vec()));
+        assert!(!r.contains(SkyPos::new(0.0, 0.0).unwrap().unit_vec()));
+        assert!(!r.contains(SkyPos::new(180.0, 10.0).unwrap().unit_vec()));
+    }
+
+    #[test]
+    fn polygon_membership_and_orientation() {
+        let verts = [
+            SkyPos::new(0.0, 0.0).unwrap(),
+            SkyPos::new(10.0, 0.0).unwrap(),
+            SkyPos::new(10.0, 10.0).unwrap(),
+            SkyPos::new(0.0, 10.0).unwrap(),
+        ];
+        let poly = Region::polygon(&verts).unwrap();
+        assert!(poly.contains(SkyPos::new(5.0, 5.0).unwrap().unit_vec()));
+        assert!(!poly.contains(SkyPos::new(-5.0, 5.0).unwrap().unit_vec()));
+        // Clockwise order must be rejected.
+        let cw: Vec<SkyPos> = verts.iter().rev().copied().collect();
+        assert!(Region::polygon(&cw).is_err());
+        assert!(Region::polygon(&verts[..2]).is_err());
+    }
+
+    #[test]
+    fn domain_boolean_algebra() {
+        let a = Region::circle(0.0, 0.0, 10.0).unwrap();
+        let b = Region::circle(15.0, 0.0, 10.0).unwrap();
+        let mut union = a.clone();
+        union.union_with(&b);
+        let inter = a.intersect(&b);
+        let in_both = SkyPos::new(7.5, 0.0).unwrap().unit_vec();
+        let only_a = SkyPos::new(-5.0, 0.0).unwrap().unit_vec();
+        let neither = SkyPos::new(40.0, 0.0).unwrap().unit_vec();
+        assert!(union.contains(in_both) && union.contains(only_a));
+        assert!(inter.contains(in_both) && !inter.contains(only_a));
+        assert!(!union.contains(neither) && !inter.contains(neither));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_circle_contains_iff_within_radius(
+            center in arb_unit(), p in arb_unit(), radius in 0.1f64..90.0
+        ) {
+            let d = Region::circle_vec(center, radius).unwrap();
+            let sep = center.separation_deg(p);
+            // Skip points razor-close to the boundary where roundoff rules.
+            prop_assume!((sep - radius).abs() > 1e-9);
+            prop_assert_eq!(d.contains(p), sep < radius);
+        }
+
+        #[test]
+        fn prop_band_matches_frame_latitude(p in arb_unit(), lo in -80.0f64..0.0, width in 1.0f64..60.0) {
+            let hi = (lo + width).min(90.0);
+            for frame in Frame::ALL {
+                let band = Region::band(frame, lo, hi).unwrap();
+                let lat = frame.from_equatorial_pos(SkyPos::from_unit_vec(p)).dec_deg();
+                prop_assume!((lat - lo).abs() > 1e-9 && (lat - hi).abs() > 1e-9);
+                prop_assert_eq!(
+                    band.contains(p),
+                    lat > lo && lat < hi,
+                    "{}: lat={} lo={} hi={}",
+                    frame,
+                    lat,
+                    lo,
+                    hi
+                );
+            }
+        }
+
+        #[test]
+        fn prop_intersect_is_conjunction(p in arb_unit()) {
+            let a = Region::circle(10.0, 10.0, 40.0).unwrap();
+            let b = Region::band(Frame::Equatorial, -20.0, 30.0).unwrap();
+            let inter = a.intersect(&b);
+            prop_assert_eq!(inter.contains(p), a.contains(p) && b.contains(p));
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-level mesh statistics — the quantitative content of Figure 3.
+//!
+//! The paper: trixels at each level have "approximately equal areas"; this
+//! module measures exactly how approximate, plus counts and angular
+//! resolutions, which the `fig3_htm` harness prints next to the paper's
+//! description.
+
+use crate::trixel::Trixel;
+
+/// Statistics for all trixels of one subdivision level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelStats {
+    pub level: u8,
+    /// Number of trixels: 8 · 4^level.
+    pub count: u64,
+    /// Smallest trixel area (steradian).
+    pub min_area_sr: f64,
+    /// Largest trixel area (steradian).
+    pub max_area_sr: f64,
+    /// Mean area = 4π / count.
+    pub mean_area_sr: f64,
+    /// Uniformity: max/min area ratio (1.0 = perfectly equal).
+    pub area_ratio: f64,
+    /// Angular size of a mean-area trixel, degrees.
+    pub mean_size_deg: f64,
+}
+
+/// Compute exact area statistics for `level` by enumerating all trixels.
+///
+/// Enumeration is exponential (8·4^L trixels); levels ≤ 8 (524k trixels)
+/// stay well under a second. For deeper levels use
+/// [`sampled_level_stats`].
+pub fn level_stats(level: u8) -> LevelStats {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut count = 0u64;
+    let mut total = 0.0;
+    for root in Trixel::roots() {
+        visit(root, level, &mut |t| {
+            let a = t.area_sr();
+            min = min.min(a);
+            max = max.max(a);
+            total += a;
+            count += 1;
+        });
+    }
+    debug_assert!((total - 4.0 * std::f64::consts::PI).abs() < 1e-6 * total);
+    finish_stats(level, count, min, max)
+}
+
+/// Estimate area statistics by descending only through the extreme
+/// children (min/max area) of each node — exact for the extremes because
+/// area extremes are attained by repeatedly taking extreme children
+/// (verified against full enumeration in tests for small levels).
+pub fn sampled_level_stats(level: u8) -> LevelStats {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    // Track a frontier of candidate extreme trixels: start with roots.
+    let mut frontier: Vec<Trixel> = Trixel::roots().to_vec();
+    for _ in 0..level {
+        let mut next: Vec<Trixel> = Vec::with_capacity(frontier.len() * 2);
+        for t in frontier {
+            let children = t.children();
+            // Keep the min-area and max-area child of each node.
+            let (mut lo, mut hi) = (children[0], children[0]);
+            for c in &children[1..] {
+                if c.area_sr() < lo.area_sr() {
+                    lo = *c;
+                }
+                if c.area_sr() > hi.area_sr() {
+                    hi = *c;
+                }
+            }
+            next.push(lo);
+            next.push(hi);
+        }
+        // Prune the frontier to the N smallest and N largest candidates to
+        // keep the walk linear.
+        next.sort_by(|a, b| a.area_sr().total_cmp(&b.area_sr()));
+        let keep = 16.min(next.len());
+        let mut pruned = next[..keep].to_vec();
+        pruned.extend_from_slice(&next[next.len() - keep..]);
+        frontier = pruned;
+    }
+    for t in &frontier {
+        let a = t.area_sr();
+        min = min.min(a);
+        max = max.max(a);
+    }
+    let count = 8u64 << (2 * level as u64);
+    finish_stats(level, count, min, max)
+}
+
+fn finish_stats(level: u8, count: u64, min: f64, max: f64) -> LevelStats {
+    let mean = 4.0 * std::f64::consts::PI / count as f64;
+    LevelStats {
+        level,
+        count,
+        min_area_sr: min,
+        max_area_sr: max,
+        mean_area_sr: mean,
+        area_ratio: max / min,
+        mean_size_deg: mean.sqrt().to_degrees(),
+    }
+}
+
+fn visit(t: Trixel, level: u8, f: &mut impl FnMut(&Trixel)) {
+    if t.level() == level {
+        f(&t);
+    } else {
+        for c in t.children() {
+            visit(c, level, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_follow_8_times_4_to_l() {
+        for level in 0..5u8 {
+            let s = level_stats(level);
+            assert_eq!(s.count, 8 << (2 * level as u64));
+        }
+    }
+
+    #[test]
+    fn level0_is_exactly_uniform() {
+        let s = level_stats(0);
+        assert!((s.area_ratio - 1.0).abs() < 1e-12, "ratio {}", s.area_ratio);
+        // Octahedron face = 4π/8 sr.
+        assert!((s.min_area_sr - std::f64::consts::PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn areas_stay_approximately_equal() {
+        // The paper's claim "approximately equal areas": the max/min ratio
+        // converges to ~2.1 and never blows up.
+        for level in 1..6u8 {
+            let s = level_stats(level);
+            assert!(s.area_ratio < 2.2, "level {level} ratio {}", s.area_ratio);
+            assert!(s.area_ratio > 1.0);
+            assert!(s.min_area_sr > 0.0);
+        }
+    }
+
+    #[test]
+    fn ratio_grows_monotonically_to_limit() {
+        let mut prev = 0.0;
+        for level in 0..6u8 {
+            let r = level_stats(level).area_ratio;
+            assert!(r >= prev - 1e-12, "level {level}: {r} < {prev}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn sampled_matches_exact_for_small_levels() {
+        for level in 0..6u8 {
+            let exact = level_stats(level);
+            let sampled = sampled_level_stats(level);
+            assert!(
+                (exact.min_area_sr - sampled.min_area_sr).abs() < 1e-12,
+                "level {level} min: {} vs {}",
+                exact.min_area_sr,
+                sampled.min_area_sr
+            );
+            assert!(
+                (exact.max_area_sr - sampled.max_area_sr).abs() < 1e-12,
+                "level {level} max"
+            );
+        }
+    }
+
+    #[test]
+    fn resolution_reaches_arcsecond_scale() {
+        // Level 14 trixels are ~9 microsr → ~10 arcsec size; check the
+        // size formula decreases by 2x per level.
+        let s5 = sampled_level_stats(5);
+        let s6 = sampled_level_stats(6);
+        assert!((s5.mean_size_deg / s6.mean_size_deg - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,456 @@
+//! Trixels: the spherical triangles of the mesh, and their 64-bit ids.
+//!
+//! ## Id encoding
+//!
+//! The classic HTM encoding: the 8 octahedron faces get ids 8–15
+//! (binary `1000`–`1111`: a leading 1 marker bit, one hemisphere bit,
+//! two face-index bits); each subdivision appends two bits, so a child is
+//! `parent * 4 + k` with `k ∈ 0..4`. A level-`L` id therefore occupies
+//! exactly `4 + 2L` bits, the level is recoverable from the position of
+//! the highest set bit, and ids of one level form a contiguous range
+//! `[8·4^L, 16·4^L)`. Sorting by id at a fixed level is a depth-first
+//! traversal order of the quad-tree — the clustering order the archive
+//! stores objects in.
+
+use crate::HtmError;
+use sdss_skycoords::{SkyPos, UnitVec3, Vec3};
+
+/// Deepest supported subdivision level.
+///
+/// Level 31 would need 4+62 = 66 bits; 29 keeps ids in 62 bits with room
+/// to spare and resolves ~10 milli-arcsec — far below any survey's
+/// astrometric accuracy.
+pub const MAX_LEVEL: u8 = 29;
+
+/// A 64-bit HTM id. Always valid by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HtmId(u64);
+
+/// The six octahedron vertices (paper Figure 3: "The tree starts out from
+/// the triangles defined by an octahedron").
+const V0: UnitVec3 = UnitVec3::new_unchecked(0.0, 0.0, 1.0);
+const V1: UnitVec3 = UnitVec3::new_unchecked(1.0, 0.0, 0.0);
+const V2: UnitVec3 = UnitVec3::new_unchecked(0.0, 1.0, 0.0);
+const V3: UnitVec3 = UnitVec3::new_unchecked(-1.0, 0.0, 0.0);
+const V4: UnitVec3 = UnitVec3::new_unchecked(0.0, -1.0, 0.0);
+const V5: UnitVec3 = UnitVec3::new_unchecked(0.0, 0.0, -1.0);
+
+/// The 8 root triangles in id order (ids 8..=15), each a counter-clockwise
+/// corner triple as seen from outside the sphere. This is the vertex table
+/// of the original JHU HTM implementation.
+pub const BASE_TRIXELS: [(&str, [UnitVec3; 3]); 8] = [
+    ("S0", [V1, V5, V2]),
+    ("S1", [V2, V5, V3]),
+    ("S2", [V3, V5, V4]),
+    ("S3", [V4, V5, V1]),
+    ("N0", [V1, V0, V4]),
+    ("N1", [V4, V0, V3]),
+    ("N2", [V3, V0, V2]),
+    ("N3", [V2, V0, V1]),
+];
+
+impl HtmId {
+    /// First root id (`S0`).
+    pub const S0: HtmId = HtmId(8);
+
+    /// Construct from a raw u64, validating the bit pattern.
+    pub fn from_raw(raw: u64) -> Result<HtmId, HtmError> {
+        if raw < 8 {
+            return Err(HtmError::InvalidId(raw));
+        }
+        let msb = 63 - raw.leading_zeros() as u64; // position of highest set bit
+        // Valid ids have the highest bit at an odd position ≥ 3:
+        // 3, 5, 7, ... (level = (msb - 3) / 2).
+        if msb < 3 || !(msb - 3).is_multiple_of(2) {
+            return Err(HtmError::InvalidId(raw));
+        }
+        let level = (msb - 3) / 2;
+        if level > MAX_LEVEL as u64 {
+            return Err(HtmError::LevelTooDeep(level as u8));
+        }
+        Ok(HtmId(raw))
+    }
+
+    /// The raw 64-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Subdivision depth: 0 for the octahedron faces.
+    #[inline]
+    pub fn level(self) -> u8 {
+        let msb = 63 - self.0.leading_zeros() as u8;
+        (msb - 3) / 2
+    }
+
+    /// Root trixel id (8..=15) for one of the 8 octahedron faces.
+    pub fn root(index: u8) -> HtmId {
+        debug_assert!(index < 8);
+        HtmId(8 + index as u64)
+    }
+
+    /// The `k`-th child (k in 0..4), one level deeper.
+    #[inline]
+    pub fn child(self, k: u8) -> HtmId {
+        debug_assert!(k < 4);
+        debug_assert!(self.level() < MAX_LEVEL);
+        HtmId(self.0 * 4 + k as u64)
+    }
+
+    /// Parent trixel, or `None` for root trixels.
+    #[inline]
+    pub fn parent(self) -> Option<HtmId> {
+        if self.0 < 32 {
+            None
+        } else {
+            Some(HtmId(self.0 >> 2))
+        }
+    }
+
+    /// The ancestor at `level`, which must not exceed this id's level.
+    pub fn ancestor_at(self, level: u8) -> HtmId {
+        let my = self.level();
+        debug_assert!(level <= my);
+        HtmId(self.0 >> (2 * (my - level) as u64))
+    }
+
+    /// The half-open range `[lo, hi)` of level-`deep_level` ids covered by
+    /// this trixel. `deep_level` must be ≥ this id's level.
+    ///
+    /// This is how covers at mixed depths are normalized into comparable
+    /// intervals: a shallow "fully inside" trixel stands for the whole
+    /// contiguous block of its deepest descendants.
+    pub fn deep_range(self, deep_level: u8) -> (u64, u64) {
+        let shift = 2 * (deep_level - self.level()) as u64;
+        (self.0 << shift, (self.0 + 1) << shift)
+    }
+
+    /// Iterate over the digits (0..4) from the root to this trixel.
+    pub fn path_digits(self) -> impl Iterator<Item = u8> {
+        let level = self.level();
+        let raw = self.0;
+        (0..level).rev().map(move |i| ((raw >> (2 * i)) & 3) as u8)
+    }
+
+    /// Index of the root face (0..8) this trixel descends from.
+    #[inline]
+    pub fn root_index(self) -> u8 {
+        ((self.0 >> (2 * self.level() as u64)) - 8) as u8
+    }
+}
+
+impl std::fmt::Display for HtmId {
+    /// Displays as the textual `N012…`/`S31…` name (see [`crate::name`]).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&crate::name::id_to_name(*self))
+    }
+}
+
+/// A trixel: an HTM id together with its three corner vectors.
+///
+/// Corners are always counter-clockwise seen from outside the sphere, so
+/// `cross(c[i], c[i+1]) · p >= 0` for all i exactly when `p` is inside.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trixel {
+    id: HtmId,
+    corners: [UnitVec3; 3],
+}
+
+impl Trixel {
+    /// The 8 octahedron root trixels.
+    pub fn roots() -> [Trixel; 8] {
+        let mut out = [Trixel {
+            id: HtmId::S0,
+            corners: BASE_TRIXELS[0].1,
+        }; 8];
+        for (i, item) in out.iter_mut().enumerate() {
+            *item = Trixel {
+                id: HtmId::root(i as u8),
+                corners: BASE_TRIXELS[i].1,
+            };
+        }
+        out
+    }
+
+    /// Rebuild a trixel (id + corners) from its id by walking from the root.
+    pub fn from_id(id: HtmId) -> Trixel {
+        let mut t = Trixel::roots()[id.root_index() as usize];
+        for digit in id.path_digits() {
+            t = t.child(digit);
+        }
+        t
+    }
+
+    #[inline]
+    pub fn id(self) -> HtmId {
+        self.id
+    }
+
+    #[inline]
+    pub fn level(self) -> u8 {
+        self.id.level()
+    }
+
+    #[inline]
+    pub fn corners(self) -> [UnitVec3; 3] {
+        self.corners
+    }
+
+    /// The `k`-th child trixel. Subdivision midpoints follow the classic
+    /// HTM convention:
+    ///
+    /// ```text
+    ///        c0                w_i is the midpoint of the edge
+    ///        /\                opposite corner c_i:
+    ///      w2--w1                w0 = mid(c1, c2)
+    ///      /\  /\                w1 = mid(c0, c2)
+    ///    c1--w0--c2              w2 = mid(c0, c1)
+    ///
+    ///    child 0 = (c0, w2, w1)     child 1 = (c1, w0, w2)
+    ///    child 2 = (c2, w1, w0)     child 3 = (w0, w1, w2)
+    /// ```
+    pub fn child(self, k: u8) -> Trixel {
+        let [c0, c1, c2] = self.corners;
+        let w0 = c1.midpoint(c2).expect("trixel corners are never antipodal");
+        let w1 = c0.midpoint(c2).expect("trixel corners are never antipodal");
+        let w2 = c0.midpoint(c1).expect("trixel corners are never antipodal");
+        let corners = match k {
+            0 => [c0, w2, w1],
+            1 => [c1, w0, w2],
+            2 => [c2, w1, w0],
+            3 => [w0, w1, w2],
+            _ => unreachable!("child index is 0..4"),
+        };
+        Trixel {
+            id: self.id.child(k),
+            corners,
+        }
+    }
+
+    /// All four children.
+    pub fn children(self) -> [Trixel; 4] {
+        [self.child(0), self.child(1), self.child(2), self.child(3)]
+    }
+
+    /// Strict point-in-trixel test (with a tolerance for points exactly on
+    /// an edge, which are accepted — the mesh's lookup walk breaks the tie
+    /// deterministically by child order).
+    #[inline]
+    pub fn contains(&self, p: UnitVec3) -> bool {
+        const EPS: f64 = -1e-15;
+        let [a, b, c] = self.corners;
+        a.cross(b).dot(p.as_vec3()) >= EPS
+            && b.cross(c).dot(p.as_vec3()) >= EPS
+            && c.cross(a).dot(p.as_vec3()) >= EPS
+    }
+
+    /// Normalized centroid of the corners.
+    pub fn center(&self) -> UnitVec3 {
+        let [a, b, c] = self.corners;
+        (a.as_vec3() + b.as_vec3() + c.as_vec3())
+            .normalized()
+            .expect("corner sum of a proper triangle is nonzero")
+    }
+
+    /// Bounding cap: `(center, cos_radius)` — the smallest co-centered cap
+    /// containing all three corners. Used for fast rejection in covers.
+    pub fn bounding_cap(&self) -> (UnitVec3, f64) {
+        let c = self.center();
+        let cos_r = self
+            .corners
+            .iter()
+            .map(|v| c.dot(*v))
+            .fold(f64::INFINITY, f64::min);
+        (c, cos_r)
+    }
+
+    /// Spherical area in steradians via Girard's theorem
+    /// (sum of interior angles minus π).
+    pub fn area_sr(&self) -> f64 {
+        let [a, b, c] = self.corners;
+        let ang_a = corner_angle(a, b, c);
+        let ang_b = corner_angle(b, c, a);
+        let ang_c = corner_angle(c, a, b);
+        ang_a + ang_b + ang_c - std::f64::consts::PI
+    }
+
+    /// Approximate angular "size": the side of a square with equal area,
+    /// in degrees.
+    pub fn angular_size_deg(&self) -> f64 {
+        self.area_sr().sqrt().to_degrees()
+    }
+
+    /// Center position in angular coordinates (for display).
+    pub fn center_pos(&self) -> SkyPos {
+        SkyPos::from_unit_vec(self.center())
+    }
+}
+
+/// Interior spherical angle at corner `at` of triangle (at, p, q).
+fn corner_angle(at: UnitVec3, p: UnitVec3, q: UnitVec3) -> f64 {
+    // Tangent vectors at `at` toward p and q.
+    let tp = tangent_toward(at, p);
+    let tq = tangent_toward(at, q);
+    tp.cross(tq).norm().atan2(tp.dot(tq))
+}
+
+fn tangent_toward(at: UnitVec3, toward: UnitVec3) -> Vec3 {
+    let v = toward.as_vec3() - at.as_vec3() * at.dot(toward);
+    // Corners of a proper trixel are never identical/antipodal.
+    let n = v.norm();
+    v * (1.0 / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn id_encoding_roundtrip() {
+        for i in 0..8 {
+            let id = HtmId::root(i);
+            assert_eq!(id.level(), 0);
+            assert_eq!(id.root_index(), i);
+            assert_eq!(id.parent(), None);
+        }
+        let id = HtmId::root(3).child(2).child(1).child(0);
+        assert_eq!(id.level(), 3);
+        assert_eq!(id.raw(), ((8 + 3) * 4 + 2) * 4 * 4 + 4);
+        assert_eq!(
+            id.parent().unwrap().parent().unwrap().parent().unwrap(),
+            HtmId::root(3)
+        );
+        assert_eq!(id.path_digits().collect::<Vec<_>>(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn from_raw_validation() {
+        assert!(HtmId::from_raw(0).is_err());
+        assert!(HtmId::from_raw(7).is_err());
+        for raw in 8..16 {
+            assert!(HtmId::from_raw(raw).is_ok());
+        }
+        // 16..31 have the msb at an even position → invalid.
+        for raw in 16..32 {
+            assert!(HtmId::from_raw(raw).is_err(), "raw={raw}");
+        }
+        for raw in 32..64 {
+            assert!(HtmId::from_raw(raw).is_ok(), "raw={raw}");
+        }
+    }
+
+    #[test]
+    fn level_id_ranges_are_contiguous() {
+        // Level L ids form [8*4^L, 16*4^L).
+        for level in 0..6u32 {
+            let lo = 8u64 << (2 * level);
+            let hi = 16u64 << (2 * level);
+            assert_eq!(HtmId::from_raw(lo).unwrap().level(), level as u8);
+            assert_eq!(HtmId::from_raw(hi - 1).unwrap().level(), level as u8);
+            assert_ne!(
+                HtmId::from_raw(hi).map(|i| i.level()),
+                Ok(level as u8),
+                "range must end at {hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_range_nests() {
+        let id = HtmId::root(5);
+        let (lo, hi) = id.deep_range(2);
+        assert_eq!(hi - lo, 16); // 4^2 descendants
+        for k in 0..4 {
+            let (clo, chi) = id.child(k).deep_range(2);
+            assert!(clo >= lo && chi <= hi);
+        }
+        // A trixel's own range at its own level is [id, id+1).
+        assert_eq!(id.deep_range(0), (id.raw(), id.raw() + 1));
+    }
+
+    #[test]
+    fn ancestor_at_walks_up() {
+        let id = HtmId::root(2).child(3).child(1).child(2);
+        assert_eq!(id.ancestor_at(0), HtmId::root(2));
+        assert_eq!(id.ancestor_at(1), HtmId::root(2).child(3));
+        assert_eq!(id.ancestor_at(3), id);
+    }
+
+    #[test]
+    fn roots_partition_and_orient() {
+        // All roots contain their center and are CCW (positive area).
+        for t in Trixel::roots() {
+            assert!(t.contains(t.center()), "{:?}", t.id());
+            assert!(t.area_sr() > 0.0);
+        }
+        // The 8 root areas tile the sphere: total 4π.
+        let total: f64 = Trixel::roots().iter().map(|t| t.area_sr()).sum();
+        assert!((total - 4.0 * std::f64::consts::PI).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn children_tile_parent_area() {
+        let root = Trixel::roots()[0];
+        let child_sum: f64 = root.children().iter().map(|t| t.area_sr()).sum();
+        assert!(
+            (child_sum - root.area_sr()).abs() < 1e-9,
+            "children sum {child_sum} vs parent {}",
+            root.area_sr()
+        );
+    }
+
+    #[test]
+    fn from_id_matches_recursive_subdivision() {
+        let mut t = Trixel::roots()[6];
+        for k in [0u8, 3, 1, 2, 2] {
+            t = t.child(k);
+        }
+        let rebuilt = Trixel::from_id(t.id());
+        assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    fn bounding_cap_contains_corners() {
+        let t = Trixel::roots()[2].child(1).child(3);
+        let (c, cos_r) = t.bounding_cap();
+        for corner in t.corners() {
+            assert!(c.dot(corner) >= cos_r - 1e-15);
+        }
+        // And contains the center itself trivially.
+        assert!(c.dot(t.center()) >= cos_r);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_child_centers_inside_parent(root in 0u8..8, path in proptest::collection::vec(0u8..4, 0..8)) {
+            let mut t = Trixel::roots()[root as usize];
+            for k in path {
+                t = t.child(k);
+                prop_assert!(t.contains(t.center()));
+            }
+            // The deepest center must be inside every ancestor too.
+            let p = t.center();
+            let mut anc = t;
+            while let Some(pid) = anc.id().parent() {
+                anc = Trixel::from_id(pid);
+                prop_assert!(anc.contains(p));
+            }
+        }
+
+        #[test]
+        fn prop_exactly_one_child_contains_interior_point(root in 0u8..8, path in proptest::collection::vec(0u8..4, 0..6)) {
+            let mut t = Trixel::roots()[root as usize];
+            for k in path {
+                t = t.child(k);
+            }
+            let p = t.center();
+            // p is strictly interior to t (it's the centroid), so exactly
+            // one child contains it strictly... boundary grazing can make
+            // it 1 or 2 with tolerance; at least one always.
+            let n = t.children().iter().filter(|c| c.contains(p)).count();
+            prop_assert!(n >= 1, "no child claims the parent centroid");
+        }
+    }
+}

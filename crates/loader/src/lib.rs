@@ -1,0 +1,54 @@
+//! # Bulk loading: observation-ordered chunks into clustered containers
+//!
+//! The paper's §Data Loading:
+//!
+//! > "Datasets are sent in coherent chunks. A chunk consists of several
+//! > segments of the sky that were scanned in a single night [...] The
+//! > incoming data are organized by how the observations were taken. In
+//! > the Science Archive they will be inserted into the hierarchy of
+//! > containers as defined by the multidimensional spatial index [...]
+//! > Our load design minimizes disk accesses, touching each clustering
+//! > unit at most once during a load. The chunk data is first examined to
+//! > construct an index. [...] Then data is inserted into the containers
+//! > in a single pass over the data objects."
+//!
+//! * [`chunk`] — one night's drift-scan output: segments of a stripe in
+//!   observation (time) order, including the camera-rate model of
+//!   Figure 1 (120 Mpixel × 0.4″ pixels ⇒ 8 MB/s)
+//! * [`load`] — the two-phase clustered loader and the naive
+//!   arrival-order baseline it is measured against (experiment E9)
+//! * [`pipeline`] — multi-night ingest simulation (20 GB/day feasibility)
+
+pub mod chunk;
+pub mod load;
+pub mod pipeline;
+
+pub use chunk::{Chunk, DriftScanCamera, Segment};
+pub use load::{load_clustered, load_naive, LoadReport};
+pub use pipeline::{IngestPipeline, IngestReport};
+
+/// Errors produced by the loader crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoaderError {
+    /// Invalid chunk geometry or parameters.
+    InvalidChunk(String),
+    /// Underlying storage failure.
+    Storage(String),
+}
+
+impl std::fmt::Display for LoaderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoaderError::InvalidChunk(m) => write!(f, "invalid chunk: {m}"),
+            LoaderError::Storage(m) => write!(f, "storage: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoaderError {}
+
+impl From<sdss_storage::StorageError> for LoaderError {
+    fn from(e: sdss_storage::StorageError) -> Self {
+        LoaderError::Storage(e.to_string())
+    }
+}

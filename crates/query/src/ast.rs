@@ -1,0 +1,315 @@
+//! Abstract syntax of the archive query language.
+//!
+//! A deliberately small SQL dialect: single-table selects over `photoobj`
+//! with spatial predicates, combined by the paper's set-operation nodes.
+//!
+//! ```sql
+//! SELECT ra, dec, r, g - r FROM photoobj
+//! WHERE CIRCLE(185.0, 15.0, 2.0) AND r < 22 AND class = 'GALAXY'
+//! ORDER BY r LIMIT 10
+//! ```
+
+/// A literal value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Num(f64),
+    /// A 64-bit identifier (object ids exceed f64's 53-bit mantissa, so
+    /// they get their own exact representation).
+    Id(u64),
+    Str(String),
+    Bool(bool),
+    /// SQL NULL (missing attribute).
+    Null,
+}
+
+impl Value {
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            Value::Id(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Exact id extraction: `Id` values directly, integral `Num`s checked.
+    pub fn as_id(&self) -> Option<u64> {
+        match self {
+            Value::Id(v) => Some(*v),
+            Value::Num(v) if v.fract() == 0.0 && *v >= 0.0 && *v < 9.0e15 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Num(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{}", *v as i64)
+                } else {
+                    write!(f, "{v:.6}")
+                }
+            }
+            Value::Id(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// Binary operators, loosest-binding last in each group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Spatial predicates — compiled to HTM region covers, never evaluated
+/// row-by-row unless the row falls in a boundary trixel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpatialPred {
+    /// CIRCLE(ra, dec, radius_deg)
+    Circle { ra: f64, dec: f64, radius: f64 },
+    /// RECT(ra_lo, ra_hi, dec_lo, dec_hi)
+    Rect {
+        ra_lo: f64,
+        ra_hi: f64,
+        dec_lo: f64,
+        dec_hi: f64,
+    },
+    /// BAND('GALACTIC', lat_lo, lat_hi) — latitude band in a named frame.
+    Band {
+        frame: String,
+        lat_lo: f64,
+        lat_hi: f64,
+    },
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Attribute reference (`r`, `ra`, `class`, ...).
+    Attr(String),
+    Lit(Value),
+    Unary(UnOp, Box<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `x BETWEEN lo AND hi` (inclusive).
+    Between(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Scalar function call (`DIST(ra, dec)`, `COLORDIST(...)`, ...).
+    Call(String, Vec<Expr>),
+    /// A spatial predicate used as a boolean factor.
+    Spatial(SpatialPred),
+}
+
+impl Expr {
+    /// All attribute names referenced by this expression.
+    pub fn attrs(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Attr(name) => out.push(name.clone()),
+            Expr::Lit(_) | Expr::Spatial(_) => {}
+            Expr::Unary(_, e) => e.attrs(out),
+            Expr::Bin(_, a, b) => {
+                a.attrs(out);
+                b.attrs(out);
+            }
+            Expr::Between(a, b, c) => {
+                a.attrs(out);
+                b.attrs(out);
+                c.attrs(out);
+            }
+            Expr::Call(name, args) => {
+                // Functions may implicitly read position attributes.
+                if crate::ops::function_uses_position(name) {
+                    out.push("cx".to_string());
+                    out.push("cy".to_string());
+                    out.push("cz".to_string());
+                }
+                for a in args {
+                    a.attrs(out);
+                }
+            }
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    Count,
+    Min,
+    Max,
+    Sum,
+    Avg,
+}
+
+impl AggFn {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFn::Count => "COUNT",
+            AggFn::Min => "MIN",
+            AggFn::Max => "MAX",
+            AggFn::Sum => "SUM",
+            AggFn::Avg => "AVG",
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A scalar expression with its display name.
+    Expr { expr: Expr, name: String },
+    /// An aggregate over a scalar expression (`None` = COUNT(*)).
+    Agg {
+        func: AggFn,
+        arg: Option<Expr>,
+        name: String,
+    },
+    /// `*` — all tag attributes.
+    Star,
+}
+
+/// A single SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub items: Vec<SelectItem>,
+    /// Only `photoobj` exists today; kept for future catalogs.
+    pub table: String,
+    pub predicate: Option<Expr>,
+    /// ORDER BY column name, descending?
+    pub order_by: Option<(String, bool)>,
+    pub limit: Option<usize>,
+    /// `SAMPLE 0.01` — run on the deterministic sample.
+    pub sample: Option<f64>,
+}
+
+/// Set operations between selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    Union,
+    Intersect,
+    Except,
+}
+
+/// A full query: a select or a set-operation tree over selects — the
+/// shape of the paper's Query Execution Tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    Select(SelectStmt),
+    SetOp(SetOp, Box<Query>, Box<Query>),
+}
+
+impl Query {
+    /// Walk all SELECT statements.
+    pub fn selects(&self) -> Vec<&SelectStmt> {
+        let mut out = Vec::new();
+        fn walk<'a>(q: &'a Query, out: &mut Vec<&'a SelectStmt>) {
+            match q {
+                Query::Select(s) => out.push(s),
+                Query::SetOp(_, l, r) => {
+                    walk(l, out);
+                    walk(r, out);
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Num(3.0).to_string(), "3");
+        assert_eq!(Value::Num(3.25).to_string(), "3.250000");
+        assert_eq!(Value::Str("GALAXY".into()).to_string(), "GALAXY");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Num(2.5).as_num(), Some(2.5));
+        assert_eq!(Value::Str("x".into()).as_num(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Num(1.0).as_bool(), None);
+    }
+
+    #[test]
+    fn expr_attrs_collects_references() {
+        // (r < 22) AND (g - r > 0.3)
+        let e = Expr::Bin(
+            BinOp::And,
+            Box::new(Expr::Bin(
+                BinOp::Lt,
+                Box::new(Expr::Attr("r".into())),
+                Box::new(Expr::Lit(Value::Num(22.0))),
+            )),
+            Box::new(Expr::Bin(
+                BinOp::Gt,
+                Box::new(Expr::Bin(
+                    BinOp::Sub,
+                    Box::new(Expr::Attr("g".into())),
+                    Box::new(Expr::Attr("r".into())),
+                )),
+                Box::new(Expr::Lit(Value::Num(0.3))),
+            )),
+        );
+        let mut attrs = Vec::new();
+        e.attrs(&mut attrs);
+        attrs.sort();
+        attrs.dedup();
+        assert_eq!(attrs, vec!["g".to_string(), "r".to_string()]);
+    }
+
+    #[test]
+    fn selects_walks_set_trees() {
+        let s = SelectStmt {
+            items: vec![SelectItem::Star],
+            table: "photoobj".into(),
+            predicate: None,
+            order_by: None,
+            limit: None,
+            sample: None,
+        };
+        let q = Query::SetOp(
+            SetOp::Union,
+            Box::new(Query::Select(s.clone())),
+            Box::new(Query::SetOp(
+                SetOp::Except,
+                Box::new(Query::Select(s.clone())),
+                Box::new(Query::Select(s)),
+            )),
+        );
+        assert_eq!(q.selects().len(), 3);
+    }
+}

@@ -1,0 +1,454 @@
+//! Multithreaded QET execution with ASAP push streaming.
+//!
+//! Every plan node runs on its own thread; rows flow upward through
+//! bounded crossbeam channels in small batches. Scan/Limit nodes stream;
+//! Sort/Aggregate/Set nodes are the paper's blocking nodes ("at least one
+//! of the child nodes must be complete before results can be sent further
+//! up the tree"). The channel fabric gives the ASAP property: the first
+//! matching object reaches the consumer while scans are still running.
+
+use crate::ast::{AggFn, Value};
+use crate::ops::{eval, AttrSource};
+use crate::plan::{PlanNode, ScanSpec, ScanTarget};
+use crate::QueryError;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use sdss_storage::{sample_hash_keep, ObjectStore, TagStore};
+use std::collections::HashMap;
+
+/// One output row.
+pub type Row = Vec<Value>;
+
+/// Rows travel in batches to amortize channel overhead.
+const BATCH: usize = 128;
+/// Channel depth: enough to decouple producer/consumer without buffering
+/// the whole result (that would break the ASAP property).
+const CHANNEL_DEPTH: usize = 8;
+
+/// A handle to a running (sub)tree: the receiving end of its output.
+pub struct ExecHandle {
+    pub columns: Vec<String>,
+    pub rx: Receiver<Vec<Row>>,
+}
+
+/// Execution context shared by all nodes of one query.
+pub struct ExecCtx<'a> {
+    pub store: &'a ObjectStore,
+    pub tags: Option<&'a TagStore>,
+    /// Cover level override for scans.
+    pub cover_level: Option<u8>,
+}
+
+/// Execute a plan inside a thread scope, calling `consume` with the
+/// root's handle while producers are still running (ASAP push).
+///
+/// The scope guarantees all node threads finish before this returns, so
+/// borrowing the stores is safe without `Arc`.
+pub fn execute<'a, R>(
+    ctx: &ExecCtx<'a>,
+    plan: &PlanNode,
+    consume: impl FnOnce(ExecHandle) -> R,
+) -> Result<R, QueryError> {
+    let result = std::thread::scope(|scope| {
+        let handle = spawn_node(ctx, plan, scope);
+        consume(handle)
+    });
+    Ok(result)
+}
+
+fn spawn_node<'s, 'env: 's, 'a: 'env>(
+    ctx: &ExecCtx<'a>,
+    node: &'env PlanNode,
+    scope: &'s std::thread::Scope<'s, 'env>,
+) -> ExecHandle {
+    match node {
+        PlanNode::Scan(spec) => spawn_scan(ctx, spec, scope),
+        PlanNode::Limit { child, n } => {
+            let child_handle = spawn_node(ctx, child, scope);
+            let (tx, rx) = bounded::<Vec<Row>>(CHANNEL_DEPTH);
+            let n = *n;
+            let columns = child_handle.columns.clone();
+            scope.spawn(move || {
+                let mut remaining = n;
+                for batch in child_handle.rx.iter() {
+                    if remaining == 0 {
+                        break; // dropping rx cancels the child
+                    }
+                    let take = batch.len().min(remaining);
+                    remaining -= take;
+                    if tx.send(batch.into_iter().take(take).collect()).is_err() {
+                        break;
+                    }
+                }
+            });
+            ExecHandle { columns, rx }
+        }
+        PlanNode::Sort { child, key, desc } => {
+            let child_handle = spawn_node(ctx, child, scope);
+            let (tx, rx) = bounded::<Vec<Row>>(CHANNEL_DEPTH);
+            let columns = child_handle.columns.clone();
+            let key_idx = columns.iter().position(|c| c == key);
+            let desc = *desc;
+            scope.spawn(move || {
+                // Blocking node: drain the child completely first.
+                let mut rows: Vec<Row> = child_handle.rx.iter().flatten().collect();
+                if let Some(idx) = key_idx {
+                    rows.sort_by(|a, b| {
+                        let ord = compare_values(&a[idx], &b[idx]);
+                        if desc {
+                            ord.reverse()
+                        } else {
+                            ord
+                        }
+                    });
+                }
+                for chunk in rows.chunks(BATCH) {
+                    if tx.send(chunk.to_vec()).is_err() {
+                        break;
+                    }
+                }
+            });
+            ExecHandle { columns, rx }
+        }
+        PlanNode::Aggregate { child, aggs } => {
+            let child_handle = spawn_node(ctx, child, scope);
+            // Aggregates read raw records, not projected rows: rebuild
+            // accumulators over the child's rows by evaluating agg args
+            // against a pseudo-record... simpler: aggregate over child
+            // output columns. The planner guarantees agg args were
+            // appended as hidden columns (see scan lowering below).
+            let (tx, rx) = bounded::<Vec<Row>>(CHANNEL_DEPTH);
+            let columns: Vec<String> = aggs.iter().map(|a| a.name.clone()).collect();
+            let aggs = aggs.clone();
+            let child_cols = child_handle.columns.clone();
+            scope.spawn(move || {
+                let mut acc: Vec<AggAcc> = aggs.iter().map(|a| AggAcc::new(a.func)).collect();
+                for batch in child_handle.rx.iter() {
+                    for row in batch {
+                        for (i, agg) in aggs.iter().enumerate() {
+                            // Hidden column convention: agg arg i lives at
+                            // column named __agg_i (appended by lowering),
+                            // COUNT(*) needs no value.
+                            let v = match &agg.arg {
+                                None => None,
+                                Some(_) => {
+                                    let idx = child_cols
+                                        .iter()
+                                        .position(|c| c == &format!("__agg_{i}"))
+                                        .expect("lowering appended the agg column");
+                                    row[idx].as_num()
+                                }
+                            };
+                            acc[i].update(v);
+                        }
+                    }
+                }
+                let row: Row = acc.into_iter().map(AggAcc::finish).collect();
+                let _ = tx.send(vec![row]);
+            });
+            ExecHandle { columns, rx }
+        }
+        PlanNode::Set { op, left, right } => {
+            let lh = spawn_node(ctx, left, scope);
+            let rh = spawn_node(ctx, right, scope);
+            let (tx, rx) = bounded::<Vec<Row>>(CHANNEL_DEPTH);
+            let columns = lh.columns.clone();
+            let n_columns = columns.len();
+            let objid_idx = columns
+                .iter()
+                .position(|c| c == "objid")
+                .expect("planner enforced objid for set ops");
+            let op = *op;
+            scope.spawn(move || {
+                // Blocking on the right side: build the key set.
+                let mut right_ids: HashMap<u64, ()> = HashMap::new();
+                for batch in rh.rx.iter() {
+                    for row in batch {
+                        if let Some(id) = row[objid_idx].as_id() {
+                            right_ids.insert(id, ());
+                        }
+                    }
+                }
+                // Stream the left side against it.
+                let mut seen: HashMap<u64, ()> = HashMap::new();
+                let mut out = Vec::with_capacity(BATCH);
+                for batch in lh.rx.iter() {
+                    for row in batch {
+                        let Some(id) = row[objid_idx].as_id() else {
+                            continue;
+                        };
+                        if seen.contains_key(&id) {
+                            continue; // set semantics: dedupe left
+                        }
+                        let keep = match op {
+                            crate::ast::SetOp::Union => true,
+                            crate::ast::SetOp::Intersect => right_ids.contains_key(&id),
+                            crate::ast::SetOp::Except => !right_ids.contains_key(&id),
+                        };
+                        if keep {
+                            seen.insert(id, ());
+                            out.push(row);
+                            if out.len() >= BATCH
+                                && tx.send(std::mem::take(&mut out)).is_err() {
+                                    return;
+                                }
+                        }
+                    }
+                }
+                // Union also emits right-only rows.
+                if op == crate::ast::SetOp::Union {
+                    for (&id, _) in right_ids.iter() {
+                        if !seen.contains_key(&id) {
+                            // We only kept ids, not rows, for the right
+                            // side; emit a minimal row with objid and NULLs
+                            // — documented bag-of-pointers semantics.
+                            let mut row: Row = vec![Value::Null; n_columns];
+                            row[objid_idx] = Value::Id(id);
+                            out.push(row);
+                            if out.len() >= BATCH
+                                && tx.send(std::mem::take(&mut out)).is_err() {
+                                    return;
+                                }
+                        }
+                    }
+                }
+                if !out.is_empty() {
+                    let _ = tx.send(out);
+                }
+            });
+            ExecHandle { columns, rx }
+        }
+    }
+}
+
+/// Lower a scan: project columns (plus hidden aggregate argument columns,
+/// handled by the planner caller) and stream matching rows.
+fn spawn_scan<'s, 'env: 's, 'a: 'env>(
+    ctx: &ExecCtx<'a>,
+    spec: &'env ScanSpec,
+    scope: &'s std::thread::Scope<'s, 'env>,
+) -> ExecHandle {
+    let (tx, rx) = bounded::<Vec<Row>>(CHANNEL_DEPTH);
+    let columns: Vec<String> = spec.columns.iter().map(|(n, _)| n.clone()).collect();
+    let store = ctx.store;
+    let tags = ctx.tags;
+    let cover_level = ctx.cover_level;
+
+    scope.spawn(move || {
+        let mut out: Vec<Row> = Vec::with_capacity(BATCH);
+        let mut alive = true;
+
+        // The row pipeline, generic over record type.
+        let mut emit = |src: &dyn AttrSource, tx: &Sender<Vec<Row>>| -> bool {
+            if let Some(f) = spec.sample {
+                let id = src.attr("objid").and_then(|v| v.as_id()).unwrap_or(0);
+                if !sample_hash_keep(id, f) {
+                    return true;
+                }
+            }
+            if let Some(pred) = &spec.predicate {
+                match eval(pred, &SourceRef(src)) {
+                    Ok(Value::Bool(true)) => {}
+                    Ok(_) => return true,
+                    Err(_) => return true, // row-level type errors drop the row
+                }
+            }
+            let mut row: Row = Vec::with_capacity(spec.columns.len());
+            for (_, expr) in &spec.columns {
+                match eval(expr, &SourceRef(src)) {
+                    Ok(v) => row.push(v),
+                    Err(_) => row.push(Value::Null),
+                }
+            }
+            out.push(row);
+            if out.len() >= BATCH
+                && tx.send(std::mem::take(&mut out)).is_err() {
+                    return false;
+                }
+            true
+        };
+
+        match (spec.target, tags) {
+            (ScanTarget::Tag, Some(tag_store)) => match &spec.domain {
+                Some(domain) => {
+                    let _ = tag_store.scan_region_until(domain, cover_level, |t| {
+                        alive = emit(t, &tx);
+                        alive
+                    });
+                }
+                None => {
+                    // Full tag scan (no spatial restriction).
+                    tag_store.scan_all(|t| {
+                        if alive {
+                            alive = emit(t, &tx);
+                        }
+                    });
+                }
+            },
+            _ => match &spec.domain {
+                Some(domain) => {
+                    let _ = store.scan_region_until(domain, cover_level, |o| {
+                        alive = emit(o, &tx);
+                        alive
+                    });
+                }
+                None => {
+                    store.scan_all(|o| {
+                        if alive {
+                            alive = emit(o, &tx);
+                        }
+                    });
+                }
+            },
+        }
+        if alive && !out.is_empty() {
+            let _ = tx.send(out);
+        }
+    });
+    ExecHandle { columns, rx }
+}
+
+/// Wrapper so `&dyn AttrSource` satisfies the generic eval bound.
+struct SourceRef<'a>(&'a dyn AttrSource);
+
+impl AttrSource for SourceRef<'_> {
+    fn attr(&self, name: &str) -> Option<Value> {
+        self.0.attr(name)
+    }
+
+    fn position(&self) -> sdss_skycoords::UnitVec3 {
+        self.0.position()
+    }
+}
+
+/// Total order over values for ORDER BY (numbers < strings < bools < NULL).
+pub fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering::*;
+    match (a, b) {
+        (Value::Num(x), Value::Num(y)) => x.total_cmp(y),
+        (Value::Id(x), Value::Id(y)) => x.cmp(y),
+        (Value::Id(x), Value::Num(y)) => (*x as f64).total_cmp(y),
+        (Value::Num(x), Value::Id(y)) => x.total_cmp(&(*y as f64)),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Null, Value::Null) => Equal,
+        (Value::Num(_) | Value::Id(_), _) => Less,
+        (_, Value::Num(_) | Value::Id(_)) => Greater,
+        (Value::Str(_), _) => Less,
+        (_, Value::Str(_)) => Greater,
+        (Value::Bool(_), _) => Less,
+        (_, Value::Bool(_)) => Greater,
+    }
+}
+
+/// Aggregate accumulator.
+struct AggAcc {
+    func: AggFn,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl AggAcc {
+    fn new(func: AggFn) -> AggAcc {
+        AggAcc {
+            func,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn update(&mut self, v: Option<f64>) {
+        match self.func {
+            AggFn::Count => self.count += 1,
+            _ => {
+                if let Some(x) = v {
+                    self.count += 1;
+                    self.sum += x;
+                    self.min = self.min.min(x);
+                    self.max = self.max.max(x);
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self.func {
+            AggFn::Count => Value::Num(self.count as f64),
+            AggFn::Sum => Value::Num(self.sum),
+            AggFn::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Num(self.sum / self.count as f64)
+                }
+            }
+            AggFn::Min => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Num(self.min)
+                }
+            }
+            AggFn::Max => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Num(self.max)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_ordering_total() {
+        let vals = [
+            Value::Num(1.0),
+            Value::Num(2.0),
+            Value::Str("a".into()),
+            Value::Bool(false),
+            Value::Null,
+        ];
+        // compare_values is a total order: antisymmetric & transitive on
+        // this sample.
+        for a in &vals {
+            assert_eq!(compare_values(a, a), std::cmp::Ordering::Equal);
+            for b in &vals {
+                let ab = compare_values(a, b);
+                let ba = compare_values(b, a);
+                assert_eq!(ab, ba.reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn agg_accumulators() {
+        let mut count = AggAcc::new(AggFn::Count);
+        let mut avg = AggAcc::new(AggFn::Avg);
+        let mut min = AggAcc::new(AggFn::Min);
+        let mut max = AggAcc::new(AggFn::Max);
+        let mut sum = AggAcc::new(AggFn::Sum);
+        for v in [2.0, 4.0, 6.0] {
+            count.update(None);
+            avg.update(Some(v));
+            min.update(Some(v));
+            max.update(Some(v));
+            sum.update(Some(v));
+        }
+        assert_eq!(count.finish(), Value::Num(3.0));
+        assert_eq!(avg.finish(), Value::Num(4.0));
+        assert_eq!(min.finish(), Value::Num(2.0));
+        assert_eq!(max.finish(), Value::Num(6.0));
+        assert_eq!(sum.finish(), Value::Num(12.0));
+        // Empty aggregates are NULL (except COUNT = 0).
+        assert_eq!(AggAcc::new(AggFn::Avg).finish(), Value::Null);
+        assert_eq!(AggAcc::new(AggFn::Count).finish(), Value::Num(0.0));
+    }
+}

@@ -1,0 +1,285 @@
+//! Hand-written lexer for the query language.
+
+use crate::QueryError;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Num(f64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    Eof,
+}
+
+/// A token with its source position (byte offset), for error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub pos: usize,
+}
+
+/// Tokenize the whole input.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, QueryError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                out.push(Spanned { tok: Tok::LParen, pos: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { tok: Tok::RParen, pos: i });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { tok: Tok::Comma, pos: i });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned { tok: Tok::Star, pos: i });
+                i += 1;
+            }
+            '+' => {
+                out.push(Spanned { tok: Tok::Plus, pos: i });
+                i += 1;
+            }
+            '-' => {
+                // `--` starts a comment to end of line.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Spanned { tok: Tok::Minus, pos: i });
+                    i += 1;
+                }
+            }
+            '/' => {
+                out.push(Spanned { tok: Tok::Slash, pos: i });
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Le, pos: i });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Spanned { tok: Tok::Ne, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Lt, pos: i });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Ge, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Gt, pos: i });
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Spanned { tok: Tok::Eq, pos: i });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Ne, pos: i });
+                    i += 2;
+                } else {
+                    return Err(QueryError::Lex {
+                        pos: i,
+                        message: "lone '!' (did you mean '!=')".to_string(),
+                    });
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(QueryError::Lex {
+                            pos: start,
+                            message: "unterminated string literal".to_string(),
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        // Doubled quote escapes a quote.
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    pos: start,
+                });
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let v: f64 = text.parse().map_err(|_| QueryError::Lex {
+                    pos: start,
+                    message: format!("bad number {text:?}"),
+                })?;
+                out.push(Spanned {
+                    tok: Tok::Num(v),
+                    pos: start,
+                });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(input[start..i].to_string()),
+                    pos: start,
+                });
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    pos: i,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: input.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Tok> {
+        lex(input).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("SELECT ra, dec FROM photoobj"),
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("ra".into()),
+                Tok::Comma,
+                Tok::Ident("dec".into()),
+                Tok::Ident("FROM".into()),
+                Tok::Ident("photoobj".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("1 2.5 .5 1e3 2.5e-2"),
+            vec![
+                Tok::Num(1.0),
+                Tok::Num(2.5),
+                Tok::Num(0.5),
+                Tok::Num(1000.0),
+                Tok::Num(0.025),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_comparisons() {
+        assert_eq!(
+            toks("a<=b >= < > = != <> + - * /"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            toks("'GALAXY' 'it''s'"),
+            vec![
+                Tok::Str("GALAXY".into()),
+                Tok::Str("it's".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("ra -- this is a comment\n dec"),
+            vec![Tok::Ident("ra".into()), Tok::Ident("dec".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        match lex("ra ; dec") {
+            Err(QueryError::Lex { pos, .. }) => assert_eq!(pos, 3),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("1.2.3").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! # Query engine: parser, Query Execution Trees, streaming execution
+//!
+//! The paper's prototype query system:
+//!
+//! > "Each query received from the User Interface is parsed into a Query
+//! > Execution Tree (QET) that is then executed by the Query Engine. Each
+//! > node of the QET is either a query or a set-operation node, and
+//! > returns a bag of object-pointers upon execution. The multi-threaded
+//! > Query Engine executes in parallel at all the nodes at a given level
+//! > of the QET. Results from child nodes are passed up the tree as soon
+//! > as they are generated. [...] this ASAP data push strategy ensures
+//! > that even in the case of a query that takes a very long time to
+//! > complete, the user starts seeing results almost immediately."
+//!
+//! * [`ast`] / [`lexer`] / [`parser`] — a small SQL-ish surface language
+//!   with spatial predicates (`CIRCLE`, `RECT`, `BAND`) and set operators
+//!   (`UNION` / `INTERSECT` / `EXCEPT`)
+//! * [`plan`] — the QET itself, built from the AST; spatial predicates
+//!   are compiled to HTM covers
+//! * [`exec`] — multithreaded ASAP-push execution over crossbeam channels
+//! * [`engine`] — the façade: parse → plan → route (tag store vs full
+//!   store) → execute
+//! * [`ops`] — the "special operators related to angular distances and
+//!   complex similarity tests"
+
+pub mod ast;
+pub mod engine;
+pub mod exec;
+pub mod lexer;
+pub mod ops;
+pub mod parser;
+pub mod plan;
+
+pub use ast::{BinOp, Expr, Query, SelectStmt, SetOp, Value};
+pub use engine::{Engine, QueryOutput, QueryStats, RouteChoice};
+pub use exec::{ExecHandle, Row};
+pub use plan::{PlanNode, QueryPlan};
+
+/// Errors produced by the query crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Lexical error with position.
+    Lex { pos: usize, message: String },
+    /// Parse error with position.
+    Parse { pos: usize, message: String },
+    /// Unknown attribute / table name.
+    Unknown(String),
+    /// Type mismatch in an expression.
+    Type(String),
+    /// Region construction failed.
+    Region(String),
+    /// Execution-time failure.
+    Exec(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            QueryError::Parse { pos, message } => {
+                write!(f, "parse error at {pos}: {message}")
+            }
+            QueryError::Unknown(n) => write!(f, "unknown name: {n}"),
+            QueryError::Type(m) => write!(f, "type error: {m}"),
+            QueryError::Region(m) => write!(f, "region error: {m}"),
+            QueryError::Exec(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<sdss_htm::HtmError> for QueryError {
+    fn from(e: sdss_htm::HtmError) -> Self {
+        QueryError::Region(e.to_string())
+    }
+}
+
+impl From<sdss_storage::StorageError> for QueryError {
+    fn from(e: sdss_storage::StorageError) -> Self {
+        QueryError::Exec(e.to_string())
+    }
+}

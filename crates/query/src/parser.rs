@@ -1,0 +1,666 @@
+//! Recursive-descent parser: tokens → [`Query`] AST.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query      := select ( (UNION|INTERSECT|EXCEPT) select )*   -- left assoc
+//! select     := SELECT items FROM ident [WHERE expr]
+//!               [ORDER BY ident [ASC|DESC]] [LIMIT num] [SAMPLE num]
+//!             | '(' query ')'
+//! items      := '*' | item (',' item)*
+//! item       := agg '(' ('*'|expr) ')' | expr [AS ident]
+//! expr       := or ;  or := and (OR and)* ;  and := not (AND not)*
+//! not        := NOT not | cmp
+//! cmp        := sum ((<|<=|>|>=|=|!=) sum | BETWEEN sum AND sum)?
+//! sum        := prod ((+|-) prod)* ;  prod := unary ((*|/) unary)*
+//! unary      := '-' unary | atom
+//! atom       := num | str | ident | ident '(' args ')' | '(' expr ')'
+//! ```
+//!
+//! `CIRCLE`, `RECT` and `BAND` calls in predicate position become
+//! [`SpatialPred`]s; `TRUE`/`FALSE` literals are accepted.
+
+use crate::ast::{AggFn, BinOp, Expr, Query, SelectItem, SelectStmt, SetOp, SpatialPred, UnOp, Value};
+use crate::lexer::{lex, Spanned, Tok};
+use crate::QueryError;
+
+/// Parse a full query string.
+pub fn parse(input: &str) -> Result<Query, QueryError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, at: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.at].tok
+    }
+
+    fn pos(&self) -> usize {
+        self.toks[self.at].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.at].tok.clone();
+        if self.at < self.toks.len() - 1 {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, QueryError> {
+        Err(QueryError::Parse {
+            pos: self.pos(),
+            message: message.into(),
+        })
+    }
+
+    /// Is the current token the given (case-insensitive) keyword?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), QueryError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected {kw}"))
+        }
+    }
+
+    fn expect_tok(&mut self, t: Tok, what: &str) -> Result<(), QueryError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}"))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), QueryError> {
+        if *self.peek() == Tok::Eof {
+            Ok(())
+        } else {
+            self.err("trailing input after query")
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, QueryError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => self.err("expected identifier"),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, QueryError> {
+        // Allow a leading minus in numeric argument positions.
+        let neg = if *self.peek() == Tok::Minus {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        match *self.peek() {
+            Tok::Num(v) => {
+                self.bump();
+                Ok(if neg { -v } else { v })
+            }
+            _ => self.err("expected number"),
+        }
+    }
+
+    // query := select_atom ((UNION|INTERSECT|EXCEPT) select_atom)*
+    fn query(&mut self) -> Result<Query, QueryError> {
+        let mut left = self.select_atom()?;
+        loop {
+            let op = if self.at_kw("UNION") {
+                SetOp::Union
+            } else if self.at_kw("INTERSECT") {
+                SetOp::Intersect
+            } else if self.at_kw("EXCEPT") {
+                SetOp::Except
+            } else {
+                break;
+            };
+            self.bump();
+            let right = self.select_atom()?;
+            left = Query::SetOp(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    // select_atom := SELECT ... | '(' query ')'
+    fn select_atom(&mut self) -> Result<Query, QueryError> {
+        if *self.peek() == Tok::LParen {
+            self.bump();
+            let q = self.query()?;
+            self.expect_tok(Tok::RParen, ")")?;
+            return Ok(q);
+        }
+        Ok(Query::Select(self.select()?))
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, QueryError> {
+        self.expect_kw("SELECT")?;
+        let items = self.select_items()?;
+        self.expect_kw("FROM")?;
+        let table = self.ident()?.to_ascii_lowercase();
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            let col = self.ident()?;
+            let desc = if self.eat_kw("DESC") {
+                true
+            } else {
+                self.eat_kw("ASC");
+                false
+            };
+            Some((col, desc))
+        } else {
+            None
+        };
+        let limit = if self.eat_kw("LIMIT") {
+            let n = self.number()?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return self.err("LIMIT must be a non-negative integer");
+            }
+            Some(n as usize)
+        } else {
+            None
+        };
+        let sample = if self.eat_kw("SAMPLE") {
+            let f = self.number()?;
+            if !(0.0..=1.0).contains(&f) {
+                return self.err("SAMPLE fraction must be in [0, 1]");
+            }
+            Some(f)
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            items,
+            table,
+            predicate,
+            order_by,
+            limit,
+            sample,
+        })
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>, QueryError> {
+        if *self.peek() == Tok::Star {
+            self.bump();
+            return Ok(vec![SelectItem::Star]);
+        }
+        let mut items = vec![self.select_item()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, QueryError> {
+        // Aggregate?
+        if let Tok::Ident(name) = self.peek().clone() {
+            let agg = match name.to_ascii_uppercase().as_str() {
+                "COUNT" => Some(AggFn::Count),
+                "MIN" => Some(AggFn::Min),
+                "MAX" => Some(AggFn::Max),
+                "SUM" => Some(AggFn::Sum),
+                "AVG" => Some(AggFn::Avg),
+                _ => None,
+            };
+            if let Some(func) = agg {
+                // Only treat as aggregate when followed by '('.
+                if self.toks.get(self.at + 1).map(|s| &s.tok) == Some(&Tok::LParen) {
+                    self.bump(); // name
+                    self.bump(); // (
+                    let arg = if *self.peek() == Tok::Star {
+                        self.bump();
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.expect_tok(Tok::RParen, ")")?;
+                    if func != AggFn::Count && arg.is_none() {
+                        return self.err("only COUNT may take *");
+                    }
+                    let display = match &arg {
+                        None => format!("{}(*)", func.name()),
+                        Some(Expr::Attr(a)) => format!("{}({})", func.name(), a),
+                        Some(_) => format!("{}(expr)", func.name()),
+                    };
+                    let name = if self.eat_kw("AS") {
+                        self.ident()?
+                    } else {
+                        display
+                    };
+                    return Ok(SelectItem::Agg { func, arg, name });
+                }
+            }
+        }
+        let expr = self.expr()?;
+        let default_name = match &expr {
+            Expr::Attr(a) => a.clone(),
+            _ => "expr".to_string(),
+        };
+        let name = if self.eat_kw("AS") {
+            self.ident()?
+        } else {
+            default_name
+        };
+        Ok(SelectItem::Expr { expr, name })
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> Result<Expr, QueryError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Bin(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut left = self.not_expr()?;
+        while self.at_kw("AND") {
+            self.bump();
+            let right = self.not_expr()?;
+            left = Expr::Bin(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, QueryError> {
+        if self.eat_kw("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(inner)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, QueryError> {
+        let left = self.sum_expr()?;
+        let op = match self.peek() {
+            Tok::Lt => Some(BinOp::Lt),
+            Tok::Le => Some(BinOp::Le),
+            Tok::Gt => Some(BinOp::Gt),
+            Tok::Ge => Some(BinOp::Ge),
+            Tok::Eq => Some(BinOp::Eq),
+            Tok::Ne => Some(BinOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.sum_expr()?;
+            return Ok(Expr::Bin(op, Box::new(left), Box::new(right)));
+        }
+        if self.at_kw("BETWEEN") {
+            self.bump();
+            let lo = self.sum_expr()?;
+            self.expect_kw("AND")?;
+            let hi = self.sum_expr()?;
+            return Ok(Expr::Between(Box::new(left), Box::new(lo), Box::new(hi)));
+        }
+        Ok(left)
+    }
+
+    fn sum_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut left = self.prod_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.prod_expr()?;
+            left = Expr::Bin(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn prod_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary_expr()?;
+            left = Expr::Bin(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, QueryError> {
+        if *self.peek() == Tok::Minus {
+            self.bump();
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(inner)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, QueryError> {
+        match self.peek().clone() {
+            Tok::Num(v) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Num(v)))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Str(s)))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_tok(Tok::RParen, ")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                // TRUE / FALSE literals.
+                if name.eq_ignore_ascii_case("TRUE") {
+                    self.bump();
+                    return Ok(Expr::Lit(Value::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    self.bump();
+                    return Ok(Expr::Lit(Value::Bool(false)));
+                }
+                self.bump();
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        args.push(self.expr()?);
+                        while *self.peek() == Tok::Comma {
+                            self.bump();
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect_tok(Tok::RParen, ")")?;
+                    self.call_or_spatial(&name, args)
+                } else {
+                    Ok(Expr::Attr(name.to_ascii_lowercase()))
+                }
+            }
+            _ => self.err("expected expression"),
+        }
+    }
+
+    /// Turn CIRCLE/RECT/BAND calls into spatial predicates; everything
+    /// else stays a scalar function call (validated at plan time).
+    fn call_or_spatial(&mut self, name: &str, args: Vec<Expr>) -> Result<Expr, QueryError> {
+        let upper = name.to_ascii_uppercase();
+        let lit_num = |e: &Expr| -> Option<f64> {
+            match e {
+                Expr::Lit(Value::Num(v)) => Some(*v),
+                Expr::Unary(UnOp::Neg, inner) => match **inner {
+                    Expr::Lit(Value::Num(v)) => Some(-v),
+                    _ => None,
+                },
+                _ => None,
+            }
+        };
+        match upper.as_str() {
+            "CIRCLE" => {
+                if args.len() != 3 {
+                    return self.err("CIRCLE(ra, dec, radius) takes 3 arguments");
+                }
+                let nums: Option<Vec<f64>> = args.iter().map(lit_num).collect();
+                match nums {
+                    Some(v) => Ok(Expr::Spatial(SpatialPred::Circle {
+                        ra: v[0],
+                        dec: v[1],
+                        radius: v[2],
+                    })),
+                    None => self.err("CIRCLE arguments must be numeric literals"),
+                }
+            }
+            "RECT" => {
+                if args.len() != 4 {
+                    return self.err("RECT(ra_lo, ra_hi, dec_lo, dec_hi) takes 4 arguments");
+                }
+                let nums: Option<Vec<f64>> = args.iter().map(lit_num).collect();
+                match nums {
+                    Some(v) => Ok(Expr::Spatial(SpatialPred::Rect {
+                        ra_lo: v[0],
+                        ra_hi: v[1],
+                        dec_lo: v[2],
+                        dec_hi: v[3],
+                    })),
+                    None => self.err("RECT arguments must be numeric literals"),
+                }
+            }
+            "BAND" => {
+                if args.len() != 3 {
+                    return self.err("BAND('FRAME', lat_lo, lat_hi) takes 3 arguments");
+                }
+                let frame = match &args[0] {
+                    Expr::Lit(Value::Str(s)) => s.clone(),
+                    _ => return self.err("BAND frame must be a string literal"),
+                };
+                match (lit_num(&args[1]), lit_num(&args[2])) {
+                    (Some(lo), Some(hi)) => Ok(Expr::Spatial(SpatialPred::Band {
+                        frame,
+                        lat_lo: lo,
+                        lat_hi: hi,
+                    })),
+                    _ => self.err("BAND latitudes must be numeric literals"),
+                }
+            }
+            _ => Ok(Expr::Call(upper, args)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_select() {
+        let q = parse("SELECT ra, dec FROM photoobj").unwrap();
+        match q {
+            Query::Select(s) => {
+                assert_eq!(s.items.len(), 2);
+                assert_eq!(s.table, "photoobj");
+                assert!(s.predicate.is_none());
+            }
+            _ => panic!("expected select"),
+        }
+    }
+
+    #[test]
+    fn full_select_clauses() {
+        let q = parse(
+            "SELECT ra, g - r AS color FROM photoobj \
+             WHERE CIRCLE(185, 15, 2) AND r < 22 \
+             ORDER BY r DESC LIMIT 10 SAMPLE 0.5",
+        )
+        .unwrap();
+        let Query::Select(s) = q else {
+            panic!("expected select")
+        };
+        assert_eq!(s.items.len(), 2);
+        match &s.items[1] {
+            SelectItem::Expr { name, .. } => assert_eq!(name, "color"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.order_by, Some(("r".to_string(), true)));
+        assert_eq!(s.limit, Some(10));
+        assert_eq!(s.sample, Some(0.5));
+        // The predicate contains a spatial factor.
+        let mut found = false;
+        fn walk(e: &Expr, found: &mut bool) {
+            match e {
+                Expr::Spatial(SpatialPred::Circle { ra, dec, radius }) => {
+                    assert_eq!((*ra, *dec, *radius), (185.0, 15.0, 2.0));
+                    *found = true;
+                }
+                Expr::Bin(_, a, b) => {
+                    walk(a, found);
+                    walk(b, found);
+                }
+                _ => {}
+            }
+        }
+        walk(s.predicate.as_ref().unwrap(), &mut found);
+        assert!(found);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a + b * c parses as a + (b * c)
+        let q = parse("SELECT a + b * c FROM photoobj").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
+        match expr {
+            Expr::Bin(BinOp::Add, _, rhs) => match **rhs {
+                Expr::Bin(BinOp::Mul, _, _) => {}
+                ref other => panic!("rhs is {other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        // AND binds tighter than OR.
+        let q = parse("SELECT a FROM photoobj WHERE x OR y AND z").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        match s.predicate.unwrap() {
+            Expr::Bin(BinOp::Or, _, rhs) => match *rhs {
+                Expr::Bin(BinOp::And, _, _) => {}
+                ref other => panic!("rhs is {other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_and_negatives() {
+        let q = parse("SELECT r FROM photoobj WHERE gr BETWEEN -0.5 AND 0.5").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        assert!(matches!(s.predicate.unwrap(), Expr::Between(_, _, _)));
+        // Negative literal in spatial args.
+        let q = parse("SELECT r FROM photoobj WHERE CIRCLE(10, -15.5, 1)").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        match s.predicate.unwrap() {
+            Expr::Spatial(SpatialPred::Circle { dec, .. }) => assert_eq!(dec, -15.5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let q = parse("SELECT COUNT(*), AVG(r) AS mean_r FROM photoobj").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        assert!(matches!(
+            s.items[0],
+            SelectItem::Agg {
+                func: AggFn::Count,
+                arg: None,
+                ..
+            }
+        ));
+        match &s.items[1] {
+            SelectItem::Agg {
+                func: AggFn::Avg,
+                name,
+                ..
+            } => assert_eq!(name, "mean_r"),
+            other => panic!("{other:?}"),
+        }
+        // MIN(*) is rejected.
+        assert!(parse("SELECT MIN(*) FROM photoobj").is_err());
+    }
+
+    #[test]
+    fn set_operations_left_assoc() {
+        let q = parse(
+            "(SELECT objid FROM photoobj WHERE r < 20) \
+             UNION (SELECT objid FROM photoobj WHERE g < 20) \
+             EXCEPT (SELECT objid FROM photoobj WHERE u < 20)",
+        )
+        .unwrap();
+        match q {
+            Query::SetOp(SetOp::Except, left, _) => match *left {
+                Query::SetOp(SetOp::Union, _, _) => {}
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn band_frame_string() {
+        let q = parse("SELECT ra FROM photoobj WHERE BAND('GALACTIC', -10, 10)").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        match s.predicate.unwrap() {
+            Expr::Spatial(SpatialPred::Band { frame, lat_lo, lat_hi }) => {
+                assert_eq!(frame, "GALACTIC");
+                assert_eq!((lat_lo, lat_hi), (-10.0, 10.0));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        for bad in [
+            "",
+            "SELECT",
+            "SELECT FROM photoobj",
+            "SELECT ra photoobj",
+            "SELECT ra FROM photoobj WHERE",
+            "SELECT ra FROM photoobj LIMIT -1",
+            "SELECT ra FROM photoobj LIMIT 1.5",
+            "SELECT ra FROM photoobj SAMPLE 2",
+            "SELECT ra FROM photoobj WHERE CIRCLE(1, 2)",
+            "SELECT ra FROM photoobj WHERE CIRCLE(ra, 2, 3)",
+            "SELECT ra FROM photoobj WHERE BAND(GALACTIC, 1, 2)",
+            "SELECT ra FROM photoobj trailing",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let a = parse("select ra from photoobj where r < 20 order by ra limit 3").unwrap();
+        let b = parse("SELECT ra FROM photoobj WHERE r < 20 ORDER BY ra LIMIT 3").unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,575 @@
+//! Query planning: AST → Query Execution Tree.
+//!
+//! The planner does three jobs the paper calls out:
+//!
+//! 1. **Spatial extraction** — top-level conjunctive spatial factors of
+//!    the WHERE clause become one HTM [`Domain`] so the scan reads only
+//!    covered containers; the residual predicate is evaluated per object.
+//! 2. **Routing** — if every attribute the query touches lives on the
+//!    64-byte tag record, the plan scans the tag partition ("searched
+//!    more than 10 times faster, if no other attributes are involved").
+//! 3. **Tree shaping** — set operations become internal QET nodes; sort /
+//!    aggregate / limit stack on top of scans.
+
+use crate::ast::{
+    AggFn, Expr, Query, SelectItem, SelectStmt, SetOp, SpatialPred,
+};
+use crate::ops::{function_arity, FULL_ATTRS, TAG_ATTRS};
+use crate::QueryError;
+use sdss_htm::{Domain, Region};
+
+/// Which store a scan reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanTarget {
+    /// The ~1.2 KB full photometric objects.
+    Full,
+    /// The 64-byte tag vertical partition.
+    Tag,
+}
+
+/// One scan leaf of the QET.
+#[derive(Debug, Clone)]
+pub struct ScanSpec {
+    pub target: ScanTarget,
+    /// Spatial restriction (None = whole stored sky).
+    pub domain: Option<Domain>,
+    /// Residual predicate after spatial extraction.
+    pub predicate: Option<Expr>,
+    /// Output columns (name, expression).
+    pub columns: Vec<(String, Expr)>,
+    /// Deterministic sampling fraction (`SAMPLE 0.01`).
+    pub sample: Option<f64>,
+}
+
+/// Aggregate description.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    pub func: AggFn,
+    pub arg: Option<Expr>,
+    pub name: String,
+}
+
+/// A node of the Query Execution Tree.
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    Scan(ScanSpec),
+    /// Blocking sort on an output column.
+    Sort {
+        child: Box<PlanNode>,
+        key: String,
+        desc: bool,
+    },
+    /// Streaming row-count cutoff.
+    Limit { child: Box<PlanNode>, n: usize },
+    /// Blocking aggregation (one output row).
+    Aggregate {
+        child: Box<PlanNode>,
+        aggs: Vec<AggSpec>,
+    },
+    /// Set operation keyed on `objid` (the paper's bags of
+    /// object-pointers).
+    Set {
+        op: SetOp,
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+    },
+}
+
+impl PlanNode {
+    /// Output column names of this node.
+    pub fn columns(&self) -> Vec<String> {
+        match self {
+            PlanNode::Scan(s) => s.columns.iter().map(|(n, _)| n.clone()).collect(),
+            PlanNode::Sort { child, .. } | PlanNode::Limit { child, .. } => child.columns(),
+            PlanNode::Aggregate { aggs, .. } => aggs.iter().map(|a| a.name.clone()).collect(),
+            PlanNode::Set { left, .. } => left.columns(),
+        }
+    }
+
+    /// Number of nodes (for tests / EXPLAIN).
+    pub fn size(&self) -> usize {
+        match self {
+            PlanNode::Scan(_) => 1,
+            PlanNode::Sort { child, .. } | PlanNode::Limit { child, .. } => 1 + child.size(),
+            PlanNode::Aggregate { child, .. } => 1 + child.size(),
+            PlanNode::Set { left, right, .. } => 1 + left.size() + right.size(),
+        }
+    }
+
+    /// EXPLAIN-style rendering.
+    pub fn explain(&self, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        match self {
+            PlanNode::Scan(s) => {
+                out.push_str(&format!(
+                    "{pad}Scan[{}] domain={} predicate={} cols={} sample={:?}\n",
+                    match s.target {
+                        ScanTarget::Full => "full",
+                        ScanTarget::Tag => "tag",
+                    },
+                    s.domain.is_some(),
+                    s.predicate.is_some(),
+                    s.columns.len(),
+                    s.sample,
+                ));
+            }
+            PlanNode::Sort { child, key, desc } => {
+                out.push_str(&format!("{pad}Sort key={key} desc={desc}\n"));
+                child.explain(indent + 1, out);
+            }
+            PlanNode::Limit { child, n } => {
+                out.push_str(&format!("{pad}Limit {n}\n"));
+                child.explain(indent + 1, out);
+            }
+            PlanNode::Aggregate { child, aggs } => {
+                out.push_str(&format!("{pad}Aggregate {} fns\n", aggs.len()));
+                child.explain(indent + 1, out);
+            }
+            PlanNode::Set { op, left, right } => {
+                out.push_str(&format!("{pad}Set {op:?}\n"));
+                left.explain(indent + 1, out);
+                right.explain(indent + 1, out);
+            }
+        }
+    }
+}
+
+/// A complete plan.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    pub root: PlanNode,
+}
+
+impl QueryPlan {
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        self.root.explain(0, &mut s);
+        s
+    }
+}
+
+/// Compile a parsed query into a QET.
+///
+/// `tags_available` controls routing: without a tag store every scan goes
+/// to the full store.
+pub fn plan(query: &Query, tags_available: bool) -> Result<QueryPlan, QueryError> {
+    Ok(QueryPlan {
+        root: plan_query(query, tags_available)?,
+    })
+}
+
+fn plan_query(query: &Query, tags_available: bool) -> Result<PlanNode, QueryError> {
+    match query {
+        Query::Select(s) => plan_select(s, tags_available),
+        Query::SetOp(op, l, r) => {
+            let left = plan_query(l, tags_available)?;
+            let right = plan_query(r, tags_available)?;
+            // Set inputs must expose objid to key on.
+            for side in [&left, &right] {
+                if !side.columns().iter().any(|c| c == "objid") {
+                    return Err(QueryError::Type(
+                        "set operations require objid in the select list".to_string(),
+                    ));
+                }
+            }
+            if left.columns() != right.columns() {
+                return Err(QueryError::Type(
+                    "set operation sides must select the same columns".to_string(),
+                ));
+            }
+            Ok(PlanNode::Set {
+                op: *op,
+                left: Box::new(left),
+                right: Box::new(right),
+            })
+        }
+    }
+}
+
+fn plan_select(s: &SelectStmt, tags_available: bool) -> Result<PlanNode, QueryError> {
+    if s.table != "photoobj" && s.table != "tag" {
+        return Err(QueryError::Unknown(format!("table {}", s.table)));
+    }
+
+    // --- split the predicate into spatial conjuncts and the residual ---
+    let (domain, residual) = match &s.predicate {
+        Some(p) => extract_spatial(p)?,
+        None => (None, None),
+    };
+
+    // --- projection ---
+    let mut columns: Vec<(String, Expr)> = Vec::new();
+    let mut aggs: Vec<AggSpec> = Vec::new();
+    for item in &s.items {
+        match item {
+            SelectItem::Star => {
+                for a in TAG_ATTRS {
+                    columns.push((a.to_string(), Expr::Attr(a.to_string())));
+                }
+            }
+            SelectItem::Expr { expr, name } => {
+                columns.push((name.clone(), expr.clone()));
+            }
+            SelectItem::Agg { func, arg, name } => aggs.push(AggSpec {
+                func: *func,
+                arg: arg.clone(),
+                name: name.clone(),
+            }),
+        }
+    }
+    if !aggs.is_empty() && !columns.is_empty() {
+        return Err(QueryError::Type(
+            "mixing aggregates and plain columns needs GROUP BY, which is not supported"
+                .to_string(),
+        ));
+    }
+
+    // --- collect every referenced attribute for routing & validation ---
+    let mut attrs = Vec::new();
+    for (_, e) in &columns {
+        e.attrs(&mut attrs);
+    }
+    for a in &aggs {
+        if let Some(e) = &a.arg {
+            e.attrs(&mut attrs);
+        }
+    }
+    if let Some(p) = &residual {
+        p.attrs(&mut attrs);
+    }
+    if let Some((key, _)) = &s.order_by {
+        // Order key must be an output column, not a table attribute.
+        let key_is_output = columns.iter().any(|(n, _)| n == key)
+            || aggs.iter().any(|a| &a.name == key);
+        if !key_is_output {
+            return Err(QueryError::Unknown(format!("ORDER BY column {key}")));
+        }
+    }
+    validate_names(&attrs, &columns, &aggs, &residual)?;
+
+    let force_tag = s.table == "tag";
+    let tag_ok = attrs
+        .iter()
+        .all(|a| TAG_ATTRS.contains(&a.as_str()));
+    if force_tag && !tag_ok {
+        return Err(QueryError::Type(
+            "query against `tag` uses attributes outside the tag partition".to_string(),
+        ));
+    }
+    let target = if (force_tag || tag_ok) && tags_available {
+        ScanTarget::Tag
+    } else {
+        ScanTarget::Full
+    };
+
+    // Aggregates: the scan emits hidden `__agg_i` columns carrying each
+    // aggregate's argument expression; the Aggregate node accumulates
+    // over them (COUNT(*) needs no column).
+    let scan_columns = if aggs.is_empty() {
+        columns
+    } else {
+        aggs.iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.arg.clone().map(|e| (format!("__agg_{i}"), e)))
+            .collect()
+    };
+
+    let mut node = PlanNode::Scan(ScanSpec {
+        target,
+        domain,
+        predicate: residual,
+        columns: scan_columns,
+        sample: s.sample,
+    });
+
+    if !aggs.is_empty() {
+        node = PlanNode::Aggregate {
+            child: Box::new(node),
+            aggs,
+        };
+    }
+    if let Some((key, desc)) = &s.order_by {
+        node = PlanNode::Sort {
+            child: Box::new(node),
+            key: key.clone(),
+            desc: *desc,
+        };
+    }
+    if let Some(n) = s.limit {
+        node = PlanNode::Limit {
+            child: Box::new(node),
+            n,
+        };
+    }
+    Ok(node)
+}
+
+/// Validate attribute and function names against the full schema.
+fn validate_names(
+    attrs: &[String],
+    columns: &[(String, Expr)],
+    aggs: &[AggSpec],
+    residual: &Option<Expr>,
+) -> Result<(), QueryError> {
+    for a in attrs {
+        if !FULL_ATTRS.contains(&a.as_str()) {
+            return Err(QueryError::Unknown(format!("attribute {a}")));
+        }
+    }
+    // Check function names/arities recursively.
+    fn check(e: &Expr) -> Result<(), QueryError> {
+        match e {
+            Expr::Call(name, args) => {
+                match function_arity(name) {
+                    Some(n) if n == args.len() => {}
+                    Some(n) => {
+                        return Err(QueryError::Type(format!(
+                            "{name} takes {n} arguments, got {}",
+                            args.len()
+                        )))
+                    }
+                    None => return Err(QueryError::Unknown(format!("function {name}"))),
+                }
+                for a in args {
+                    check(a)?;
+                }
+                Ok(())
+            }
+            Expr::Unary(_, a) => check(a),
+            Expr::Bin(_, a, b) => {
+                check(a)?;
+                check(b)
+            }
+            Expr::Between(a, b, c) => {
+                check(a)?;
+                check(b)?;
+                check(c)
+            }
+            _ => Ok(()),
+        }
+    }
+    for (_, e) in columns {
+        check(e)?;
+    }
+    for a in aggs {
+        if let Some(e) = &a.arg {
+            check(e)?;
+        }
+    }
+    if let Some(e) = residual {
+        check(e)?;
+    }
+    Ok(())
+}
+
+/// Pull top-level conjunctive spatial factors out of a predicate.
+/// Returns (combined domain, residual predicate).
+fn extract_spatial(pred: &Expr) -> Result<(Option<Domain>, Option<Expr>), QueryError> {
+    let mut factors = Vec::new();
+    let mut residual = Vec::new();
+    split_conjuncts(pred, &mut factors);
+    let mut domain: Option<Domain> = None;
+    for f in factors {
+        match f {
+            Expr::Spatial(sp) => {
+                let d = spatial_to_domain(&sp)?;
+                domain = Some(match domain {
+                    None => d,
+                    Some(prev) => prev.intersect(&d),
+                });
+            }
+            other => residual.push(other),
+        }
+    }
+    let residual = residual.into_iter().reduce(|a, b| {
+        Expr::Bin(crate::ast::BinOp::And, Box::new(a), Box::new(b))
+    });
+    Ok((domain, residual))
+}
+
+fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Bin(crate::ast::BinOp::And, a, b) => {
+            split_conjuncts(a, out);
+            split_conjuncts(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Compile a spatial predicate to an HTM domain.
+pub fn spatial_to_domain(sp: &SpatialPred) -> Result<Domain, QueryError> {
+    match sp {
+        SpatialPred::Circle { ra, dec, radius } => Ok(Region::circle(*ra, *dec, *radius)?),
+        SpatialPred::Rect {
+            ra_lo,
+            ra_hi,
+            dec_lo,
+            dec_hi,
+        } => Ok(Region::rect(*ra_lo, *ra_hi, *dec_lo, *dec_hi)?),
+        SpatialPred::Band {
+            frame,
+            lat_lo,
+            lat_hi,
+        } => {
+            let f = crate::ops::parse_frame(frame)?;
+            Ok(Region::band(f, *lat_lo, *lat_hi)?)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn plan_sql(sql: &str) -> Result<QueryPlan, QueryError> {
+        plan(&parse(sql)?, true)
+    }
+
+    #[test]
+    fn tag_routing_for_popular_attributes() {
+        let p = plan_sql("SELECT ra, dec, r FROM photoobj WHERE r < 20").unwrap();
+        match &p.root {
+            PlanNode::Scan(s) => assert_eq!(s.target, ScanTarget::Tag),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_routing_when_rare_attribute_used() {
+        let p = plan_sql("SELECT ra, psf_r FROM photoobj WHERE r < 20").unwrap();
+        match &p.root {
+            PlanNode::Scan(s) => assert_eq!(s.target, ScanTarget::Full),
+            other => panic!("{other:?}"),
+        }
+        // ... even if only the predicate needs it.
+        let p = plan_sql("SELECT ra FROM photoobj WHERE mjd > 51000").unwrap();
+        match &p.root {
+            PlanNode::Scan(s) => assert_eq!(s.target, ScanTarget::Full),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_tag_store_forces_full(){
+        let p = plan(&parse("SELECT ra FROM photoobj").unwrap(), false).unwrap();
+        match &p.root {
+            PlanNode::Scan(s) => assert_eq!(s.target, ScanTarget::Full),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn spatial_extraction_removes_factors() {
+        let p = plan_sql(
+            "SELECT ra FROM photoobj WHERE CIRCLE(185, 15, 2) AND r < 21 AND BAND('GALACTIC', 30, 90)",
+        )
+        .unwrap();
+        match &p.root {
+            PlanNode::Scan(s) => {
+                let d = s.domain.as_ref().expect("domain extracted");
+                // Two intersected spatial factors → intersected domain.
+                assert!(!d.convexes().is_empty());
+                // The residual predicate only holds r < 21.
+                let mut attrs = Vec::new();
+                s.predicate.as_ref().unwrap().attrs(&mut attrs);
+                assert_eq!(attrs, vec!["r".to_string()]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn spatial_inside_or_stays_in_predicate() {
+        // OR-ed spatial factors cannot be extracted conjunctively.
+        let p = plan_sql("SELECT ra FROM photoobj WHERE CIRCLE(185, 15, 1) OR r < 15").unwrap();
+        match &p.root {
+            PlanNode::Scan(s) => {
+                assert!(s.domain.is_none());
+                assert!(s.predicate.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_stacking_order() {
+        let p = plan_sql(
+            "SELECT ra, r FROM photoobj WHERE r < 21 ORDER BY r LIMIT 5",
+        )
+        .unwrap();
+        // Limit on top of Sort on top of Scan.
+        match &p.root {
+            PlanNode::Limit { child, n } => {
+                assert_eq!(*n, 5);
+                match child.as_ref() {
+                    PlanNode::Sort { child, key, desc } => {
+                        assert_eq!(key, "r");
+                        assert!(!desc);
+                        assert!(matches!(child.as_ref(), PlanNode::Scan(_)));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.root.size(), 3);
+        assert!(p.explain().contains("Limit 5"));
+    }
+
+    #[test]
+    fn set_ops_need_objid_and_same_columns() {
+        assert!(plan_sql(
+            "(SELECT objid FROM photoobj) UNION (SELECT objid FROM photoobj)"
+        )
+        .is_ok());
+        assert!(plan_sql("(SELECT ra FROM photoobj) UNION (SELECT ra FROM photoobj)").is_err());
+        assert!(plan_sql(
+            "(SELECT objid, ra FROM photoobj) UNION (SELECT objid, dec FROM photoobj)"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn aggregates_cannot_mix_with_columns() {
+        assert!(plan_sql("SELECT COUNT(*), ra FROM photoobj").is_err());
+        assert!(plan_sql("SELECT COUNT(*), MAX(r) FROM photoobj").is_ok());
+    }
+
+    #[test]
+    fn unknown_names_rejected_at_plan_time() {
+        assert!(matches!(
+            plan_sql("SELECT nonsense FROM photoobj"),
+            Err(QueryError::Unknown(_))
+        ));
+        assert!(matches!(
+            plan_sql("SELECT NOSUCHFN(1) FROM photoobj"),
+            Err(QueryError::Unknown(_))
+        ));
+        assert!(matches!(
+            plan_sql("SELECT DIST(1) FROM photoobj"),
+            Err(QueryError::Type(_))
+        ));
+        assert!(matches!(
+            plan_sql("SELECT ra FROM spectra"),
+            Err(QueryError::Unknown(_))
+        ));
+        assert!(matches!(
+            plan_sql("SELECT ra FROM photoobj ORDER BY qqq"),
+            Err(QueryError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn tag_table_rejects_full_attrs() {
+        assert!(plan_sql("SELECT psf_r FROM tag").is_err());
+        assert!(plan_sql("SELECT r FROM tag").is_ok());
+    }
+
+    #[test]
+    fn star_expands_to_tag_attrs() {
+        let p = plan_sql("SELECT * FROM photoobj").unwrap();
+        assert_eq!(p.root.columns().len(), TAG_ATTRS.len());
+    }
+}

@@ -1,0 +1,275 @@
+//! Angle arithmetic and sexagesimal formatting.
+//!
+//! All public archive APIs speak **degrees** (the unit astronomers use for
+//! survey coordinates); radians are an internal detail. Arc-second and
+//! arc-minute constants are provided because the paper's flagship queries
+//! are phrased in arcseconds ("within 10 arcsec of each other").
+
+/// One arcsecond expressed in degrees.
+pub const ARCSEC_DEG: f64 = 1.0 / 3600.0;
+/// One arcminute expressed in degrees.
+pub const ARCMIN_DEG: f64 = 1.0 / 60.0;
+
+/// An angle, stored in degrees.
+///
+/// A thin newtype so that public signatures are self-documenting and so
+/// degree/radian mix-ups become type errors instead of silent bugs.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Angle(f64);
+
+impl Angle {
+    /// Construct from degrees.
+    #[inline]
+    pub const fn from_degrees(deg: f64) -> Self {
+        Angle(deg)
+    }
+
+    /// Construct from radians.
+    #[inline]
+    pub fn from_radians(rad: f64) -> Self {
+        Angle(rad.to_degrees())
+    }
+
+    /// Construct from arcseconds.
+    #[inline]
+    pub fn from_arcsec(asec: f64) -> Self {
+        Angle(asec * ARCSEC_DEG)
+    }
+
+    /// Value in degrees.
+    #[inline]
+    pub const fn degrees(self) -> f64 {
+        self.0
+    }
+
+    /// Value in radians.
+    #[inline]
+    pub fn radians(self) -> f64 {
+        self.0.to_radians()
+    }
+
+    /// Value in arcseconds.
+    #[inline]
+    pub fn arcsec(self) -> f64 {
+        self.0 * 3600.0
+    }
+
+    /// Normalize into `[0, 360)` degrees (for longitudes / right ascension).
+    #[inline]
+    pub fn wrap360(self) -> Self {
+        Angle(wrap_deg_360(self.0))
+    }
+
+    /// Normalize into `[-180, 180)` degrees.
+    #[inline]
+    pub fn wrap180(self) -> Self {
+        let mut d = wrap_deg_360(self.0);
+        if d >= 180.0 {
+            d -= 360.0;
+        }
+        Angle(d)
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Self {
+        Angle(self.0.abs())
+    }
+}
+
+impl std::ops::Add for Angle {
+    type Output = Angle;
+    fn add(self, rhs: Angle) -> Angle {
+        Angle(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Sub for Angle {
+    type Output = Angle;
+    fn sub(self, rhs: Angle) -> Angle {
+        Angle(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Mul<f64> for Angle {
+    type Output = Angle;
+    fn mul(self, rhs: f64) -> Angle {
+        Angle(self.0 * rhs)
+    }
+}
+
+impl std::fmt::Display for Angle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}\u{00b0}", self.0)
+    }
+}
+
+/// Wrap a degree value into `[0, 360)`.
+#[inline]
+pub fn wrap_deg_360(deg: f64) -> f64 {
+    let d = deg % 360.0;
+    if d < 0.0 {
+        d + 360.0
+    } else {
+        d
+    }
+}
+
+/// Format a right ascension (degrees) as sexagesimal `HH:MM:SS.sss`.
+///
+/// Finding charts — the paper's "simplest service" — are labelled this way.
+pub fn format_hms(ra_deg: f64) -> String {
+    let hours = wrap_deg_360(ra_deg) / 15.0;
+    let h = hours.floor();
+    let rem_min = (hours - h) * 60.0;
+    let m = rem_min.floor();
+    let s = (rem_min - m) * 60.0;
+    // Guard against 59.9995 rounding up to 60.000 in the formatted output.
+    let (h, m, s) = carry_sexagesimal(h, m, s);
+    format!("{h:02.0}:{m:02.0}:{s:06.3}")
+}
+
+/// Format a declination (degrees) as sexagesimal `±DD:MM:SS.ss`.
+pub fn format_dms(dec_deg: f64) -> String {
+    let sign = if dec_deg < 0.0 { '-' } else { '+' };
+    let a = dec_deg.abs();
+    let d = a.floor();
+    let rem_min = (a - d) * 60.0;
+    let m = rem_min.floor();
+    let s = (rem_min - m) * 60.0;
+    let (d, m, s) = carry_sexagesimal(d, m, s);
+    format!("{sign}{d:02.0}:{m:02.0}:{s:05.2}")
+}
+
+/// Carry seconds→minutes→units when seconds round to 60 at display precision.
+fn carry_sexagesimal(mut u: f64, mut m: f64, mut s: f64) -> (f64, f64, f64) {
+    if s >= 59.9995 {
+        s = 0.0;
+        m += 1.0;
+    }
+    if m >= 60.0 {
+        m = 0.0;
+        u += 1.0;
+    }
+    (u, m, s)
+}
+
+/// Parse sexagesimal `HH:MM:SS[.s]` right ascension into degrees.
+pub fn parse_hms(s: &str) -> Option<f64> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() != 3 {
+        return None;
+    }
+    let h: f64 = parts[0].trim().parse().ok()?;
+    let m: f64 = parts[1].trim().parse().ok()?;
+    let sec: f64 = parts[2].trim().parse().ok()?;
+    if !(0.0..24.0).contains(&h) || !(0.0..60.0).contains(&m) || !(0.0..60.0).contains(&sec) {
+        return None;
+    }
+    Some((h + m / 60.0 + sec / 3600.0) * 15.0)
+}
+
+/// Parse sexagesimal `±DD:MM:SS[.s]` declination into degrees.
+pub fn parse_dms(s: &str) -> Option<f64> {
+    let (sign, rest) = match s.as_bytes().first()? {
+        b'-' => (-1.0, &s[1..]),
+        b'+' => (1.0, &s[1..]),
+        _ => (1.0, s),
+    };
+    let parts: Vec<&str> = rest.split(':').collect();
+    if parts.len() != 3 {
+        return None;
+    }
+    let d: f64 = parts[0].trim().parse().ok()?;
+    let m: f64 = parts[1].trim().parse().ok()?;
+    let sec: f64 = parts[2].trim().parse().ok()?;
+    if !(0.0..=90.0).contains(&d) || !(0.0..60.0).contains(&m) || !(0.0..60.0).contains(&sec) {
+        return None;
+    }
+    let v = sign * (d + m / 60.0 + sec / 3600.0);
+    if v.abs() > 90.0 {
+        return None;
+    }
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arcsec_constant() {
+        assert!((ARCSEC_DEG * 3600.0 - 1.0).abs() < 1e-15);
+        assert!((ARCMIN_DEG * 60.0 - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn angle_units_roundtrip() {
+        let a = Angle::from_degrees(12.5);
+        assert!((a.radians() - 12.5f64.to_radians()).abs() < 1e-15);
+        assert!((Angle::from_radians(a.radians()).degrees() - 12.5).abs() < 1e-12);
+        assert!((Angle::from_arcsec(10.0).degrees() - 10.0 / 3600.0).abs() < 1e-15);
+        assert!((Angle::from_degrees(2.0).arcsec() - 7200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrapping() {
+        assert_eq!(wrap_deg_360(370.0), 10.0);
+        assert_eq!(wrap_deg_360(-10.0), 350.0);
+        assert_eq!(wrap_deg_360(0.0), 0.0);
+        assert!((Angle::from_degrees(-350.0).wrap360().degrees() - 10.0).abs() < 1e-12);
+        assert!((Angle::from_degrees(190.0).wrap180().degrees() + 170.0).abs() < 1e-12);
+        assert!((Angle::from_degrees(170.0).wrap180().degrees() - 170.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_arithmetic() {
+        let a = Angle::from_degrees(10.0) + Angle::from_degrees(20.0);
+        assert_eq!(a.degrees(), 30.0);
+        let b = Angle::from_degrees(10.0) - Angle::from_degrees(20.0);
+        assert_eq!(b.degrees(), -10.0);
+        assert_eq!(b.abs().degrees(), 10.0);
+        assert_eq!((Angle::from_degrees(3.0) * 2.0).degrees(), 6.0);
+    }
+
+    #[test]
+    fn hms_formatting_known_values() {
+        // 15 deg = 1h.
+        assert_eq!(format_hms(15.0), "01:00:00.000");
+        // SDSS test field around RA 185.0 deg = 12h20m.
+        assert_eq!(format_hms(185.0), "12:20:00.000");
+        assert_eq!(format_dms(-1.25), "-01:15:00.00");
+        assert_eq!(format_dms(32.5), "+32:30:00.00");
+    }
+
+    #[test]
+    fn hms_parse_roundtrip() {
+        for &ra in &[0.0, 15.0, 185.1234, 359.9] {
+            let s = format_hms(ra);
+            let back = parse_hms(&s).unwrap();
+            assert!((back - ra).abs() < 1e-3, "{ra} -> {s} -> {back}");
+        }
+        for &dec in &[-89.5, -1.25, 0.0, 12.3456, 89.9] {
+            let s = format_dms(dec);
+            let back = parse_dms(&s).unwrap();
+            assert!((back - dec).abs() < 1e-3, "{dec} -> {s} -> {back}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_hms("25:00:00"), None);
+        assert_eq!(parse_hms("1:61:00"), None);
+        assert_eq!(parse_hms("nonsense"), None);
+        assert_eq!(parse_dms("+91:00:00"), None);
+        assert_eq!(parse_dms(""), None);
+    }
+
+    #[test]
+    fn rounding_carry() {
+        // 59.99951 s must carry over to the next minute, not print "60".
+        let almost = 15.0 - 1e-9;
+        let s = format_hms(almost);
+        assert!(!s.contains(":60"), "{s}");
+    }
+}

@@ -1,0 +1,301 @@
+//! Celestial reference frames as rotation matrices.
+//!
+//! The paper (§Indexing the Sky): "The coordinates in the different
+//! celestial coordinate systems (Equatorial, Galactic, Supergalactic, etc)
+//! can be constructed from the Cartesian coordinates on the fly" and
+//! "combination of constraints in arbitrary spherical coordinate systems
+//! become particularly simple. They correspond to testing linear
+//! combinations of the three Cartesian coordinates."
+//!
+//! A frame here *is* a rotation matrix from Equatorial J2000 Cartesian
+//! coordinates to the frame's Cartesian coordinates. A latitude constraint
+//! in any frame is then a half-space constraint `p · pole >= sin(lat)` on
+//! the stored equatorial unit vector — no trigonometry per object.
+
+use crate::spherical::SkyPos;
+use crate::vec3::{UnitVec3, Vec3};
+
+/// A 3×3 rotation matrix (rows are the new basis expressed in the old one).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rotation {
+    pub rows: [[f64; 3]; 3],
+}
+
+impl Rotation {
+    pub const IDENTITY: Rotation = Rotation {
+        rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// Apply the rotation to a unit vector.
+    #[inline]
+    pub fn apply(&self, v: UnitVec3) -> UnitVec3 {
+        let (x, y, z) = (v.x(), v.y(), v.z());
+        let r = &self.rows;
+        UnitVec3::new_unchecked(
+            r[0][0] * x + r[0][1] * y + r[0][2] * z,
+            r[1][0] * x + r[1][1] * y + r[1][2] * z,
+            r[2][0] * x + r[2][1] * y + r[2][2] * z,
+        )
+    }
+
+    /// The inverse rotation (transpose, since rotations are orthogonal).
+    pub fn inverse(&self) -> Rotation {
+        let r = &self.rows;
+        Rotation {
+            rows: [
+                [r[0][0], r[1][0], r[2][0]],
+                [r[0][1], r[1][1], r[2][1]],
+                [r[0][2], r[1][2], r[2][2]],
+            ],
+        }
+    }
+
+    /// Compose: `self` after `other`.
+    pub fn compose(&self, other: &Rotation) -> Rotation {
+        let a = &self.rows;
+        let b = &other.rows;
+        let mut out = [[0.0; 3]; 3];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (0..3).map(|k| a[i][k] * b[k][j]).sum();
+            }
+        }
+        Rotation { rows: out }
+    }
+
+    /// Build the rotation that maps equatorial coordinates onto a frame
+    /// defined by its pole and the longitude-zero point (both given in
+    /// equatorial coordinates). The frame's +z is the pole; +x points to
+    /// the zero point projected orthogonal to the pole.
+    pub fn from_pole_and_zero(pole: SkyPos, zero: SkyPos) -> Rotation {
+        let zv = pole.unit_vec();
+        let toward_zero = zero.unit_vec();
+        // Remove the pole component to make x orthogonal to z.
+        let xv: Vec3 = toward_zero.as_vec3() - zv.as_vec3() * zv.dot(toward_zero);
+        let xv = xv
+            .normalized()
+            .expect("zero point must not coincide with the pole");
+        let yv = zv
+            .cross(xv)
+            .normalized()
+            .expect("cross of orthogonal unit vectors");
+        Rotation {
+            rows: [
+                [xv.x(), xv.y(), xv.z()],
+                [yv.x(), yv.y(), yv.z()],
+                [zv.x(), zv.y(), zv.z()],
+            ],
+        }
+    }
+}
+
+/// The celestial coordinate systems named by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Frame {
+    /// Equatorial J2000 — the storage frame.
+    Equatorial,
+    /// IAU 1958 Galactic coordinates (l, b).
+    Galactic,
+    /// de Vaucouleurs Supergalactic coordinates (SGL, SGB).
+    Supergalactic,
+    /// Ecliptic coordinates at J2000 obliquity.
+    Ecliptic,
+}
+
+/// Galactic north pole in J2000 equatorial coordinates (IAU 1958,
+/// precessed to J2000): RA 192.85948°, Dec +27.12825°.
+const GAL_POLE_RA: f64 = 192.859_48;
+const GAL_POLE_DEC: f64 = 27.128_25;
+/// Equatorial position of the galactic longitude zero point (the galactic
+/// center direction): RA 266.40499°, Dec −28.93617°.
+const GAL_ZERO_RA: f64 = 266.404_99;
+const GAL_ZERO_DEC: f64 = -28.936_17;
+
+/// Supergalactic north pole in *galactic* coordinates: l=47.37°, b=+6.32°;
+/// supergalactic longitude zero at l=137.37°, b=0°.
+const SGAL_POLE_L: f64 = 47.37;
+const SGAL_POLE_B: f64 = 6.32;
+const SGAL_ZERO_L: f64 = 137.37;
+const SGAL_ZERO_B: f64 = 0.0;
+
+/// Mean obliquity of the ecliptic at J2000, degrees.
+const OBLIQUITY_J2000: f64 = 23.439_291_1;
+
+impl Frame {
+    /// Rotation taking Equatorial J2000 Cartesian vectors into this frame.
+    pub fn from_equatorial(self) -> Rotation {
+        match self {
+            Frame::Equatorial => Rotation::IDENTITY,
+            Frame::Galactic => Rotation::from_pole_and_zero(
+                SkyPos::new(GAL_POLE_RA, GAL_POLE_DEC).expect("constant in range"),
+                SkyPos::new(GAL_ZERO_RA, GAL_ZERO_DEC).expect("constant in range"),
+            ),
+            Frame::Supergalactic => {
+                let gal = Frame::Galactic.from_equatorial();
+                // Pole/zero given in galactic coordinates; build the
+                // galactic→supergalactic rotation, then compose.
+                let pole_g = SkyPos::new(SGAL_POLE_L, SGAL_POLE_B).expect("constant in range");
+                let zero_g = SkyPos::new(SGAL_ZERO_L, SGAL_ZERO_B).expect("constant in range");
+                let sg_from_gal = Rotation::from_pole_and_zero(pole_g, zero_g);
+                sg_from_gal.compose(&gal)
+            }
+            Frame::Ecliptic => {
+                // Rotation about +x by the obliquity.
+                let (s, c) = OBLIQUITY_J2000.to_radians().sin_cos();
+                Rotation {
+                    rows: [[1.0, 0.0, 0.0], [0.0, c, s], [0.0, -s, c]],
+                }
+            }
+        }
+    }
+
+    /// Rotation taking this frame's Cartesian vectors back to Equatorial.
+    pub fn to_equatorial(self) -> Rotation {
+        self.from_equatorial().inverse()
+    }
+
+    /// The frame's north pole as an equatorial unit vector.
+    ///
+    /// A latitude band `lat >= b0` in this frame is the half-space
+    /// `p · pole >= sin(b0)` on stored equatorial vectors — this is the
+    /// hook the HTM region machinery uses.
+    pub fn pole(self) -> UnitVec3 {
+        self.to_equatorial().apply(UnitVec3::Z)
+    }
+
+    /// Convert an equatorial position to angular coordinates in this frame.
+    pub fn from_equatorial_pos(self, p: SkyPos) -> SkyPos {
+        SkyPos::from_unit_vec(self.from_equatorial().apply(p.unit_vec()))
+    }
+
+    /// Convert angular coordinates in this frame to an equatorial position.
+    pub fn to_equatorial_pos(self, p: SkyPos) -> SkyPos {
+        SkyPos::from_unit_vec(self.to_equatorial().apply(p.unit_vec()))
+    }
+
+    /// All frames, for exhaustive tests and benches.
+    pub const ALL: [Frame; 4] = [
+        Frame::Equatorial,
+        Frame::Galactic,
+        Frame::Supergalactic,
+        Frame::Ecliptic,
+    ];
+}
+
+impl std::fmt::Display for Frame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Frame::Equatorial => "Equatorial(J2000)",
+            Frame::Galactic => "Galactic",
+            Frame::Supergalactic => "Supergalactic",
+            Frame::Ecliptic => "Ecliptic(J2000)",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_pos() -> impl Strategy<Value = SkyPos> {
+        (0.0f64..360.0, -89.0f64..89.0).prop_map(|(ra, dec)| SkyPos::new(ra, dec).unwrap())
+    }
+
+    #[test]
+    fn rotation_orthogonality() {
+        for frame in Frame::ALL {
+            let r = frame.from_equatorial();
+            let id = r.compose(&r.inverse());
+            for i in 0..3 {
+                for j in 0..3 {
+                    let want = if i == j { 1.0 } else { 0.0 };
+                    assert!(
+                        (id.rows[i][j] - want).abs() < 1e-12,
+                        "{frame}: R*R^T[{i}][{j}] = {}",
+                        id.rows[i][j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn galactic_center_maps_to_origin() {
+        // The galactic center (Sgr A* direction) is l=0, b=0 by definition.
+        let gc = SkyPos::new(GAL_ZERO_RA, GAL_ZERO_DEC).unwrap();
+        let g = Frame::Galactic.from_equatorial_pos(gc);
+        // The published pole/center constants are rounded to ~1e-5 deg and
+        // are not exactly orthogonal; sub-arcsecond residual is expected.
+        assert!(g.dec_deg().abs() < 5e-4, "b = {}", g.dec_deg());
+        assert!(g.ra_deg().min(360.0 - g.ra_deg()) < 1e-6, "l = {}", g.ra_deg());
+    }
+
+    #[test]
+    fn galactic_pole_maps_to_b90() {
+        let pole = SkyPos::new(GAL_POLE_RA, GAL_POLE_DEC).unwrap();
+        let g = Frame::Galactic.from_equatorial_pos(pole);
+        assert!((g.dec_deg() - 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn north_celestial_pole_in_galactic() {
+        // Known value: NCP is at b ≈ +27.13 deg (the galactic pole dec).
+        let ncp = SkyPos::new(0.0, 90.0).unwrap();
+        let g = Frame::Galactic.from_equatorial_pos(ncp);
+        assert!((g.dec_deg() - GAL_POLE_DEC).abs() < 1e-6, "b = {}", g.dec_deg());
+        // l of the NCP is 122.93 deg (the standard "theta0" constant).
+        assert!((g.ra_deg() - 122.932).abs() < 0.01, "l = {}", g.ra_deg());
+    }
+
+    #[test]
+    fn ecliptic_pole_known_value() {
+        // The ecliptic north pole is at RA 270, Dec 66.5607 (=90-obliquity).
+        let p = SkyPos::from_unit_vec(Frame::Ecliptic.pole());
+        assert!((p.ra_deg() - 270.0).abs() < 1e-6);
+        assert!((p.dec_deg() - (90.0 - OBLIQUITY_J2000)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supergalactic_plane_contains_zero_point() {
+        // SG longitude zero is at galactic (137.37, 0).
+        let zero_gal = SkyPos::new(SGAL_ZERO_L, SGAL_ZERO_B).unwrap();
+        let zero_eq = Frame::Galactic.to_equatorial_pos(zero_gal);
+        let sg = Frame::Supergalactic.from_equatorial_pos(zero_eq);
+        assert!(sg.dec_deg().abs() < 1e-6, "SGB = {}", sg.dec_deg());
+        assert!(sg.ra_deg().min(360.0 - sg.ra_deg()) < 1e-6, "SGL = {}", sg.ra_deg());
+    }
+
+    #[test]
+    fn pole_vector_matches_latitude_constraint() {
+        // For every frame: frame latitude of p equals
+        // asin(p_eq . pole) — the linear-constraint identity the paper uses.
+        let p = SkyPos::new(123.4, 12.3).unwrap();
+        for frame in Frame::ALL {
+            let lat = frame.from_equatorial_pos(p).dec_deg();
+            let lin = p.unit_vec().dot(frame.pole()).asin().to_degrees();
+            assert!((lat - lin).abs() < 1e-9, "{frame}: {lat} vs {lin}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_frame_roundtrip(p in arb_pos()) {
+            for frame in Frame::ALL {
+                let q = frame.to_equatorial_pos(frame.from_equatorial_pos(p));
+                prop_assert!(p.separation_deg(q) < 1e-8, "{frame}: {p} vs {q}");
+            }
+        }
+
+        #[test]
+        fn prop_rotation_preserves_separation(a in arb_pos(), b in arb_pos()) {
+            let sep = a.separation_deg(b);
+            for frame in Frame::ALL {
+                let fa = frame.from_equatorial_pos(a);
+                let fb = frame.from_equatorial_pos(b);
+                prop_assert!((fa.separation_deg(fb) - sep).abs() < 1e-8);
+            }
+        }
+    }
+}

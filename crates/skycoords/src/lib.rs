@@ -1,0 +1,54 @@
+//! Spherical-astronomy substrate for the SDSS archive reproduction.
+//!
+//! The SIGMOD 2000 SDSS paper stores angular coordinates "in a Cartesian
+//! form, i.e. as a triplet of x,y,z values per object", because queries in
+//! arbitrary spherical coordinate systems then become *linear* constraints
+//! on the Cartesian coordinates instead of trigonometric expressions.
+//!
+//! This crate provides exactly that substrate:
+//!
+//! * [`UnitVec3`] — a unit 3-vector on the celestial sphere, the canonical
+//!   position representation used by every other crate in the workspace;
+//! * [`SkyPos`] — (ra, dec) angular coordinates with conversions to and
+//!   from [`UnitVec3`];
+//! * [`Frame`] — celestial coordinate systems (Equatorial J2000, Galactic,
+//!   Supergalactic, Ecliptic) realized as rotation matrices, so that
+//!   coordinates in any system "can be constructed from the Cartesian
+//!   coordinates on the fly" (paper, §Indexing the Sky);
+//! * angular-separation and position-angle operators needed by the
+//!   proximity queries of the paper (§Typical Queries).
+
+pub mod angle;
+pub mod frames;
+pub mod spherical;
+pub mod vec3;
+
+pub use angle::{Angle, ARCMIN_DEG, ARCSEC_DEG};
+pub use frames::{Frame, Rotation};
+pub use spherical::SkyPos;
+pub use vec3::{UnitVec3, Vec3};
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoordError {
+    /// A vector with (near-)zero length cannot be normalized onto the sphere.
+    ZeroVector,
+    /// Declination / latitude outside [-90, +90] degrees.
+    LatitudeOutOfRange(f64),
+    /// A non-finite (NaN or infinite) coordinate value.
+    NonFinite,
+}
+
+impl std::fmt::Display for CoordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoordError::ZeroVector => write!(f, "zero-length vector cannot be normalized"),
+            CoordError::LatitudeOutOfRange(v) => {
+                write!(f, "latitude {v} deg outside [-90, +90]")
+            }
+            CoordError::NonFinite => write!(f, "non-finite coordinate value"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}

@@ -1,0 +1,182 @@
+//! Angular sky positions and conversions to the Cartesian representation.
+
+use crate::angle::wrap_deg_360;
+use crate::vec3::{UnitVec3, Vec3};
+use crate::CoordError;
+
+/// An angular position on the sky: right ascension and declination in
+/// degrees (or longitude/latitude in a non-equatorial frame).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkyPos {
+    ra_deg: f64,
+    dec_deg: f64,
+}
+
+impl SkyPos {
+    /// Construct a position; `ra` is wrapped into `[0, 360)`, `dec` must be
+    /// within `[-90, +90]`.
+    pub fn new(ra_deg: f64, dec_deg: f64) -> Result<Self, CoordError> {
+        if !ra_deg.is_finite() || !dec_deg.is_finite() {
+            return Err(CoordError::NonFinite);
+        }
+        if !(-90.0..=90.0).contains(&dec_deg) {
+            return Err(CoordError::LatitudeOutOfRange(dec_deg));
+        }
+        Ok(SkyPos {
+            ra_deg: wrap_deg_360(ra_deg),
+            dec_deg,
+        })
+    }
+
+    #[inline]
+    pub fn ra_deg(self) -> f64 {
+        self.ra_deg
+    }
+
+    #[inline]
+    pub fn dec_deg(self) -> f64 {
+        self.dec_deg
+    }
+
+    /// Convert to the Cartesian unit-vector representation the archive
+    /// stores ("a triplet of x,y,z values per object").
+    #[inline]
+    pub fn unit_vec(self) -> UnitVec3 {
+        let (sin_d, cos_d) = self.dec_deg.to_radians().sin_cos();
+        let (sin_r, cos_r) = self.ra_deg.to_radians().sin_cos();
+        UnitVec3::new_unchecked(cos_d * cos_r, cos_d * sin_r, sin_d)
+    }
+
+    /// Convert a unit vector back to angular coordinates.
+    pub fn from_unit_vec(v: UnitVec3) -> SkyPos {
+        let dec = v.z().clamp(-1.0, 1.0).asin().to_degrees();
+        let ra = if v.x() == 0.0 && v.y() == 0.0 {
+            0.0 // at a pole the longitude is degenerate; pick 0
+        } else {
+            wrap_deg_360(v.y().atan2(v.x()).to_degrees())
+        };
+        SkyPos {
+            ra_deg: ra,
+            dec_deg: dec,
+        }
+    }
+
+    /// Angular separation in degrees.
+    #[inline]
+    pub fn separation_deg(self, o: SkyPos) -> f64 {
+        self.unit_vec().separation_deg(o.unit_vec())
+    }
+
+    /// Position angle of `o` as seen from `self`, degrees East of North
+    /// in `[0, 360)`.
+    pub fn position_angle_deg(self, o: SkyPos) -> f64 {
+        let d_ra = (o.ra_deg - self.ra_deg).to_radians();
+        let (sin_d1, cos_d1) = self.dec_deg.to_radians().sin_cos();
+        let (sin_d2, cos_d2) = o.dec_deg.to_radians().sin_cos();
+        let y = d_ra.sin() * cos_d2;
+        let x = cos_d1 * sin_d2 - sin_d1 * cos_d2 * d_ra.cos();
+        wrap_deg_360(y.atan2(x).to_degrees())
+    }
+
+    /// The point at angular distance `dist_deg` from `self` along position
+    /// angle `pa_deg` (East of North). Used by the synthetic catalog
+    /// generator to scatter cluster members around centers.
+    pub fn offset_by(self, pa_deg: f64, dist_deg: f64) -> SkyPos {
+        let center = self.unit_vec();
+        // Local north direction at `self` (tangent toward +dec).
+        let north_pole = UnitVec3::Z;
+        let east = north_pole.cross(center);
+        let east = match east.normalized() {
+            Ok(e) => e,
+            // At the poles "north" is degenerate: any direction works.
+            Err(_) => center.any_orthogonal(),
+        };
+        let north = center
+            .cross(east)
+            .normalized()
+            .expect("center and east are orthogonal unit vectors");
+        let pa = pa_deg.to_radians();
+        let dir = (north.as_vec3() * pa.cos() + east.as_vec3() * pa.sin())
+            .normalized()
+            .expect("unit combination of an orthonormal basis");
+        let d = dist_deg.to_radians();
+        let v: Vec3 = center.as_vec3() * d.cos() + dir.as_vec3() * d.sin();
+        SkyPos::from_unit_vec(v.normalized().expect("unit by construction"))
+    }
+}
+
+impl std::fmt::Display for SkyPos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.6}, {:+.6})", self.ra_deg, self.dec_deg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_pos() -> impl Strategy<Value = SkyPos> {
+        (0.0f64..360.0, -89.9f64..89.9).prop_map(|(ra, dec)| SkyPos::new(ra, dec).unwrap())
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(SkyPos::new(10.0, 91.0).is_err());
+        assert!(SkyPos::new(10.0, -91.0).is_err());
+        assert!(SkyPos::new(f64::NAN, 0.0).is_err());
+        let p = SkyPos::new(-10.0, 0.0).unwrap();
+        assert!((p.ra_deg() - 350.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cardinal_directions() {
+        let origin = SkyPos::new(0.0, 0.0).unwrap().unit_vec();
+        assert!((origin.x() - 1.0).abs() < 1e-15);
+        let pole = SkyPos::new(123.0, 90.0).unwrap().unit_vec();
+        assert!((pole.z() - 1.0).abs() < 1e-15);
+        let ra90 = SkyPos::new(90.0, 0.0).unwrap().unit_vec();
+        assert!((ra90.y() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pole_longitude_degenerate() {
+        let p = SkyPos::from_unit_vec(UnitVec3::Z);
+        assert_eq!(p.ra_deg(), 0.0);
+        assert!((p.dec_deg() - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn position_angle_cardinal() {
+        let c = SkyPos::new(180.0, 0.0).unwrap();
+        let north = SkyPos::new(180.0, 1.0).unwrap();
+        let east = SkyPos::new(181.0, 0.0).unwrap();
+        assert!(c.position_angle_deg(north).abs() < 1e-9);
+        assert!((c.position_angle_deg(east) - 90.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_through_unit_vec(p in arb_pos()) {
+            let q = SkyPos::from_unit_vec(p.unit_vec());
+            prop_assert!(p.separation_deg(q) < 1e-9, "{p} vs {q}");
+        }
+
+        #[test]
+        fn prop_offset_lands_at_distance(p in arb_pos(), pa in 0.0f64..360.0, d in 0.0f64..90.0) {
+            let q = p.offset_by(pa, d);
+            prop_assert!((p.separation_deg(q) - d).abs() < 1e-8);
+        }
+
+        #[test]
+        fn prop_offset_position_angle(p in arb_pos(), pa in 0.0f64..360.0) {
+            // For small offsets away from the poles the PA of the offset
+            // point matches the requested PA.
+            prop_assume!(p.dec_deg().abs() < 80.0);
+            let q = p.offset_by(pa, 0.1);
+            let measured = p.position_angle_deg(q);
+            let diff = (measured - pa).abs().min((measured - pa + 360.0).abs()).min((measured - pa - 360.0).abs());
+            prop_assert!(diff < 0.2, "pa={pa} measured={measured}");
+        }
+    }
+}

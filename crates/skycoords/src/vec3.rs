@@ -1,0 +1,334 @@
+//! 3-vectors and unit vectors on the celestial sphere.
+//!
+//! The archive stores every object position as a unit vector. Angular
+//! constraints ("within 10 arcsec", "in this declination band") become dot
+//! products against these vectors — the linear half-space constraints at the
+//! heart of the paper's indexing scheme.
+
+use crate::CoordError;
+
+/// A general 3-vector (not necessarily normalized).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    #[inline]
+    pub fn norm2(self) -> f64 {
+        self.dot(self)
+    }
+
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm2().sqrt()
+    }
+
+    /// Normalize onto the unit sphere.
+    #[inline]
+    pub fn normalized(self) -> Result<UnitVec3, CoordError> {
+        if !(self.x.is_finite() && self.y.is_finite() && self.z.is_finite()) {
+            return Err(CoordError::NonFinite);
+        }
+        let n = self.norm();
+        if n < 1e-300 {
+            return Err(CoordError::ZeroVector);
+        }
+        Ok(UnitVec3 {
+            x: self.x / n,
+            y: self.y / n,
+            z: self.z / n,
+        })
+    }
+}
+
+impl std::ops::Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl std::ops::Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl std::ops::Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl std::ops::Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// A unit vector on the celestial sphere.
+///
+/// Invariant: `x² + y² + z² = 1` up to floating-point rounding. All
+/// constructors preserve this; consumers may rely on it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitVec3 {
+    x: f64,
+    y: f64,
+    z: f64,
+}
+
+impl UnitVec3 {
+    /// +x axis: (ra, dec) = (0, 0).
+    pub const X: UnitVec3 = UnitVec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// +y axis: (ra, dec) = (90, 0).
+    pub const Y: UnitVec3 = UnitVec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// +z axis: the north celestial pole.
+    pub const Z: UnitVec3 = UnitVec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Construct without checking the invariant.
+    ///
+    /// Only for compile-time constants and hot paths that have already
+    /// normalized; everything else should go through [`Vec3::normalized`].
+    #[inline]
+    pub const fn new_unchecked(x: f64, y: f64, z: f64) -> Self {
+        UnitVec3 { x, y, z }
+    }
+
+    #[inline]
+    pub const fn x(self) -> f64 {
+        self.x
+    }
+
+    #[inline]
+    pub const fn y(self) -> f64 {
+        self.y
+    }
+
+    #[inline]
+    pub const fn z(self) -> f64 {
+        self.z
+    }
+
+    #[inline]
+    pub const fn as_vec3(self) -> Vec3 {
+        Vec3 { x: self.x, y: self.y, z: self.z }
+    }
+
+    #[inline]
+    pub fn dot(self, o: UnitVec3) -> f64 {
+        self.as_vec3().dot(o.as_vec3())
+    }
+
+    #[inline]
+    pub fn cross(self, o: UnitVec3) -> Vec3 {
+        self.as_vec3().cross(o.as_vec3())
+    }
+
+    /// The antipodal direction. (Named method kept alongside the `Neg`
+    /// impl because call sites read better as `pole.neg()` in half-space
+    /// constructions.)
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn neg(self) -> UnitVec3 {
+        UnitVec3 { x: -self.x, y: -self.y, z: -self.z }
+    }
+
+    /// Angular separation to another unit vector, in **degrees**.
+    ///
+    /// Uses `atan2(|u×v|, u·v)` which is numerically stable both for nearly
+    /// identical and for nearly antipodal directions, unlike `acos(u·v)`.
+    /// This matters: the paper's pair queries work at 5–10 arcsec scales
+    /// where `acos` loses half of the available precision.
+    #[inline]
+    pub fn separation_deg(self, o: UnitVec3) -> f64 {
+        let cross = self.cross(o).norm();
+        let dot = self.dot(o);
+        cross.atan2(dot).to_degrees()
+    }
+
+    /// Midpoint on the sphere (normalized chord midpoint).
+    ///
+    /// Errors only for antipodal inputs, whose midpoint is undefined.
+    #[inline]
+    pub fn midpoint(self, o: UnitVec3) -> Result<UnitVec3, CoordError> {
+        (self.as_vec3() + o.as_vec3()).normalized()
+    }
+
+    /// Rotate `self` by angle `theta_deg` around axis `axis` (right-hand rule).
+    pub fn rotated_about(self, axis: UnitVec3, theta_deg: f64) -> UnitVec3 {
+        // Rodrigues' rotation formula.
+        let t = theta_deg.to_radians();
+        let (sin_t, cos_t) = t.sin_cos();
+        let v = self.as_vec3();
+        let k = axis.as_vec3();
+        let rotated = v * cos_t + k.cross(v) * sin_t + k * (k.dot(v) * (1.0 - cos_t));
+        // Rotation preserves length; re-normalize to stamp out rounding drift.
+        rotated
+            .normalized()
+            .expect("rotation of a unit vector stays on the sphere")
+    }
+
+    /// An arbitrary unit vector orthogonal to `self`.
+    pub fn any_orthogonal(self) -> UnitVec3 {
+        // Cross with the axis `self` is least aligned with.
+        let axis = if self.x.abs() <= self.y.abs() && self.x.abs() <= self.z.abs() {
+            Vec3::new(1.0, 0.0, 0.0)
+        } else if self.y.abs() <= self.z.abs() {
+            Vec3::new(0.0, 1.0, 0.0)
+        } else {
+            Vec3::new(0.0, 0.0, 1.0)
+        };
+        self.as_vec3()
+            .cross(axis)
+            .normalized()
+            .expect("axis chosen to be non-parallel")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_unit() -> impl Strategy<Value = UnitVec3> {
+        // Uniform on the sphere via z ~ U(-1,1), phi ~ U(0, 2pi).
+        (-1.0f64..1.0, 0.0f64..std::f64::consts::TAU).prop_map(|(z, phi)| {
+            let r = (1.0 - z * z).max(0.0).sqrt();
+            Vec3::new(r * phi.cos(), r * phi.sin(), z)
+                .normalized()
+                .unwrap()
+        })
+    }
+
+    #[test]
+    fn dot_cross_basics() {
+        assert_eq!(UnitVec3::X.dot(UnitVec3::Y), 0.0);
+        let c = UnitVec3::X.cross(UnitVec3::Y);
+        assert!((c.z - 1.0).abs() < 1e-15);
+        assert_eq!(UnitVec3::Z.dot(UnitVec3::Z), 1.0);
+    }
+
+    #[test]
+    fn normalize_rejects_zero_and_nan() {
+        assert_eq!(Vec3::ZERO.normalized(), Err(CoordError::ZeroVector));
+        assert_eq!(
+            Vec3::new(f64::NAN, 0.0, 0.0).normalized(),
+            Err(CoordError::NonFinite)
+        );
+        assert_eq!(
+            Vec3::new(f64::INFINITY, 0.0, 0.0).normalized(),
+            Err(CoordError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn separation_known_angles() {
+        assert!((UnitVec3::X.separation_deg(UnitVec3::Y) - 90.0).abs() < 1e-12);
+        assert!((UnitVec3::X.separation_deg(UnitVec3::X)).abs() < 1e-12);
+        assert!((UnitVec3::X.separation_deg(UnitVec3::X.neg()) - 180.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn separation_small_angle_precision() {
+        // Two points 1 arcsec apart: atan2 formulation must resolve it.
+        let a = UnitVec3::X;
+        let one_arcsec = 1.0 / 3600.0;
+        let b = a.rotated_about(UnitVec3::Z, one_arcsec);
+        let sep = a.separation_deg(b);
+        assert!(
+            (sep - one_arcsec).abs() < 1e-12,
+            "sep={sep}, want {one_arcsec}"
+        );
+    }
+
+    #[test]
+    fn midpoint_of_antipodes_fails() {
+        assert!(UnitVec3::X.midpoint(UnitVec3::X.neg()).is_err());
+    }
+
+    #[test]
+    fn rotation_preserves_angles() {
+        let p = Vec3::new(1.0, 2.0, 3.0).normalized().unwrap();
+        let q = p.rotated_about(UnitVec3::Z, 90.0);
+        assert!((p.separation_deg(q) - p.z().acos().to_degrees().min(90.0)).abs() < 90.0);
+        // Rotating around itself is identity.
+        let r = p.rotated_about(p, 123.0);
+        assert!(p.separation_deg(r) < 1e-10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_normalized_has_unit_length(v in arb_unit()) {
+            prop_assert!((v.as_vec3().norm() - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_separation_symmetric(a in arb_unit(), b in arb_unit()) {
+            let d1 = a.separation_deg(b);
+            let d2 = b.separation_deg(a);
+            prop_assert!((d1 - d2).abs() < 1e-10);
+            prop_assert!((0.0..=180.0 + 1e-9).contains(&d1));
+        }
+
+        #[test]
+        fn prop_triangle_inequality(a in arb_unit(), b in arb_unit(), c in arb_unit()) {
+            let ab = a.separation_deg(b);
+            let bc = b.separation_deg(c);
+            let ac = a.separation_deg(c);
+            prop_assert!(ac <= ab + bc + 1e-9);
+        }
+
+        #[test]
+        fn prop_midpoint_equidistant(a in arb_unit(), b in arb_unit()) {
+            prop_assume!(a.separation_deg(b) < 179.0);
+            let m = a.midpoint(b).unwrap();
+            let da = m.separation_deg(a);
+            let db = m.separation_deg(b);
+            prop_assert!((da - db).abs() < 1e-9, "da={da} db={db}");
+        }
+
+        #[test]
+        fn prop_orthogonal_is_orthogonal(a in arb_unit()) {
+            let o = a.any_orthogonal();
+            prop_assert!(a.dot(o).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_rotation_preserves_separation(a in arb_unit(), b in arb_unit(), axis in arb_unit(), theta in -360.0f64..360.0) {
+            let before = a.separation_deg(b);
+            let after = a.rotated_about(axis, theta).separation_deg(b.rotated_about(axis, theta));
+            prop_assert!((before - after).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Containers: the clustering units of the archive.
+//!
+//! One container per HTM trixel at the store's partition level. Each
+//! container keeps summary statistics — the paper's "coarse-grained
+//! density map of the data" — which the cost model uses to predict output
+//! volumes, and the loader uses to prove its touch-once property.
+
+use crate::page::Page;
+use crate::StorageError;
+use sdss_catalog::{ObjClass, PhotoObj};
+use sdss_htm::HtmId;
+
+/// Summary statistics of one container (the density map entry).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContainerStats {
+    pub count: u64,
+    /// r-band magnitude range of the contents.
+    pub r_min: f32,
+    pub r_max: f32,
+    /// Per-class counts: [unknown, star, galaxy, quasar].
+    pub class_counts: [u64; 4],
+}
+
+impl Default for ContainerStats {
+    fn default() -> Self {
+        ContainerStats {
+            count: 0,
+            r_min: f32::INFINITY,
+            r_max: f32::NEG_INFINITY,
+            class_counts: [0; 4],
+        }
+    }
+}
+
+impl ContainerStats {
+    fn update(&mut self, r_mag: f32, class: ObjClass) {
+        self.count += 1;
+        self.r_min = self.r_min.min(r_mag);
+        self.r_max = self.r_max.max(r_mag);
+        self.class_counts[class as usize] += 1;
+    }
+}
+
+/// A clustering unit: serialized records of one sky trixel in page order.
+#[derive(Debug, Clone)]
+pub struct Container {
+    id: HtmId,
+    record_len: usize,
+    pages: Vec<Page>,
+    stats: ContainerStats,
+}
+
+impl Container {
+    pub fn new(id: HtmId, record_len: usize) -> Container {
+        Container {
+            id,
+            record_len,
+            pages: Vec::new(),
+            stats: ContainerStats::default(),
+        }
+    }
+
+    #[inline]
+    pub fn id(&self) -> HtmId {
+        self.id
+    }
+
+    #[inline]
+    pub fn stats(&self) -> &ContainerStats {
+        &self.stats
+    }
+
+    #[inline]
+    pub fn record_len(&self) -> usize {
+        self.record_len
+    }
+
+    /// Number of records stored.
+    pub fn len(&self) -> usize {
+        self.stats.count as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stats.count == 0
+    }
+
+    /// Total payload bytes (what a scan of this container reads).
+    pub fn bytes(&self) -> usize {
+        self.pages.iter().map(Page::bytes_used).sum()
+    }
+
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Append a serialized record with its stat fields.
+    pub fn push_record(
+        &mut self,
+        record: &[u8],
+        r_mag: f32,
+        class: ObjClass,
+    ) -> Result<(), StorageError> {
+        let need_new = match self.pages.last() {
+            Some(p) => p.is_full(),
+            None => true,
+        };
+        if need_new {
+            self.pages.push(Page::new(self.record_len)?);
+        }
+        let page = self.pages.last_mut().expect("just ensured a page exists");
+        let pushed = page.push_record(record)?;
+        debug_assert!(pushed, "fresh/non-full page cannot reject a record");
+        self.stats.update(r_mag, class);
+        Ok(())
+    }
+
+    /// Append a full photometric object (serializing it).
+    pub fn push_photo(&mut self, obj: &PhotoObj, scratch: &mut Vec<u8>) -> Result<(), StorageError> {
+        scratch.clear();
+        obj.write_to(scratch);
+        self.push_record(scratch, obj.mag(2), obj.class)
+    }
+
+    /// Iterate over raw record slices in insertion order.
+    pub fn iter_records(&self) -> impl Iterator<Item = &[u8]> {
+        self.pages.iter().flat_map(|p| p.iter())
+    }
+
+    /// Record at a global slot index.
+    pub fn record(&self, slot: usize) -> Option<&[u8]> {
+        let per_page = crate::page::PAGE_SIZE / self.record_len;
+        let page = slot / per_page;
+        let in_page = slot % per_page;
+        self.pages.get(page)?.record(in_page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdss_htm::HtmId;
+
+    fn container() -> Container {
+        Container::new(HtmId::root(0), 64)
+    }
+
+    #[test]
+    fn push_updates_stats() {
+        let mut c = container();
+        c.push_record(&[1u8; 64], 18.0, ObjClass::Galaxy).unwrap();
+        c.push_record(&[2u8; 64], 21.0, ObjClass::Star).unwrap();
+        c.push_record(&[3u8; 64], 16.5, ObjClass::Galaxy).unwrap();
+        let s = c.stats();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.r_min, 16.5);
+        assert_eq!(s.r_max, 21.0);
+        assert_eq!(s.class_counts[ObjClass::Galaxy as usize], 2);
+        assert_eq!(s.class_counts[ObjClass::Star as usize], 1);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.bytes(), 3 * 64);
+    }
+
+    #[test]
+    fn pages_roll_over() {
+        let mut c = container();
+        let per_page = crate::page::PAGE_SIZE / 64;
+        for i in 0..(per_page + 3) {
+            c.push_record(&[(i % 251) as u8; 64], 20.0, ObjClass::Star)
+                .unwrap();
+        }
+        assert_eq!(c.num_pages(), 2);
+        assert_eq!(c.len(), per_page + 3);
+        // Order preserved across the page boundary.
+        let rec = c.record(per_page).unwrap();
+        assert_eq!(rec[0], (per_page % 251) as u8);
+        assert_eq!(c.iter_records().count(), per_page + 3);
+    }
+
+    #[test]
+    fn slot_out_of_range() {
+        let mut c = container();
+        c.push_record(&[0u8; 64], 20.0, ObjClass::Star).unwrap();
+        assert!(c.record(0).is_some());
+        assert!(c.record(1).is_none());
+    }
+
+    #[test]
+    fn photo_roundtrip_through_container() {
+        let mut c = Container::new(HtmId::root(3), PhotoObj::SERIALIZED_LEN);
+        let objs = sdss_catalog::SkyModel::small(3).generate().unwrap();
+        let mut scratch = Vec::new();
+        for obj in objs.iter().take(20) {
+            c.push_photo(obj, &mut scratch).unwrap();
+        }
+        for (i, rec) in c.iter_records().enumerate() {
+            let mut slice = rec;
+            let back = PhotoObj::read_from(&mut slice).unwrap();
+            assert_eq!(&back, &objs[i]);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Fixed-size pages of fixed-width records.
+//!
+//! Containers store their objects in 8 KB pages of serialized records, so
+//! every scan pays honest serialization/deserialization and byte-count
+//! costs — the quantities the paper's scan-rate arguments are about.
+
+use crate::StorageError;
+use bytes::{Bytes, BytesMut};
+
+/// Page size in bytes. 8 KB, the classic database page.
+pub const PAGE_SIZE: usize = 8192;
+
+/// A page of fixed-width records.
+#[derive(Debug, Clone)]
+pub struct Page {
+    buf: BytesMut,
+    record_len: usize,
+}
+
+impl Page {
+    /// Create an empty page for records of `record_len` bytes.
+    pub fn new(record_len: usize) -> Result<Page, StorageError> {
+        if record_len == 0 || record_len > PAGE_SIZE {
+            return Err(StorageError::RecordTooLarge {
+                len: record_len,
+                max: PAGE_SIZE,
+            });
+        }
+        Ok(Page {
+            buf: BytesMut::with_capacity(PAGE_SIZE.min(record_len * 8)),
+            record_len,
+        })
+    }
+
+    /// Records currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len() / self.record_len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum records per page.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        PAGE_SIZE / self.record_len
+    }
+
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity()
+    }
+
+    /// Bytes of payload stored.
+    #[inline]
+    pub fn bytes_used(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Append a record. Returns `false` (and stores nothing) if full.
+    pub fn push_record(&mut self, record: &[u8]) -> Result<bool, StorageError> {
+        if record.len() != self.record_len {
+            return Err(StorageError::Corrupt(format!(
+                "record of {} bytes in a page of {}-byte records",
+                record.len(),
+                self.record_len
+            )));
+        }
+        if self.is_full() {
+            return Ok(false);
+        }
+        self.buf.extend_from_slice(record);
+        Ok(true)
+    }
+
+    /// Record at `slot`.
+    pub fn record(&self, slot: usize) -> Option<&[u8]> {
+        if slot < self.len() {
+            Some(&self.buf[slot * self.record_len..(slot + 1) * self.record_len])
+        } else {
+            None
+        }
+    }
+
+    /// Iterate over record slices.
+    pub fn iter(&self) -> PageIter<'_> {
+        PageIter {
+            page: self,
+            next: 0,
+        }
+    }
+
+    /// The raw payload (for shipping pages between simulated nodes).
+    pub fn payload(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.buf)
+    }
+
+    /// Rebuild a page from a shipped payload.
+    pub fn from_payload(payload: &[u8], record_len: usize) -> Result<Page, StorageError> {
+        if record_len == 0 || record_len > PAGE_SIZE {
+            return Err(StorageError::RecordTooLarge {
+                len: record_len,
+                max: PAGE_SIZE,
+            });
+        }
+        if !payload.len().is_multiple_of(record_len) || payload.len() > PAGE_SIZE {
+            return Err(StorageError::Corrupt(format!(
+                "payload of {} bytes is not a whole number of {}-byte records",
+                payload.len(),
+                record_len
+            )));
+        }
+        let mut buf = BytesMut::with_capacity(payload.len());
+        buf.extend_from_slice(payload);
+        Ok(Page { buf, record_len })
+    }
+}
+
+/// Iterator over the records of a page.
+pub struct PageIter<'a> {
+    page: &'a Page,
+    next: usize,
+}
+
+impl<'a> Iterator for PageIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let r = self.page.record(self.next);
+        if r.is_some() {
+            self.next += 1;
+        }
+        r
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.page.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for PageIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_and_read() {
+        let mut p = Page::new(16).unwrap();
+        assert_eq!(p.capacity(), PAGE_SIZE / 16);
+        let rec_a = [0xAAu8; 16];
+        let rec_b = [0xBBu8; 16];
+        assert!(p.push_record(&rec_a).unwrap());
+        assert!(p.push_record(&rec_b).unwrap());
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.record(0).unwrap(), &rec_a);
+        assert_eq!(p.record(1).unwrap(), &rec_b);
+        assert_eq!(p.record(2), None);
+        assert_eq!(p.iter().count(), 2);
+    }
+
+    #[test]
+    fn fills_up_exactly() {
+        let mut p = Page::new(1000).unwrap();
+        let rec = [7u8; 1000];
+        for _ in 0..p.capacity() {
+            assert!(p.push_record(&rec).unwrap());
+        }
+        assert!(p.is_full());
+        assert!(!p.push_record(&rec).unwrap(), "push on a full page");
+        assert_eq!(p.len(), 8); // 8192 / 1000
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(Page::new(0).is_err());
+        assert!(Page::new(PAGE_SIZE + 1).is_err());
+        let mut p = Page::new(8).unwrap();
+        assert!(p.push_record(&[0u8; 9]).is_err());
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let mut p = Page::new(32).unwrap();
+        for i in 0..10u8 {
+            p.push_record(&[i; 32]).unwrap();
+        }
+        let shipped = p.payload();
+        let back = Page::from_payload(&shipped, 32).unwrap();
+        assert_eq!(back.len(), 10);
+        assert_eq!(back.record(7).unwrap(), &[7u8; 32]);
+        // Corrupt payloads rejected.
+        assert!(Page::from_payload(&shipped[..33], 32).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_records_come_back_in_order(
+            record_len in 1usize..256,
+            n in 0usize..64,
+        ) {
+            let mut p = Page::new(record_len).unwrap();
+            let mut pushed = Vec::new();
+            for i in 0..n {
+                let rec: Vec<u8> = (0..record_len).map(|j| ((i * 31 + j) % 251) as u8).collect();
+                if p.push_record(&rec).unwrap() {
+                    pushed.push(rec);
+                } else {
+                    break;
+                }
+            }
+            let got: Vec<Vec<u8>> = p.iter().map(|r| r.to_vec()).collect();
+            prop_assert_eq!(got, pushed);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Spatial partitioning of containers across servers.
+//!
+//! Paper, §Indexing the Sky: "The SDSS data is too large to fit on one
+//! disk or even one server. The base-data objects will be spatially
+//! partitioned among the servers. As new servers are added, the data will
+//! repartition."
+//!
+//! Containers are assigned in HTM id order (spatially coherent: the
+//! quad-tree's depth-first order keeps neighbors together) with a greedy
+//! byte-balancing rule. The dataflow cluster instantiates one simulated
+//! node per server from this map.
+
+use crate::store::ObjectStore;
+use crate::StorageError;
+
+/// Assignment of containers to `n_servers` servers.
+#[derive(Debug, Clone)]
+pub struct PartitionMap {
+    n_servers: usize,
+    /// (container raw id, server) sorted by container id.
+    assignment: Vec<(u64, usize)>,
+    /// Bytes per server.
+    server_bytes: Vec<usize>,
+}
+
+impl PartitionMap {
+    /// Build a partition of the store's containers over `n_servers`,
+    /// walking containers in id order and always filling the emptiest-so-
+    /// far prefix server (contiguous ranges, greedy balance).
+    pub fn build(store: &ObjectStore, n_servers: usize) -> Result<PartitionMap, StorageError> {
+        if n_servers == 0 {
+            return Err(StorageError::InvalidConfig("zero servers".into()));
+        }
+        let total_bytes: usize = store.bytes();
+        let target = total_bytes as f64 / n_servers as f64;
+        let mut assignment = Vec::new();
+        let mut server_bytes = vec![0usize; n_servers];
+        let mut server = 0usize;
+        for c in store.containers() {
+            // Move to the next server once this one reached its share —
+            // but never run past the last server.
+            if server + 1 < n_servers && (server_bytes[server] as f64) >= target {
+                server += 1;
+            }
+            assignment.push((c.id().raw(), server));
+            server_bytes[server] += c.bytes();
+        }
+        Ok(PartitionMap {
+            n_servers,
+            assignment,
+            server_bytes,
+        })
+    }
+
+    pub fn n_servers(&self) -> usize {
+        self.n_servers
+    }
+
+    /// Which server owns a container (`None` if the container is unknown).
+    pub fn server_of(&self, container_raw: u64) -> Option<usize> {
+        self.assignment
+            .binary_search_by_key(&container_raw, |&(id, _)| id)
+            .ok()
+            .map(|i| self.assignment[i].1)
+    }
+
+    /// Container ids owned by `server`, in id order.
+    pub fn containers_of(&self, server: usize) -> Vec<u64> {
+        self.assignment
+            .iter()
+            .filter(|&&(_, s)| s == server)
+            .map(|&(id, _)| id)
+            .collect()
+    }
+
+    /// Bytes per server.
+    pub fn server_bytes(&self) -> &[usize] {
+        &self.server_bytes
+    }
+
+    /// Load imbalance: max server bytes / mean server bytes (1.0 = even).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.server_bytes.iter().copied().max().unwrap_or(0) as f64;
+        let mean = self.server_bytes.iter().sum::<usize>() as f64 / self.n_servers as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Repartition for a new server count — the paper's "as new servers
+    /// are added, the data will repartition".
+    pub fn repartition(&self, store: &ObjectStore, n_servers: usize) -> Result<PartitionMap, StorageError> {
+        PartitionMap::build(store, n_servers)
+    }
+
+    /// Number of containers that change servers between two partitions.
+    pub fn moved_containers(&self, other: &PartitionMap) -> usize {
+        let mut moved = 0;
+        for &(id, s) in &self.assignment {
+            if other.server_of(id) != Some(s) {
+                moved += 1;
+            }
+        }
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use sdss_catalog::SkyModel;
+
+    fn store(seed: u64) -> ObjectStore {
+        let objs = SkyModel::small(seed).generate().unwrap();
+        let mut s = ObjectStore::new(StoreConfig::default()).unwrap();
+        s.insert_batch(&objs).unwrap();
+        s
+    }
+
+    #[test]
+    fn every_container_is_assigned_once() {
+        let s = store(1);
+        let pm = PartitionMap::build(&s, 4).unwrap();
+        for c in s.containers() {
+            assert!(pm.server_of(c.id().raw()).is_some());
+        }
+        let total: usize = (0..4).map(|srv| pm.containers_of(srv).len()).sum();
+        assert_eq!(total, s.num_containers());
+        assert_eq!(pm.server_of(0xffff_ffff), None);
+    }
+
+    #[test]
+    fn bytes_are_roughly_balanced() {
+        let s = store(2);
+        let pm = PartitionMap::build(&s, 4).unwrap();
+        // Clustered data is lumpy; the greedy ranges still keep the
+        // imbalance bounded (one fat container can't be split, so allow 2x).
+        assert!(
+            pm.imbalance() < 2.0,
+            "imbalance {} with per-server {:?}",
+            pm.imbalance(),
+            pm.server_bytes()
+        );
+        assert_eq!(
+            pm.server_bytes().iter().sum::<usize>(),
+            s.bytes(),
+            "all bytes assigned"
+        );
+    }
+
+    #[test]
+    fn assignment_is_spatially_contiguous() {
+        // In id order, the server index never decreases: contiguous ranges.
+        let s = store(3);
+        let pm = PartitionMap::build(&s, 5).unwrap();
+        let mut prev = 0usize;
+        for c in s.containers() {
+            let srv = pm.server_of(c.id().raw()).unwrap();
+            assert!(srv >= prev, "server went backwards");
+            prev = srv;
+        }
+    }
+
+    #[test]
+    fn one_server_owns_all() {
+        let s = store(4);
+        let pm = PartitionMap::build(&s, 1).unwrap();
+        assert_eq!(pm.containers_of(0).len(), s.num_containers());
+        assert!((pm.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_servers_rejected() {
+        let s = store(5);
+        assert!(PartitionMap::build(&s, 0).is_err());
+    }
+
+    #[test]
+    fn repartition_moves_bounded_fraction() {
+        let s = store(6);
+        let pm4 = PartitionMap::build(&s, 4).unwrap();
+        let pm5 = pm4.repartition(&s, 5).unwrap();
+        assert_eq!(pm5.n_servers(), 5);
+        let moved = pm4.moved_containers(&pm5);
+        // Range repartitioning moves data, but never more than everything.
+        assert!(moved <= s.num_containers());
+        // And the new partition is still balanced.
+        assert!(pm5.imbalance() < 2.5, "imbalance {}", pm5.imbalance());
+    }
+}

@@ -1,0 +1,520 @@
+//! The object store: containers keyed by HTM trixel, region scans driven
+//! by covers.
+//!
+//! The index tree of the paper in action: a region query computes a deep
+//! HTM cover, coarsens it to the container level, and then
+//!
+//! * containers **fully inside** the cover stream every object with *no*
+//!   geometric test ("wholly accepted"),
+//! * containers **bisected** by the query test each object — first against
+//!   the deep cover via the object's precomputed level-20 HTM id (integer
+//!   compare), and only in the boundary trixels against the exact region
+//!   geometry,
+//! * everything else is never read ("if a node is rejected, that node's
+//!   children can be ignored").
+
+use crate::container::Container;
+use crate::StorageError;
+use sdss_catalog::PhotoObj;
+use sdss_htm::{Cover, Domain, HtmId};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// HTM level of the clustering containers. Level 6 gives 32768 sky
+    /// cells (~1.6 deg each) — a good default for the experiment scales
+    /// in this repo.
+    pub container_level: u8,
+    /// Deep cover level used for region scans (must be ≥ container level;
+    /// objects carry level-20 ids so it must also be ≤ 20).
+    pub scan_cover_level: u8,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            container_level: 6,
+            scan_cover_level: 10,
+        }
+    }
+}
+
+/// Read/write touch counters (atomic: shared with scan threads).
+#[derive(Debug, Default)]
+pub struct TouchCounters {
+    /// Containers opened for writing (the loader's touch-once metric).
+    pub write_touches: AtomicU64,
+    /// Containers read by scans.
+    pub read_touches: AtomicU64,
+    /// Payload bytes read by scans.
+    pub bytes_read: AtomicU64,
+    /// Objects tested against exact region geometry.
+    pub exact_tests: AtomicU64,
+}
+
+impl TouchCounters {
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.write_touches.load(Ordering::Relaxed),
+            self.read_touches.load(Ordering::Relaxed),
+            self.bytes_read.load(Ordering::Relaxed),
+            self.exact_tests.load(Ordering::Relaxed),
+        )
+    }
+
+    pub fn reset(&self) {
+        self.write_touches.store(0, Ordering::Relaxed);
+        self.read_touches.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.exact_tests.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Statistics of one region scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionScan {
+    pub containers_full: usize,
+    pub containers_partial: usize,
+    pub objects_yielded: usize,
+    /// Objects that needed the exact geometric test.
+    pub objects_exact_tested: usize,
+    pub bytes_scanned: usize,
+}
+
+/// The container-clustered photometric object store.
+#[derive(Debug)]
+pub struct ObjectStore {
+    config: StoreConfig,
+    containers: BTreeMap<u64, Container>,
+    /// obj_id → (container raw id, slot).
+    id_index: std::collections::HashMap<u64, (u64, u32)>,
+    touches: TouchCounters,
+}
+
+impl ObjectStore {
+    pub fn new(config: StoreConfig) -> Result<ObjectStore, StorageError> {
+        if config.container_level > 20 {
+            return Err(StorageError::InvalidConfig(
+                "container level deeper than the stored htm20 ids".into(),
+            ));
+        }
+        if config.scan_cover_level < config.container_level || config.scan_cover_level > 20 {
+            return Err(StorageError::InvalidConfig(format!(
+                "scan cover level {} must be in [container level {}, 20]",
+                config.scan_cover_level, config.container_level
+            )));
+        }
+        Ok(ObjectStore {
+            config,
+            containers: BTreeMap::new(),
+            id_index: std::collections::HashMap::new(),
+            touches: TouchCounters::default(),
+        })
+    }
+
+    #[inline]
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    pub fn touches(&self) -> &TouchCounters {
+        &self.touches
+    }
+
+    /// Number of objects stored.
+    pub fn len(&self) -> usize {
+        self.containers.values().map(Container::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.containers.values().all(Container::is_empty)
+    }
+
+    /// Total payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.containers.values().map(Container::bytes).sum()
+    }
+
+    pub fn num_containers(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// The container trixel id an object belongs to.
+    pub fn container_id_of(&self, obj: &PhotoObj) -> Result<HtmId, StorageError> {
+        let deep = HtmId::from_raw(obj.htm20)?;
+        Ok(deep.ancestor_at(self.config.container_level))
+    }
+
+    /// Insert one object. Counts one write touch per container *opened*,
+    /// so arrival-order loading shows its cost (experiment E9).
+    pub fn insert(&mut self, obj: &PhotoObj) -> Result<(), StorageError> {
+        let mut scratch = Vec::with_capacity(PhotoObj::SERIALIZED_LEN);
+        self.insert_with_scratch(obj, &mut scratch)
+    }
+
+    fn insert_with_scratch(
+        &mut self,
+        obj: &PhotoObj,
+        scratch: &mut Vec<u8>,
+    ) -> Result<(), StorageError> {
+        let cid = self.container_id_of(obj)?;
+        self.touches.write_touches.fetch_add(1, Ordering::Relaxed);
+        let container = self
+            .containers
+            .entry(cid.raw())
+            .or_insert_with(|| Container::new(cid, PhotoObj::SERIALIZED_LEN));
+        let slot = container.len() as u32;
+        container.push_photo(obj, scratch)?;
+        self.id_index.insert(obj.obj_id, (cid.raw(), slot));
+        Ok(())
+    }
+
+    /// Insert a batch grouped by container: each container is opened
+    /// (touched) once per group — the fast path the paper's loader uses.
+    pub fn insert_batch(&mut self, objs: &[PhotoObj]) -> Result<(), StorageError> {
+        // Group object indexes by destination container.
+        let mut groups: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (i, obj) in objs.iter().enumerate() {
+            let cid = self.container_id_of(obj)?;
+            groups.entry(cid.raw()).or_default().push(i);
+        }
+        let mut scratch = Vec::with_capacity(PhotoObj::SERIALIZED_LEN);
+        for (raw, indexes) in groups {
+            self.touches.write_touches.fetch_add(1, Ordering::Relaxed);
+            let cid = HtmId::from_raw(raw)?;
+            let container = self
+                .containers
+                .entry(raw)
+                .or_insert_with(|| Container::new(cid, PhotoObj::SERIALIZED_LEN));
+            for i in indexes {
+                let slot = container.len() as u32;
+                container.push_photo(&objs[i], &mut scratch)?;
+                self.id_index.insert(objs[i].obj_id, (raw, slot));
+            }
+        }
+        Ok(())
+    }
+
+    /// Point lookup by object id.
+    pub fn get(&self, obj_id: u64) -> Result<PhotoObj, StorageError> {
+        let &(raw, slot) = self
+            .id_index
+            .get(&obj_id)
+            .ok_or(StorageError::NotFound(obj_id))?;
+        let container = self
+            .containers
+            .get(&raw)
+            .ok_or(StorageError::NotFound(obj_id))?;
+        let mut rec = container
+            .record(slot as usize)
+            .ok_or(StorageError::NotFound(obj_id))?;
+        Ok(PhotoObj::read_from(&mut rec)?)
+    }
+
+    /// Iterate all objects in container (spatial) order.
+    pub fn iter_all(&self) -> impl Iterator<Item = PhotoObj> + '_ {
+        self.containers.values().flat_map(|c| {
+            c.iter_records().map(|mut rec| {
+                PhotoObj::read_from(&mut rec).expect("store contains only valid records")
+            })
+        })
+    }
+
+    /// The containers themselves (for partitioning / dataflow engines).
+    pub fn containers(&self) -> impl Iterator<Item = &Container> {
+        self.containers.values()
+    }
+
+    pub fn container(&self, raw: u64) -> Option<&Container> {
+        self.containers.get(&raw)
+    }
+
+    /// Full scan with a callback; returns bytes scanned. The scan and
+    /// dataflow machines build on this.
+    pub fn scan_all(&self, mut f: impl FnMut(&PhotoObj)) -> usize {
+        let mut bytes = 0;
+        for c in self.containers.values() {
+            self.touches.read_touches.fetch_add(1, Ordering::Relaxed);
+            bytes += c.bytes();
+            for mut rec in c.iter_records() {
+                let obj = PhotoObj::read_from(&mut rec).expect("valid record");
+                f(&obj);
+            }
+        }
+        self.touches
+            .bytes_read
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        bytes
+    }
+
+    /// Region scan: yields every object inside `domain` exactly once.
+    ///
+    /// `cover_level` overrides the configured scan cover depth (used by
+    /// the E14 ablation); pass `None` for the default.
+    pub fn scan_region(
+        &self,
+        domain: &Domain,
+        cover_level: Option<u8>,
+        mut f: impl FnMut(&PhotoObj),
+    ) -> Result<RegionScan, StorageError> {
+        self.scan_region_until(domain, cover_level, |obj| {
+            f(obj);
+            true
+        })
+    }
+
+    /// Like [`ObjectStore::scan_region`] but the callback may return
+    /// `false` to stop early (streaming `LIMIT`, cancelled queries).
+    pub fn scan_region_until(
+        &self,
+        domain: &Domain,
+        cover_level: Option<u8>,
+        mut f: impl FnMut(&PhotoObj) -> bool,
+    ) -> Result<RegionScan, StorageError> {
+        let level = cover_level.unwrap_or(self.config.scan_cover_level);
+        if level < self.config.container_level || level > 20 {
+            return Err(StorageError::InvalidConfig(format!(
+                "cover level {level} outside [{}, 20]",
+                self.config.container_level
+            )));
+        }
+        let cover = Cover::compute(domain, level)?;
+        let full = cover.full_ranges();
+        let partial = cover.partial_ranges();
+        let touched = cover
+            .touched_ranges()
+            .coarsen(level, self.config.container_level);
+
+        let mut stats = RegionScan::default();
+        let shift = 2 * (20 - level) as u64;
+        let mut stopped = false;
+
+        'outer: for &(lo, hi) in touched.ranges() {
+            for (_, container) in self.containers.range(lo..hi) {
+                self.touches.read_touches.fetch_add(1, Ordering::Relaxed);
+                stats.bytes_scanned += container.bytes();
+
+                // Whole container inside the full cover: stream, no tests.
+                let (clo, chi) = container.id().deep_range(level);
+                if full.contains_range(clo, chi) {
+                    stats.containers_full += 1;
+                    for mut rec in container.iter_records() {
+                        let obj = PhotoObj::read_from(&mut rec)?;
+                        stats.objects_yielded += 1;
+                        if !f(&obj) {
+                            stopped = true;
+                            break 'outer;
+                        }
+                    }
+                    continue;
+                }
+
+                stats.containers_partial += 1;
+                for mut rec in container.iter_records() {
+                    let obj = PhotoObj::read_from(&mut rec)?;
+                    let deep_id = obj.htm20 >> shift;
+                    if full.contains(deep_id) {
+                        stats.objects_yielded += 1;
+                        if !f(&obj) {
+                            stopped = true;
+                            break 'outer;
+                        }
+                    } else if partial.contains(deep_id) {
+                        stats.objects_exact_tested += 1;
+                        if domain.contains(obj.unit_vec()) {
+                            stats.objects_yielded += 1;
+                            if !f(&obj) {
+                                stopped = true;
+                                break 'outer;
+                            }
+                        }
+                    }
+                    // else: outside the cover entirely — rejected for free.
+                }
+            }
+        }
+        let _ = stopped;
+        self.touches
+            .bytes_read
+            .fetch_add(stats.bytes_scanned as u64, Ordering::Relaxed);
+        self.touches
+            .exact_tests
+            .fetch_add(stats.objects_exact_tested as u64, Ordering::Relaxed);
+        Ok(stats)
+    }
+
+    /// Convenience: collect a region scan into a vector.
+    pub fn query_region(
+        &self,
+        domain: &Domain,
+        cover_level: Option<u8>,
+    ) -> Result<(Vec<PhotoObj>, RegionScan), StorageError> {
+        let mut out = Vec::new();
+        let stats = self.scan_region(domain, cover_level, |obj| out.push(obj.clone()))?;
+        Ok((out, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdss_catalog::SkyModel;
+    use sdss_htm::Region;
+
+    fn store_with_sky(seed: u64) -> (ObjectStore, Vec<PhotoObj>) {
+        let objs = SkyModel::small(seed).generate().unwrap();
+        let mut store = ObjectStore::new(StoreConfig::default()).unwrap();
+        store.insert_batch(&objs).unwrap();
+        (store, objs)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ObjectStore::new(StoreConfig {
+            container_level: 21,
+            scan_cover_level: 21
+        })
+        .is_err());
+        assert!(ObjectStore::new(StoreConfig {
+            container_level: 8,
+            scan_cover_level: 6
+        })
+        .is_err());
+        assert!(ObjectStore::new(StoreConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let (store, objs) = store_with_sky(1);
+        assert_eq!(store.len(), objs.len());
+        assert!(!store.is_empty());
+        assert_eq!(store.bytes(), objs.len() * PhotoObj::SERIALIZED_LEN);
+        // The 5-degree test cap spans several containers at level 6.
+        assert!(store.num_containers() > 3, "{}", store.num_containers());
+    }
+
+    #[test]
+    fn get_by_id() {
+        let (store, objs) = store_with_sky(2);
+        for obj in objs.iter().step_by(97) {
+            let got = store.get(obj.obj_id).unwrap();
+            assert_eq!(&got, obj);
+        }
+        assert!(matches!(
+            store.get(0xdead_beef_dead_beef),
+            Err(StorageError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn iter_all_is_spatially_clustered() {
+        let (store, objs) = store_with_sky(3);
+        let seen: Vec<PhotoObj> = store.iter_all().collect();
+        assert_eq!(seen.len(), objs.len());
+        // Objects come out grouped by container: consecutive objects share
+        // container ids far more often than random order would.
+        let level = store.config().container_level;
+        let mut same = 0usize;
+        for w in seen.windows(2) {
+            let a = HtmId::from_raw(w[0].htm20).unwrap().ancestor_at(level);
+            let b = HtmId::from_raw(w[1].htm20).unwrap().ancestor_at(level);
+            if a == b {
+                same += 1;
+            }
+        }
+        assert!(
+            same * 10 > seen.len() * 8,
+            "only {same}/{} adjacent pairs share a container",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn region_scan_matches_brute_force() {
+        let (store, objs) = store_with_sky(4);
+        for radius in [0.3, 1.0, 2.5] {
+            let domain = Region::circle(185.0, 15.0, radius).unwrap();
+            let (got, stats) = store.query_region(&domain, None).unwrap();
+            let want: Vec<&PhotoObj> = objs
+                .iter()
+                .filter(|o| domain.contains(o.unit_vec()))
+                .collect();
+            assert_eq!(got.len(), want.len(), "radius {radius}");
+            assert_eq!(stats.objects_yielded, want.len());
+            // No duplicates.
+            let mut ids: Vec<u64> = got.iter().map(|o| o.obj_id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), got.len());
+        }
+    }
+
+    #[test]
+    fn region_scan_reads_less_than_full_scan() {
+        let (store, _) = store_with_sky(5);
+        let total = store.bytes();
+        let domain = Region::circle(185.0, 15.0, 0.5).unwrap();
+        let (_, stats) = store.query_region(&domain, None).unwrap();
+        assert!(
+            stats.bytes_scanned < total / 4,
+            "index scan read {} of {} bytes",
+            stats.bytes_scanned,
+            total
+        );
+    }
+
+    #[test]
+    fn deep_cover_reduces_exact_tests() {
+        let (store, _) = store_with_sky(6);
+        let domain = Region::circle(185.0, 15.0, 2.0).unwrap();
+        let (rows_shallow, shallow) = store.query_region(&domain, Some(6)).unwrap();
+        let (rows_deep, deep) = store.query_region(&domain, Some(12)).unwrap();
+        assert_eq!(rows_shallow.len(), rows_deep.len(), "results must agree");
+        assert!(
+            deep.objects_exact_tested < shallow.objects_exact_tested,
+            "deep {} !< shallow {}",
+            deep.objects_exact_tested,
+            shallow.objects_exact_tested
+        );
+    }
+
+    #[test]
+    fn empty_region_scans_nothing() {
+        let (store, _) = store_with_sky(7);
+        // A cap on the far side of the sky.
+        let domain = Region::circle(5.0, -15.0, 1.0).unwrap();
+        let (rows, stats) = store.query_region(&domain, None).unwrap();
+        assert!(rows.is_empty());
+        assert_eq!(stats.bytes_scanned, 0, "no container should be read");
+    }
+
+    #[test]
+    fn write_touch_accounting() {
+        let objs = SkyModel::small(8).generate().unwrap();
+        // Batch insert: one touch per distinct container.
+        let mut batch = ObjectStore::new(StoreConfig::default()).unwrap();
+        batch.insert_batch(&objs).unwrap();
+        let batch_touches = batch.touches().snapshot().0;
+        assert_eq!(batch_touches, batch.num_containers() as u64);
+
+        // One-by-one insert in generation order: many more touches.
+        let mut single = ObjectStore::new(StoreConfig::default()).unwrap();
+        for o in &objs {
+            single.insert(o).unwrap();
+        }
+        let single_touches = single.touches().snapshot().0;
+        assert_eq!(single_touches, objs.len() as u64);
+        assert!(single_touches > batch_touches * 3);
+    }
+
+    #[test]
+    fn scan_all_visits_everything() {
+        let (store, objs) = store_with_sky(9);
+        let mut n = 0;
+        let bytes = store.scan_all(|_| n += 1);
+        assert_eq!(n, objs.len());
+        assert_eq!(bytes, store.bytes());
+    }
+}

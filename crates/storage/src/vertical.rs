@@ -1,0 +1,244 @@
+//! The tag store: the paper's vertical partition of popular attributes.
+//!
+//! A parallel, container-clustered store of 64-byte [`TagObject`] records
+//! projected from the full store. Queries that touch only the ten popular
+//! attributes run here and read ~19× fewer bytes (experiment E5); the
+//! pointer (`obj_id`) fetches the full object on demand.
+
+use crate::container::Container;
+use crate::store::{ObjectStore, RegionScan};
+use crate::StorageError;
+use sdss_catalog::{PhotoObj, TagObject};
+use sdss_htm::{Cover, Domain, HtmId};
+use std::collections::BTreeMap;
+
+/// Vertical partition holding tag objects, clustered like the full store.
+#[derive(Debug)]
+pub struct TagStore {
+    container_level: u8,
+    scan_cover_level: u8,
+    containers: BTreeMap<u64, Container>,
+    /// tag record slot → htm20, parallel to insertion order per container
+    /// (tags don't carry their deep id; we keep it for cover filtering).
+    deep_ids: BTreeMap<u64, Vec<u64>>,
+}
+
+impl TagStore {
+    /// Project the vertical partition out of a full store.
+    pub fn from_store(store: &ObjectStore) -> TagStore {
+        let mut out = TagStore {
+            container_level: store.config().container_level,
+            scan_cover_level: store.config().scan_cover_level,
+            containers: BTreeMap::new(),
+            deep_ids: BTreeMap::new(),
+        };
+        let mut scratch = Vec::with_capacity(TagObject::SERIALIZED_LEN);
+        for container in store.containers() {
+            for mut rec in container.iter_records() {
+                let obj = PhotoObj::read_from(&mut rec).expect("valid store record");
+                out.insert(&obj, &mut scratch)
+                    .expect("projection of a valid object");
+            }
+        }
+        out
+    }
+
+    /// Insert the tag projection of one object.
+    pub fn insert(&mut self, obj: &PhotoObj, scratch: &mut Vec<u8>) -> Result<(), StorageError> {
+        let tag = TagObject::from_photo(obj);
+        let deep = HtmId::from_raw(obj.htm20)?;
+        let cid = deep.ancestor_at(self.container_level);
+        let container = self
+            .containers
+            .entry(cid.raw())
+            .or_insert_with(|| Container::new(cid, TagObject::SERIALIZED_LEN));
+        scratch.clear();
+        tag.write_to(scratch);
+        container.push_record(scratch, tag.mag(2), tag.class)?;
+        self.deep_ids.entry(cid.raw()).or_default().push(obj.htm20);
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.containers.values().map(Container::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total payload bytes — the "much less space" of the paper.
+    pub fn bytes(&self) -> usize {
+        self.containers.values().map(Container::bytes).sum()
+    }
+
+    pub fn num_containers(&self) -> usize {
+        self.containers.len()
+    }
+
+    pub fn containers(&self) -> impl Iterator<Item = &Container> {
+        self.containers.values()
+    }
+
+    /// Full scan of all tags.
+    pub fn scan_all(&self, mut f: impl FnMut(&TagObject)) -> usize {
+        let mut bytes = 0;
+        for c in self.containers.values() {
+            bytes += c.bytes();
+            for mut rec in c.iter_records() {
+                let tag = TagObject::read_from(&mut rec).expect("valid tag record");
+                f(&tag);
+            }
+        }
+        bytes
+    }
+
+    /// Region scan over tags, same cover logic as the full store.
+    pub fn scan_region(
+        &self,
+        domain: &Domain,
+        cover_level: Option<u8>,
+        mut f: impl FnMut(&TagObject),
+    ) -> Result<RegionScan, StorageError> {
+        self.scan_region_until(domain, cover_level, |t| {
+            f(t);
+            true
+        })
+    }
+
+    /// Like [`TagStore::scan_region`] but the callback may return `false`
+    /// to stop early.
+    pub fn scan_region_until(
+        &self,
+        domain: &Domain,
+        cover_level: Option<u8>,
+        mut f: impl FnMut(&TagObject) -> bool,
+    ) -> Result<RegionScan, StorageError> {
+        let level = cover_level.unwrap_or(self.scan_cover_level);
+        if level < self.container_level || level > 20 {
+            return Err(StorageError::InvalidConfig(format!(
+                "cover level {level} outside [{}, 20]",
+                self.container_level
+            )));
+        }
+        let cover = Cover::compute(domain, level)?;
+        let full = cover.full_ranges();
+        let partial = cover.partial_ranges();
+        let touched = cover.touched_ranges().coarsen(level, self.container_level);
+        let shift = 2 * (20 - level) as u64;
+
+        let mut stats = RegionScan::default();
+        'outer: for &(lo, hi) in touched.ranges() {
+            for (raw, container) in self.containers.range(lo..hi) {
+                stats.bytes_scanned += container.bytes();
+                let deep_ids = &self.deep_ids[raw];
+                let (clo, chi) = container.id().deep_range(level);
+                if full.contains_range(clo, chi) {
+                    stats.containers_full += 1;
+                    for mut rec in container.iter_records() {
+                        let tag = TagObject::read_from(&mut rec)?;
+                        stats.objects_yielded += 1;
+                        if !f(&tag) {
+                            break 'outer;
+                        }
+                    }
+                    continue;
+                }
+                stats.containers_partial += 1;
+                for (slot, mut rec) in container.iter_records().enumerate() {
+                    let deep_id = deep_ids[slot] >> shift;
+                    if full.contains(deep_id) {
+                        let tag = TagObject::read_from(&mut rec)?;
+                        stats.objects_yielded += 1;
+                        if !f(&tag) {
+                            break 'outer;
+                        }
+                    } else if partial.contains(deep_id) {
+                        let tag = TagObject::read_from(&mut rec)?;
+                        stats.objects_exact_tested += 1;
+                        if domain.contains(tag.unit_vec()) {
+                            stats.objects_yielded += 1;
+                            if !f(&tag) {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Collect a region scan.
+    pub fn query_region(
+        &self,
+        domain: &Domain,
+        cover_level: Option<u8>,
+    ) -> Result<(Vec<TagObject>, RegionScan), StorageError> {
+        let mut out = Vec::new();
+        let stats = self.scan_region(domain, cover_level, |t| out.push(*t))?;
+        Ok((out, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use sdss_catalog::SkyModel;
+    use sdss_htm::Region;
+
+    fn stores(seed: u64) -> (ObjectStore, TagStore, Vec<PhotoObj>) {
+        let objs = SkyModel::small(seed).generate().unwrap();
+        let mut store = ObjectStore::new(StoreConfig::default()).unwrap();
+        store.insert_batch(&objs).unwrap();
+        let tags = TagStore::from_store(&store);
+        (store, tags, objs)
+    }
+
+    #[test]
+    fn projection_is_complete() {
+        let (store, tags, objs) = stores(1);
+        assert_eq!(tags.len(), objs.len());
+        assert_eq!(tags.num_containers(), store.num_containers());
+    }
+
+    #[test]
+    fn tag_store_is_much_smaller() {
+        let (store, tags, _) = stores(2);
+        let ratio = store.bytes() as f64 / tags.bytes() as f64;
+        assert!(ratio > 10.0, "byte ratio {ratio:.1} must exceed 10x");
+    }
+
+    #[test]
+    fn region_scan_agrees_with_full_store() {
+        let (store, tags, _) = stores(3);
+        for radius in [0.4, 1.5] {
+            let domain = Region::circle(185.0, 15.0, radius).unwrap();
+            let (full_rows, _) = store.query_region(&domain, None).unwrap();
+            let (tag_rows, tag_stats) = tags.query_region(&domain, None).unwrap();
+            assert_eq!(full_rows.len(), tag_rows.len(), "radius {radius}");
+            let mut a: Vec<u64> = full_rows.iter().map(|o| o.obj_id).collect();
+            let mut b: Vec<u64> = tag_rows.iter().map(|t| t.obj_id).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+            // And reads far fewer bytes.
+            let (_, full_stats) = store.query_region(&domain, None).unwrap();
+            assert!(tag_stats.bytes_scanned * 10 < full_stats.bytes_scanned);
+        }
+    }
+
+    #[test]
+    fn tags_point_back_to_full_objects() {
+        let (store, tags, _) = stores(4);
+        let domain = Region::circle(185.0, 15.0, 0.5).unwrap();
+        let (tag_rows, _) = tags.query_region(&domain, None).unwrap();
+        for tag in tag_rows.iter().take(25) {
+            let full = store.get(tag.obj_id).unwrap();
+            assert_eq!(full.obj_id, tag.obj_id);
+            assert!((full.mag(2) - tag.mag(2)).abs() < 1e-6);
+            assert_eq!(full.class, tag.class);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Cross-identify a "new survey" against the SDSS reference catalog —
+//! the interoperability workload the paper designs the common HTM frame
+//! for ("each subsequent astronomical survey will want to cross-identify
+//! its objects with the SDSS catalog").
+//!
+//! ```sh
+//! cargo run --release --example cross_match
+//! ```
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sdss::catalog::{SkyModel, TagObject};
+use sdss::coords::SkyPos;
+use sdss::dataflow::XMatcher;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The SDSS reference.
+    let reference: Vec<TagObject> = SkyModel::default()
+        .generate()?
+        .iter()
+        .map(TagObject::from_photo)
+        .collect();
+    println!("reference catalog: {} objects", reference.len());
+
+    // A later survey of the same field: 80% of the same sources with
+    // 0.4 arcsec astrometric scatter, plus 10% brand-new detections.
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let mut probe: Vec<TagObject> = Vec::new();
+    for (i, r) in reference.iter().enumerate() {
+        if i % 5 == 4 {
+            continue; // 20% not re-detected
+        }
+        let pos = SkyPos::from_unit_vec(r.unit_vec());
+        let moved = pos.offset_by(rng.gen_range(0.0..360.0), rng.gen::<f64>() * 0.4 / 3600.0);
+        let v = moved.unit_vec();
+        probe.push(TagObject {
+            obj_id: 5_000_000 + i as u64,
+            x: v.x(),
+            y: v.y(),
+            z: v.z(),
+            ..*r
+        });
+    }
+    let n_common = probe.len();
+    // New sources the reference has never seen (offset well away).
+    for k in 0..reference.len() / 10 {
+        let base = SkyPos::from_unit_vec(reference[k * 7 % reference.len()].unit_vec());
+        let moved = base.offset_by(45.0, 30.0 / 3600.0); // 30" away: genuinely new
+        let v = moved.unit_vec();
+        probe.push(TagObject {
+            obj_id: 9_000_000 + k as u64,
+            x: v.x(),
+            y: v.y(),
+            z: v.z(),
+            ..reference[k * 7 % reference.len()]
+        });
+    }
+    println!(
+        "probe catalog: {} objects ({} shared, {} new)",
+        probe.len(),
+        n_common,
+        probe.len() - n_common
+    );
+
+    let matcher = XMatcher {
+        bucket_level: 10,
+        radius_arcsec: 2.0,
+    };
+    let (matches, report) = matcher.cross_match(&reference, &probe)?;
+
+    println!("\ncross-match (2 arcsec radius):");
+    println!("  matched:    {}", report.matched);
+    println!("  unmatched:  {}  (candidate new detections)", report.unmatched);
+    println!("  ambiguous:  {}  (nearest neighbor chosen)", report.ambiguous);
+    println!("  comparisons: {} (vs {} brute-force)", report.comparisons,
+        reference.len() * probe.len());
+
+    let mean_sep: f64 =
+        matches.iter().map(|m| m.sep_arcsec).sum::<f64>() / matches.len().max(1) as f64;
+    println!("  mean match separation: {mean_sep:.3} arcsec");
+
+    println!("\nfirst matches:");
+    for m in matches.iter().take(5) {
+        println!(
+            "  probe {} -> sdss {} ({:.3}\")",
+            probe[m.probe_idx as usize].obj_id, m.ref_obj_id, m.sep_arcsec
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Finding charts — the paper's "simplest service": an on-demand chart
+//! of a queried field with position information.
+//!
+//! ```sh
+//! cargo run --release --example finding_chart
+//! ```
+
+use sdss::catalog::{FindingChart, SkyModel, TagObject};
+use sdss::storage::{ObjectStore, StoreConfig, TagStore};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let objs = SkyModel::default().generate()?;
+    let mut store = ObjectStore::new(StoreConfig::default())?;
+    store.insert_batch(&objs)?;
+    let tags = TagStore::from_store(&store);
+
+    // Chart a half-degree field around the survey test position.
+    let (ra, dec, width) = (185.0, 15.0, 0.5);
+    let mut chart = FindingChart::new(ra, dec, width)?;
+    let domain = sdss::htm::Region::circle(ra, dec, width)?;
+    let mut plotted = 0usize;
+    tags.scan_region(&domain, None, |t: &TagObject| {
+        if t.mag(2) < 21.5 {
+            chart.add(t);
+            plotted += 1;
+        }
+    })?;
+
+    print!("{}", chart.render_ascii(72, 30));
+
+    // Also write the image form.
+    let pgm = chart.render_pgm(256);
+    std::fs::write("/tmp/finding_chart.pgm", &pgm)?;
+    println!(
+        "\nwrote /tmp/finding_chart.pgm ({} objects plotted, {} bytes)",
+        chart.n_objects(),
+        pgm.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Visualize an HTM cover: the Figure-4 style classification of mesh
+//! trixels against a compound region, printed as an ASCII sky map.
+//!
+//! ```sh
+//! cargo run --release --example sky_coverage
+//! ```
+
+use sdss::coords::{Frame, SkyPos};
+use sdss::htm::cover::Classification;
+use sdss::htm::{Cover, Region};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Figure 4 query: a declination band intersected with a
+    // latitude constraint in another coordinate system.
+    let query = Region::band(Frame::Equatorial, 10.0, 25.0)?
+        .intersect(&Region::band(Frame::Galactic, 40.0, 90.0)?);
+    let level = 6;
+    let cover = Cover::compute(&query, level)?;
+    let s = cover.stats();
+
+    println!("query: 10<=dec<=25 AND 40<=gal_b<=90, cover level {level}");
+    println!(
+        "full {} / partial {} / rejected {} (visited {} nodes)\n",
+        cover.full_ranges().count(),
+        cover.partial_ranges().count(),
+        s.rejected,
+        s.nodes_visited
+    );
+
+    // ASCII map: RA 120..260, Dec -10..45; # = fully inside trixel,
+    // + = boundary (exact test needed), . = outside.
+    println!("RA 260 <------------------------------------------------------- 120");
+    for dec_step in (0..22).rev() {
+        let dec = -10.0 + dec_step as f64 * 2.5;
+        let mut line = String::with_capacity(72);
+        for ra_step in 0..70 {
+            let ra = 260.0 - ra_step as f64 * 2.0;
+            let p = SkyPos::new(ra, dec)?.unit_vec();
+            let c = match cover.classify_point(p) {
+                Classification::Inside => '#',
+                Classification::Partial => '+',
+                Classification::Outside => '.',
+            };
+            line.push(c);
+        }
+        println!("{line}  dec {dec:>5.1}");
+    }
+    println!("\n# = trixel fully inside (objects stream with no geometry test)");
+    println!("+ = bisected trixel (only these need exact tests)");
+    println!(". = rejected (never read)");
+    Ok(())
+}

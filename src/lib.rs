@@ -1,0 +1,50 @@
+//! # sdss — multi-terabyte astronomy archive engine
+//!
+//! A from-scratch Rust reproduction of *"Designing and Mining
+//! Multi-Terabyte Astronomy Archives: The Sloan Digital Sky Survey"*
+//! (Szalay, Kunszt, Thakar & Gray, SIGMOD 2000).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`coords`] | spherical geometry, celestial frames, Cartesian sky vectors |
+//! | [`htm`] | the Hierarchical Triangular Mesh index and region covers |
+//! | [`catalog`] | photometric/tag/spectroscopic records, sky generator, FITS, schema |
+//! | [`storage`] | container-clustered object store, vertical partition, sampling |
+//! | [`query`] | SQL-ish parser, Query Execution Trees, ASAP-push execution |
+//! | [`dataflow`] | scan machine, hash machine, river over a simulated cluster |
+//! | [`loader`] | chunked two-phase clustered bulk loading |
+//! | [`archive`] | Figure-2 archive network simulation and the data pump |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sdss::catalog::SkyModel;
+//! use sdss::query::Engine;
+//! use sdss::storage::{ObjectStore, StoreConfig, TagStore};
+//!
+//! // 1. A reproducible synthetic sky (stands in for the telescope).
+//! let objs = SkyModel::small(7).generate().unwrap();
+//!
+//! // 2. Load it into the container-clustered store + tag partition.
+//! let mut store = ObjectStore::new(StoreConfig::default()).unwrap();
+//! store.insert_batch(&objs).unwrap();
+//! let tags = TagStore::from_store(&store);
+//!
+//! // 3. Ask the archive a question.
+//! let engine = Engine::new(&store, Some(&tags));
+//! let out = engine
+//!     .run("SELECT ra, dec, r FROM photoobj WHERE CIRCLE(185, 15, 2) AND r < 21 LIMIT 5")
+//!     .unwrap();
+//! assert!(out.rows.len() <= 5);
+//! ```
+
+pub use sdss_archive_sim as archive;
+pub use sdss_catalog as catalog;
+pub use sdss_dataflow as dataflow;
+pub use sdss_htm as htm;
+pub use sdss_loader as loader;
+pub use sdss_query as query;
+pub use sdss_skycoords as coords;
+pub use sdss_storage as storage;

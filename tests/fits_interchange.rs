@@ -1,0 +1,92 @@
+//! Integration: query results exported as blocked FITS streams round-trip
+//! losslessly back into tag records.
+
+use sdss::catalog::fits::{read_packets, tag_columns, tag_row, BlockedFitsStream, Cell};
+use sdss::catalog::{ObjClass, SkyModel, TagObject};
+use sdss::htm::Region;
+use sdss::storage::{ObjectStore, StoreConfig, TagStore};
+
+#[test]
+fn query_to_fits_roundtrip() {
+    let objs = SkyModel::small(201).generate().unwrap();
+    let mut store = ObjectStore::new(StoreConfig::default()).unwrap();
+    store.insert_batch(&objs).unwrap();
+    let tags = TagStore::from_store(&store);
+
+    let domain = Region::circle(185.0, 15.0, 2.0).unwrap();
+    let (rows, _) = tags.query_region(&domain, None).unwrap();
+    assert!(!rows.is_empty());
+
+    // Export.
+    let mut sink: Vec<u8> = Vec::new();
+    let mut stream = BlockedFitsStream::new(&mut sink, tag_columns(), 50);
+    for t in &rows {
+        stream.push_row(tag_row(t)).unwrap();
+    }
+    let (_, packets) = stream.finish().unwrap();
+    assert_eq!(packets, rows.len().div_ceil(50));
+
+    // Re-import and compare field by field.
+    let tables = read_packets(&sink).unwrap();
+    let mut back: Vec<(u64, f64, f64, f32, i32)> = Vec::new();
+    for table in &tables {
+        for row in &table.rows {
+            let objid = match row[0] {
+                Cell::I64(v) => v as u64,
+                ref other => panic!("{other:?}"),
+            };
+            let ra = match row[1] {
+                Cell::F64(v) => v,
+                ref other => panic!("{other:?}"),
+            };
+            let dec = match row[2] {
+                Cell::F64(v) => v,
+                ref other => panic!("{other:?}"),
+            };
+            let mag_r = match row[5] {
+                Cell::F32(v) => v,
+                ref other => panic!("{other:?}"),
+            };
+            let class = match row[9] {
+                Cell::I32(v) => v,
+                ref other => panic!("{other:?}"),
+            };
+            back.push((objid, ra, dec, mag_r, class));
+        }
+    }
+    assert_eq!(back.len(), rows.len());
+    for (orig, got) in rows.iter().zip(back.iter()) {
+        assert_eq!(orig.obj_id, got.0);
+        assert!((orig.pos().ra_deg() - got.1).abs() < 1e-12);
+        assert!((orig.pos().dec_deg() - got.2).abs() < 1e-12);
+        assert_eq!(orig.mags[2], got.3);
+        assert_eq!(orig.class as i32, got.4);
+    }
+}
+
+#[test]
+fn fits_streams_different_classes() {
+    // Stream only quasars; classes must survive the round trip.
+    let objs = SkyModel::small(202).generate().unwrap();
+    let quasars: Vec<TagObject> = objs
+        .iter()
+        .map(TagObject::from_photo)
+        .filter(|t| t.class == ObjClass::Quasar)
+        .collect();
+    assert!(!quasars.is_empty());
+    let mut sink: Vec<u8> = Vec::new();
+    let mut stream = BlockedFitsStream::new(&mut sink, tag_columns(), 1000);
+    for t in &quasars {
+        stream.push_row(tag_row(t)).unwrap();
+    }
+    stream.finish().unwrap();
+    let tables = read_packets(&sink).unwrap();
+    for table in &tables {
+        for row in &table.rows {
+            match row[9] {
+                Cell::I32(c) => assert_eq!(c, ObjClass::Quasar as i32),
+                ref other => panic!("{other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Integration: continuous scan + batch scheduler + river + archive
+//! replication working together, and the data pump accounting.
+
+use sdss::archive::{ArchiveNetwork, DataPump};
+use sdss::catalog::{ObjClass, SkyModel, TagObject};
+use sdss::dataflow::{
+    BatchScheduler, JobClass, JobState, ObjPredicate, RiverGraph, ScanMachine, SimCluster,
+};
+use sdss::storage::{CostModel, ObjectStore, StoreConfig, TagStore};
+use std::sync::Arc;
+
+#[test]
+fn continuous_scan_serves_overlapping_queries() {
+    let objs = SkyModel::small(301).generate().unwrap();
+    let mut store = ObjectStore::new(StoreConfig::default()).unwrap();
+    store.insert_batch(&objs).unwrap();
+    let cluster = SimCluster::from_store(&store, 3).unwrap();
+    let machine = ScanMachine::new(&cluster).unwrap();
+    let scan = machine.continuous();
+
+    let preds: Vec<(ObjPredicate, usize)> = vec![
+        (
+            Arc::new(|o: &sdss::catalog::PhotoObj| o.class == ObjClass::Galaxy),
+            objs.iter().filter(|o| o.class == ObjClass::Galaxy).count(),
+        ),
+        (
+            Arc::new(|o: &sdss::catalog::PhotoObj| o.mag(2) < 20.0),
+            objs.iter().filter(|o| o.mag(2) < 20.0).count(),
+        ),
+        (
+            Arc::new(|o: &sdss::catalog::PhotoObj| o.color_ug() < 0.5),
+            objs.iter().filter(|o| o.color_ug() < 0.5).count(),
+        ),
+    ];
+    // Attach all three; they share the same sweep.
+    let receivers: Vec<_> = preds.iter().map(|(p, _)| scan.attach(p.clone())).collect();
+    for (rx, (_, want)) in receivers.into_iter().zip(preds.iter()) {
+        assert_eq!(rx.iter().count(), *want);
+    }
+    scan.shutdown();
+}
+
+#[test]
+fn scheduler_drives_machine_jobs() {
+    let objs = SkyModel::small(302).generate().unwrap();
+    let mut store = ObjectStore::new(StoreConfig::default()).unwrap();
+    store.insert_batch(&objs).unwrap();
+
+    // Cost model feeds the scheduler's estimates.
+    let model = CostModel::default();
+    let domain = sdss::htm::Region::circle(185.0, 15.0, 2.0).unwrap();
+    let est = model.estimate(&store, &domain).unwrap();
+
+    let mut sched = BatchScheduler::new(1);
+    let lens_job = sched.submit("lens pairs", JobClass::Batch, est.est_seconds);
+    let cone_job = sched.submit("cone query", JobClass::Interactive, est.est_seconds);
+
+    // Interactive dispatches first even though it was submitted later.
+    let first = sched.dispatch().unwrap().id;
+    assert_eq!(first, cone_job);
+    sched.complete(cone_job);
+    let second = sched.dispatch().unwrap().id;
+    assert_eq!(second, lens_job);
+
+    // Run the batch job for real: a river over the tag partition.
+    let tags_store = TagStore::from_store(&store);
+    let mut all_tags: Vec<TagObject> = Vec::new();
+    tags_store.scan_all(|t| all_tags.push(*t));
+    let river = RiverGraph::new(3)
+        .unwrap()
+        .filter(|t| t.class == ObjClass::Galaxy)
+        .sort_by(|t| t.mags[2] as f64);
+    let (sorted, report) = river.run(&all_tags).unwrap();
+    assert_eq!(report.records_in, all_tags.len());
+    assert!(sorted.windows(2).all(|w| w[0].mags[2] <= w[1].mags[2]));
+    sched.complete(lens_job);
+    assert_eq!(sched.state_of(lens_job), Some(JobState::Done));
+}
+
+#[test]
+fn pump_shares_sweeps_and_network_delivers() {
+    let mut pump = DataPump::new(400_000_000_000); // the 400 GB catalog
+    pump.submit("proper-motion sweep", 1.0);
+    pump.submit("variability sweep", 1.0);
+    pump.submit("color-outlier sweep", 0.8);
+    let round = pump.run_round().unwrap();
+    assert_eq!(round.queries_served, 3);
+    assert!(round.sharing_factor() > 2.0);
+
+    let mut net = ArchiveNetwork::sdss_default(1, 1);
+    net.run(5);
+    // Everything eventually lands everywhere.
+    for (_, count) in net.holdings_summary() {
+        assert_eq!(count, 5);
+    }
+}
+
+#[test]
+fn partition_and_cluster_line_up() {
+    let objs = SkyModel::small(303).generate().unwrap();
+    let mut store = ObjectStore::new(StoreConfig::default()).unwrap();
+    store.insert_batch(&objs).unwrap();
+    let pm = sdss::storage::PartitionMap::build(&store, 4).unwrap();
+    let cluster = SimCluster::from_store(&store, 4).unwrap();
+    // Node byte counts must match the partition map exactly.
+    for node in 0..4 {
+        assert_eq!(
+            cluster.node_stats(node).bytes,
+            pm.server_bytes()[node],
+            "node {node}"
+        );
+    }
+}
