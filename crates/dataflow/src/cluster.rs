@@ -10,7 +10,8 @@
 use crate::DataflowError;
 use bytes::Bytes;
 use sdss_catalog::{PhotoObj, TagObject};
-use sdss_storage::{ObjectStore, PartitionMap, TagStore};
+use sdss_storage::{ColumnChunk, ObjectStore, PartitionMap, TagStore, TagView};
+use std::sync::Arc;
 
 /// What record type a cluster holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +26,11 @@ pub struct NodeContainer {
     pub container_raw: u64,
     pub payload: Bytes,
     pub record_len: usize,
+    /// The container's struct-of-arrays image (tag clusters only):
+    /// nodes scan these columns directly with compiled predicates
+    /// instead of deserializing records. `Arc`-shared with the store —
+    /// shipping a chunk costs a refcount, not a copy.
+    pub columns: Option<Arc<ColumnChunk>>,
 }
 
 impl NodeContainer {
@@ -42,6 +48,11 @@ impl NodeContainer {
     pub fn tag(&self, i: usize) -> TagObject {
         let mut slice = &self.payload[i * self.record_len..(i + 1) * self.record_len];
         TagObject::read_from(&mut slice).expect("cluster holds valid tag records")
+    }
+
+    /// Zero-copy view of tag record `i` (no deserialization).
+    pub fn tag_view(&self, i: usize) -> TagView<'_> {
+        TagView::new(&self.payload[i * self.record_len..(i + 1) * self.record_len])
     }
 }
 
@@ -78,6 +89,7 @@ impl SimCluster {
                 container_raw: c.id().raw(),
                 payload: Bytes::from(payload),
                 record_len: c.record_len(),
+                columns: None,
             });
         }
         Ok(SimCluster {
@@ -111,6 +123,7 @@ impl SimCluster {
                 container_raw: c.id().raw(),
                 payload: Bytes::from(payload),
                 record_len: c.record_len(),
+                columns: tags.column_chunk(c.id().raw()).cloned(),
             });
         }
         Ok(SimCluster {

@@ -199,6 +199,32 @@ impl Domain {
             .sum::<f64>()
             .min(4.0 * std::f64::consts::PI)
     }
+
+    /// A 128-bit structural fingerprint over the exact bit patterns of
+    /// every halfspace, used as the cover-cache key: two domains built
+    /// from the same constraints in the same order fingerprint equally.
+    pub fn fingerprint(&self) -> u128 {
+        fn fnv(seed: u64, domain: &Domain) -> u64 {
+            let mut h = seed;
+            let mut mix = |v: u64| {
+                h ^= v;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            };
+            for c in &domain.convexes {
+                mix(0xC0DE_C0DE);
+                for hs in c.halfspaces() {
+                    mix(hs.normal.x().to_bits());
+                    mix(hs.normal.y().to_bits());
+                    mix(hs.normal.z().to_bits());
+                    mix(hs.dist.to_bits());
+                }
+            }
+            h
+        }
+        let lo = fnv(0xcbf2_9ce4_8422_2325, self);
+        let hi = fnv(0x84222325_cbf29ce4, self);
+        ((hi as u128) << 64) | lo as u128
+    }
 }
 
 /// Convenience constructors for the shapes the archive's query language

@@ -130,28 +130,66 @@ pub enum Expr {
 impl Expr {
     /// All attribute names referenced by this expression.
     pub fn attrs(&self, out: &mut Vec<String>) {
+        let mut refs = Vec::new();
+        self.attrs_ref(&mut refs);
+        out.extend(refs.into_iter().map(str::to_string));
+    }
+
+    /// Borrowing variant of [`Expr::attrs`]: collects `&str` references
+    /// into the expression, so plan-time routing/validation does not
+    /// clone a `String` per attribute occurrence.
+    pub fn attrs_ref<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
-            Expr::Attr(name) => out.push(name.clone()),
+            Expr::Attr(name) => out.push(name),
             Expr::Lit(_) | Expr::Spatial(_) => {}
-            Expr::Unary(_, e) => e.attrs(out),
+            Expr::Unary(_, e) => e.attrs_ref(out),
             Expr::Bin(_, a, b) => {
-                a.attrs(out);
-                b.attrs(out);
+                a.attrs_ref(out);
+                b.attrs_ref(out);
             }
             Expr::Between(a, b, c) => {
-                a.attrs(out);
-                b.attrs(out);
-                c.attrs(out);
+                a.attrs_ref(out);
+                b.attrs_ref(out);
+                c.attrs_ref(out);
             }
             Expr::Call(name, args) => {
                 // Functions may implicitly read position attributes.
                 if crate::ops::function_uses_position(name) {
-                    out.push("cx".to_string());
-                    out.push("cy".to_string());
-                    out.push("cz".to_string());
+                    out.push("cx");
+                    out.push("cy");
+                    out.push("cz");
                 }
                 for a in args {
-                    a.attrs(out);
+                    a.attrs_ref(out);
+                }
+            }
+        }
+    }
+
+    /// Rewrite every function call to its canonical (upper-case) name,
+    /// recursively. The planner runs this once so row-time evaluation
+    /// resolves functions without case-folding allocations.
+    pub fn normalize_function_names(&mut self) {
+        match self {
+            Expr::Attr(_) | Expr::Lit(_) | Expr::Spatial(_) => {}
+            Expr::Unary(_, e) => e.normalize_function_names(),
+            Expr::Bin(_, a, b) => {
+                a.normalize_function_names();
+                b.normalize_function_names();
+            }
+            Expr::Between(a, b, c) => {
+                a.normalize_function_names();
+                b.normalize_function_names();
+                c.normalize_function_names();
+            }
+            Expr::Call(name, args) => {
+                if let Some(canon) = crate::ops::canonical_function_name(name) {
+                    if name != canon {
+                        *name = canon.to_string();
+                    }
+                }
+                for a in args {
+                    a.normalize_function_names();
                 }
             }
         }

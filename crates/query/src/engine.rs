@@ -1,6 +1,6 @@
 //! The query engine façade: parse → plan → execute → stream.
 
-use crate::exec::{execute, ExecCtx, Row};
+use crate::exec::{execute, plan_uses_columnar, ExecCtx, ExecMode, Row};
 use crate::parser::parse;
 use crate::plan::{plan, PlanNode, QueryPlan, ScanTarget};
 use crate::QueryError;
@@ -20,6 +20,8 @@ pub enum RouteChoice {
 #[derive(Debug, Clone)]
 pub struct QueryStats {
     pub route: RouteChoice,
+    /// Did every scan leaf run on the compiled columnar batch path?
+    pub columnar: bool,
     /// Latency until the first row reached the consumer (the ASAP metric).
     pub time_to_first_row: Option<Duration>,
     pub total_time: Duration,
@@ -40,6 +42,8 @@ pub struct Engine<'a> {
     tags: Option<&'a TagStore>,
     /// Cover level override for all scans (None = store default).
     pub cover_level: Option<u8>,
+    /// Columnar compilation vs forced interpretation (default: Auto).
+    pub mode: ExecMode,
 }
 
 impl<'a> Engine<'a> {
@@ -48,6 +52,7 @@ impl<'a> Engine<'a> {
             store,
             tags,
             cover_level: None,
+            mode: ExecMode::Auto,
         }
     }
 
@@ -83,10 +88,12 @@ impl<'a> Engine<'a> {
     ) -> Result<QueryStats, QueryError> {
         let query_plan = self.explain(sql)?;
         let route = route_of(&query_plan.root);
+        let columnar = plan_uses_columnar(&query_plan.root, self.tags.is_some(), self.mode);
         let ctx = ExecCtx {
             store: self.store,
             tags: self.tags,
             cover_level: self.cover_level,
+            mode: self.mode,
         };
         let start = Instant::now();
         let mut first: Option<Duration> = None;
@@ -107,6 +114,7 @@ impl<'a> Engine<'a> {
         })?;
         Ok(QueryStats {
             route,
+            columnar,
             time_to_first_row: first,
             total_time: start.elapsed(),
             rows: n_rows,

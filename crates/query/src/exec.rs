@@ -6,14 +6,23 @@
 //! of the child nodes must be complete before results can be sent further
 //! up the tree"). The channel fabric gives the ASAP property: the first
 //! matching object reaches the consumer while scans are still running.
+//!
+//! Tag scans run **columnar**: the scan leaf pulls [`sdss_storage::ColumnBatch`]es
+//! from the tag store's struct-of-arrays chunks, evaluates the compiled
+//! predicate ([`crate::compile`]) over each batch into a selection
+//! bitmap, and only materializes `Row`s for surviving rows at the final
+//! projection — row-at-a-time interpretation remains as the fallback for
+//! whatever the compiler can't express.
 
 use crate::ast::{AggFn, Value};
+use crate::compile::{compile_predicate, compile_projection, BatchScratch};
 use crate::ops::{eval, AttrSource};
 use crate::plan::{PlanNode, ScanSpec, ScanTarget};
 use crate::QueryError;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use sdss_storage::{sample_hash_keep, ObjectStore, TagStore};
-use std::collections::HashMap;
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// One output row.
 pub type Row = Vec<Value>;
@@ -24,9 +33,21 @@ const BATCH: usize = 128;
 /// the whole result (that would break the ASAP property).
 const CHANNEL_DEPTH: usize = 8;
 
+/// Whether scans may use the compiled columnar path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Compile tag scans to columnar bytecode when possible (default).
+    #[default]
+    Auto,
+    /// Force the row-at-a-time interpreter everywhere (the benchmark
+    /// baseline, and the equivalence oracle in tests).
+    Interpreted,
+}
+
 /// A handle to a running (sub)tree: the receiving end of its output.
 pub struct ExecHandle {
-    pub columns: Vec<String>,
+    /// Output column names (shared, not re-cloned per node).
+    pub columns: Arc<Vec<String>>,
     pub rx: Receiver<Vec<Row>>,
 }
 
@@ -36,6 +57,46 @@ pub struct ExecCtx<'a> {
     pub tags: Option<&'a TagStore>,
     /// Cover level override for scans.
     pub cover_level: Option<u8>,
+    pub mode: ExecMode,
+}
+
+/// Lower a scan for the columnar path: `Some` iff the mode allows it,
+/// the scan targets the tag store, and the predicate (when present) and
+/// projection both compile. The single decision point — the stats flag
+/// (`plan_uses_columnar`) and the executor both go through here, so the
+/// gate and the execution path cannot drift.
+fn compile_scan(
+    spec: &ScanSpec,
+    tags_available: bool,
+    mode: ExecMode,
+) -> Option<(Option<crate::compile::CompiledPredicate>, crate::compile::CompiledProjection)> {
+    if mode != ExecMode::Auto || !tags_available || spec.target != ScanTarget::Tag {
+        return None;
+    }
+    let pred = match &spec.predicate {
+        None => None,
+        Some(p) => Some(compile_predicate(p)?),
+    };
+    Some((pred, compile_projection(&spec.columns)?))
+}
+
+/// Would this scan run on the columnar compiled path?
+pub fn scan_uses_columnar(spec: &ScanSpec, tags_available: bool, mode: ExecMode) -> bool {
+    compile_scan(spec, tags_available, mode).is_some()
+}
+
+/// Do *all* scan leaves of the plan run columnar?
+pub fn plan_uses_columnar(plan: &PlanNode, tags_available: bool, mode: ExecMode) -> bool {
+    match plan {
+        PlanNode::Scan(s) => scan_uses_columnar(s, tags_available, mode),
+        PlanNode::Sort { child, .. }
+        | PlanNode::Limit { child, .. }
+        | PlanNode::Aggregate { child, .. } => plan_uses_columnar(child, tags_available, mode),
+        PlanNode::Set { left, right, .. } => {
+            plan_uses_columnar(left, tags_available, mode)
+                && plan_uses_columnar(right, tags_available, mode)
+        }
+    }
 }
 
 /// Execute a plan inside a thread scope, calling `consume` with the
@@ -111,33 +172,31 @@ fn spawn_node<'s, 'env: 's, 'a: 'env>(
         }
         PlanNode::Aggregate { child, aggs } => {
             let child_handle = spawn_node(ctx, child, scope);
-            // Aggregates read raw records, not projected rows: rebuild
-            // accumulators over the child's rows by evaluating agg args
-            // against a pseudo-record... simpler: aggregate over child
-            // output columns. The planner guarantees agg args were
-            // appended as hidden columns (see scan lowering below).
             let (tx, rx) = bounded::<Vec<Row>>(CHANNEL_DEPTH);
-            let columns: Vec<String> = aggs.iter().map(|a| a.name.clone()).collect();
-            let aggs = aggs.clone();
+            let columns = Arc::new(aggs.iter().map(|a| a.name.clone()).collect::<Vec<_>>());
+            // Borrow the specs from the plan ('env outlives the scope);
+            // resolve each aggregate's hidden `__agg_i` column up front
+            // instead of re-formatting the name per row.
+            let aggs: &'env [crate::plan::AggSpec] = aggs;
             let child_cols = child_handle.columns.clone();
+            let arg_idx: Vec<Option<usize>> = aggs
+                .iter()
+                .enumerate()
+                .map(|(i, a)| {
+                    a.arg.as_ref().map(|_| {
+                        child_cols
+                            .iter()
+                            .position(|c| c == &format!("__agg_{i}"))
+                            .expect("lowering appended the agg column")
+                    })
+                })
+                .collect();
             scope.spawn(move || {
                 let mut acc: Vec<AggAcc> = aggs.iter().map(|a| AggAcc::new(a.func)).collect();
                 for batch in child_handle.rx.iter() {
                     for row in batch {
-                        for (i, agg) in aggs.iter().enumerate() {
-                            // Hidden column convention: agg arg i lives at
-                            // column named __agg_i (appended by lowering),
-                            // COUNT(*) needs no value.
-                            let v = match &agg.arg {
-                                None => None,
-                                Some(_) => {
-                                    let idx = child_cols
-                                        .iter()
-                                        .position(|c| c == &format!("__agg_{i}"))
-                                        .expect("lowering appended the agg column");
-                                    row[idx].as_num()
-                                }
-                            };
+                        for (i, idx) in arg_idx.iter().enumerate() {
+                            let v = idx.and_then(|idx| row[idx].as_num());
                             acc[i].update(v);
                         }
                     }
@@ -160,32 +219,32 @@ fn spawn_node<'s, 'env: 's, 'a: 'env>(
             let op = *op;
             scope.spawn(move || {
                 // Blocking on the right side: build the key set.
-                let mut right_ids: HashMap<u64, ()> = HashMap::new();
+                let mut right_ids: HashSet<u64> = HashSet::new();
                 for batch in rh.rx.iter() {
                     for row in batch {
                         if let Some(id) = row[objid_idx].as_id() {
-                            right_ids.insert(id, ());
+                            right_ids.insert(id);
                         }
                     }
                 }
                 // Stream the left side against it.
-                let mut seen: HashMap<u64, ()> = HashMap::new();
+                let mut seen: HashSet<u64> = HashSet::new();
                 let mut out = Vec::with_capacity(BATCH);
                 for batch in lh.rx.iter() {
                     for row in batch {
                         let Some(id) = row[objid_idx].as_id() else {
                             continue;
                         };
-                        if seen.contains_key(&id) {
+                        if seen.contains(&id) {
                             continue; // set semantics: dedupe left
                         }
                         let keep = match op {
                             crate::ast::SetOp::Union => true,
-                            crate::ast::SetOp::Intersect => right_ids.contains_key(&id),
-                            crate::ast::SetOp::Except => !right_ids.contains_key(&id),
+                            crate::ast::SetOp::Intersect => right_ids.contains(&id),
+                            crate::ast::SetOp::Except => !right_ids.contains(&id),
                         };
                         if keep {
-                            seen.insert(id, ());
+                            seen.insert(id);
                             out.push(row);
                             if out.len() >= BATCH
                                 && tx.send(std::mem::take(&mut out)).is_err() {
@@ -196,8 +255,8 @@ fn spawn_node<'s, 'env: 's, 'a: 'env>(
                 }
                 // Union also emits right-only rows.
                 if op == crate::ast::SetOp::Union {
-                    for (&id, _) in right_ids.iter() {
-                        if !seen.contains_key(&id) {
+                    for &id in right_ids.iter() {
+                        if !seen.contains(&id) {
                             // We only kept ids, not rows, for the right
                             // side; emit a minimal row with objid and NULLs
                             // — documented bag-of-pointers semantics.
@@ -221,18 +280,73 @@ fn spawn_node<'s, 'env: 's, 'a: 'env>(
 }
 
 /// Lower a scan: project columns (plus hidden aggregate argument columns,
-/// handled by the planner caller) and stream matching rows.
+/// handled by the planner caller) and stream matching rows. Tag scans
+/// take the columnar compiled path when the predicate and projection
+/// both lower to bytecode; everything else interprets row-at-a-time.
 fn spawn_scan<'s, 'env: 's, 'a: 'env>(
     ctx: &ExecCtx<'a>,
     spec: &'env ScanSpec,
     scope: &'s std::thread::Scope<'s, 'env>,
 ) -> ExecHandle {
     let (tx, rx) = bounded::<Vec<Row>>(CHANNEL_DEPTH);
-    let columns: Vec<String> = spec.columns.iter().map(|(n, _)| n.clone()).collect();
+    let columns: Arc<Vec<String>> =
+        Arc::new(spec.columns.iter().map(|(n, _)| n.clone()).collect());
     let store = ctx.store;
     let tags = ctx.tags;
     let cover_level = ctx.cover_level;
 
+    // --- columnar fast path -------------------------------------------
+    // `compile_scan` is the same gate `plan_uses_columnar` reports
+    // through `QueryStats.columnar`; the programs compile exactly once.
+    if let Some((pred, proj)) = compile_scan(spec, tags.is_some(), ctx.mode) {
+        let tag_store = tags.expect("compile_scan checked tags");
+        scope.spawn(move || {
+            let mut scratch = BatchScratch::new();
+            let mut out: Vec<Row> = Vec::with_capacity(BATCH);
+            let mut keep_scratch: Vec<usize> = Vec::new();
+            let _ = tag_store.scan_batches(
+                spec.domain.as_ref(),
+                cover_level,
+                |batch, sel| {
+                    let mut keep = sel.clone();
+                    if let Some(pred) = &pred {
+                        // The cover mask is the hint: rows it
+                        // rejected are dropped by the AND below
+                        // regardless of the predicate lanes.
+                        keep.and_with(pred.eval_hinted(
+                            batch,
+                            &mut scratch,
+                            Some(sel),
+                        ));
+                    }
+                    if let Some(f) = spec.sample {
+                        keep_scratch.clear();
+                        keep_scratch.extend(
+                            keep.iter_set()
+                                .filter(|&i| !sample_hash_keep(batch.obj_id[i], f)),
+                        );
+                        for &i in &keep_scratch {
+                            keep.clear(i);
+                        }
+                    }
+                    proj.eval_into(batch, &keep, &mut scratch, &mut out);
+                    while out.len() >= BATCH {
+                        let chunk: Vec<Row> = out.drain(..BATCH).collect();
+                        if tx.send(chunk).is_err() {
+                            return false; // consumer hung up
+                        }
+                    }
+                    true
+                },
+            );
+            if !out.is_empty() {
+                let _ = tx.send(out);
+            }
+        });
+        return ExecHandle { columns, rx };
+    }
+
+    // --- row-at-a-time fallback ---------------------------------------
     scope.spawn(move || {
         let mut out: Vec<Row> = Vec::with_capacity(BATCH);
         let mut alive = true;

@@ -17,13 +17,17 @@
 //!   (`UNION` / `INTERSECT` / `EXCEPT`)
 //! * [`plan`] — the QET itself, built from the AST; spatial predicates
 //!   are compiled to HTM covers
-//! * [`exec`] — multithreaded ASAP-push execution over crossbeam channels
+//! * [`compile`] — predicate/projection compilation to register bytecode
+//!   evaluated over tag column batches (the E5 hot path)
+//! * [`exec`] — multithreaded ASAP-push execution over crossbeam
+//!   channels; tag scans run columnar batches, everything else rows
 //! * [`engine`] — the façade: parse → plan → route (tag store vs full
 //!   store) → execute
 //! * [`ops`] — the "special operators related to angular distances and
-//!   complex similarity tests"
+//!   complex similarity tests" (the row-at-a-time fallback interpreter)
 
 pub mod ast;
+pub mod compile;
 pub mod engine;
 pub mod exec;
 pub mod lexer;
@@ -32,8 +36,9 @@ pub mod parser;
 pub mod plan;
 
 pub use ast::{BinOp, Expr, Query, SelectStmt, SetOp, Value};
+pub use compile::{compile_predicate, compile_projection, BatchScratch, CompiledPredicate, CompiledProjection};
 pub use engine::{Engine, QueryOutput, QueryStats, RouteChoice};
-pub use exec::{ExecHandle, Row};
+pub use exec::{ExecHandle, ExecMode, Row};
 pub use plan::{PlanNode, QueryPlan};
 
 /// Errors produced by the query crate.

@@ -24,26 +24,42 @@ pub const FULL_ATTRS: [&str; 29] = [
     "sb_r", "extinction_r", "spectro_target", "parent",
 ];
 
+/// The scalar function table: canonical (upper-case) name and arity.
+/// Lookups compare case-insensitively without allocating, and the
+/// planner rewrites every call to the canonical name at plan time so
+/// per-row evaluation never pays `to_ascii_uppercase`.
+const FUNCTIONS: &[(&str, usize)] = &[
+    ("DIST", 2),      // DIST(ra, dec) → degrees to that point
+    ("FRAMELAT", 1),  // FRAMELAT('GALACTIC') → latitude in frame
+    ("FRAMELON", 1),
+    ("COLORDIST", 4), // COLORDIST(ug, gr, ri, iz) → color-space distance
+    ("ABS", 1),
+    ("SQRT", 1),
+    ("LOG10", 1),
+];
+
+/// Canonical (upper-case, `'static`) spelling of a function name.
+pub fn canonical_function_name(name: &str) -> Option<&'static str> {
+    FUNCTIONS
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|&(n, _)| n)
+}
+
 /// Does a scalar function read the object position implicitly?
 pub fn function_uses_position(name: &str) -> bool {
     matches!(
-        name.to_ascii_uppercase().as_str(),
-        "DIST" | "FRAMELAT" | "FRAMELON"
+        canonical_function_name(name),
+        Some("DIST" | "FRAMELAT" | "FRAMELON")
     )
 }
 
 /// Is `name` a known scalar function, and its expected arity?
 pub fn function_arity(name: &str) -> Option<usize> {
-    match name.to_ascii_uppercase().as_str() {
-        "DIST" => Some(2),      // DIST(ra, dec) → degrees to that point
-        "FRAMELAT" => Some(1),  // FRAMELAT('GALACTIC') → latitude in frame
-        "FRAMELON" => Some(1),
-        "COLORDIST" => Some(4), // COLORDIST(ug, gr, ri, iz) → color-space distance
-        "ABS" => Some(1),
-        "SQRT" => Some(1),
-        "LOG10" => Some(1),
-        _ => None,
-    }
+    FUNCTIONS
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|&(_, a)| a)
 }
 
 /// Anything queries can read attributes from.
@@ -229,7 +245,12 @@ fn compare_ord(op: BinOp, ord: Option<std::cmp::Ordering>) -> Option<bool> {
 }
 
 fn eval_call<S: AttrSource>(name: &str, args: &[Expr], src: &S) -> Result<Value, QueryError> {
-    let arity = function_arity(name).ok_or_else(|| QueryError::Unknown(name.to_string()))?;
+    // Resolve to the canonical static spelling (planned queries arrive
+    // pre-normalized; direct `eval` callers may pass any case) — no
+    // per-row string allocation either way.
+    let name = canonical_function_name(name)
+        .ok_or_else(|| QueryError::Unknown(name.to_string()))?;
+    let arity = function_arity(name).expect("canonical names have arities");
     if args.len() != arity {
         return Err(QueryError::Type(format!(
             "{name} takes {arity} arguments, got {}",
@@ -291,15 +312,26 @@ fn eval_call<S: AttrSource>(name: &str, args: &[Expr], src: &S) -> Result<Value,
     }
 }
 
-/// Parse a frame name used in BAND(...) / FRAMELAT(...).
+/// Parse a frame name used in BAND(...) / FRAMELAT(...). Alias matching
+/// is case-insensitive without allocating (this runs per row for
+/// interpreted FRAMELAT/FRAMELON calls).
 pub fn parse_frame(name: &str) -> Result<Frame, QueryError> {
-    match name.to_ascii_uppercase().as_str() {
-        "EQ" | "EQUATORIAL" | "J2000" => Ok(Frame::Equatorial),
-        "GAL" | "GALACTIC" => Ok(Frame::Galactic),
-        "SGAL" | "SUPERGALACTIC" => Ok(Frame::Supergalactic),
-        "ECL" | "ECLIPTIC" => Ok(Frame::Ecliptic),
-        other => Err(QueryError::Unknown(format!("frame {other}"))),
-    }
+    const ALIASES: &[(&str, Frame)] = &[
+        ("EQ", Frame::Equatorial),
+        ("EQUATORIAL", Frame::Equatorial),
+        ("J2000", Frame::Equatorial),
+        ("GAL", Frame::Galactic),
+        ("GALACTIC", Frame::Galactic),
+        ("SGAL", Frame::Supergalactic),
+        ("SUPERGALACTIC", Frame::Supergalactic),
+        ("ECL", Frame::Ecliptic),
+        ("ECLIPTIC", Frame::Ecliptic),
+    ];
+    ALIASES
+        .iter()
+        .find(|(alias, _)| alias.eq_ignore_ascii_case(name))
+        .map(|&(_, frame)| frame)
+        .ok_or_else(|| QueryError::Unknown(format!("frame {name}")))
 }
 
 fn num(v: Value) -> Result<f64, QueryError> {

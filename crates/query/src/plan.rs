@@ -196,8 +196,15 @@ fn plan_select(s: &SelectStmt, tags_available: bool) -> Result<PlanNode, QueryEr
         Some(p) => extract_spatial(p)?,
         None => (None, None),
     };
+    let residual = residual.map(|mut e| {
+        e.normalize_function_names();
+        e
+    });
 
     // --- projection ---
+    // The plan owns its expressions (cloned out of the AST once, here);
+    // function names normalize to their canonical spelling at the same
+    // time so row-at-a-time evaluation never case-folds.
     let mut columns: Vec<(String, Expr)> = Vec::new();
     let mut aggs: Vec<AggSpec> = Vec::new();
     for item in &s.items {
@@ -208,11 +215,16 @@ fn plan_select(s: &SelectStmt, tags_available: bool) -> Result<PlanNode, QueryEr
                 }
             }
             SelectItem::Expr { expr, name } => {
-                columns.push((name.clone(), expr.clone()));
+                let mut expr = expr.clone();
+                expr.normalize_function_names();
+                columns.push((name.clone(), expr));
             }
             SelectItem::Agg { func, arg, name } => aggs.push(AggSpec {
                 func: *func,
-                arg: arg.clone(),
+                arg: arg.clone().map(|mut e| {
+                    e.normalize_function_names();
+                    e
+                }),
                 name: name.clone(),
             }),
         }
@@ -225,17 +237,18 @@ fn plan_select(s: &SelectStmt, tags_available: bool) -> Result<PlanNode, QueryEr
     }
 
     // --- collect every referenced attribute for routing & validation ---
-    let mut attrs = Vec::new();
+    // (borrowed &str names: no per-attribute String clones at plan time)
+    let mut attrs: Vec<&str> = Vec::new();
     for (_, e) in &columns {
-        e.attrs(&mut attrs);
+        e.attrs_ref(&mut attrs);
     }
     for a in &aggs {
         if let Some(e) = &a.arg {
-            e.attrs(&mut attrs);
+            e.attrs_ref(&mut attrs);
         }
     }
     if let Some(p) = &residual {
-        p.attrs(&mut attrs);
+        p.attrs_ref(&mut attrs);
     }
     if let Some((key, _)) = &s.order_by {
         // Order key must be an output column, not a table attribute.
@@ -248,9 +261,7 @@ fn plan_select(s: &SelectStmt, tags_available: bool) -> Result<PlanNode, QueryEr
     validate_names(&attrs, &columns, &aggs, &residual)?;
 
     let force_tag = s.table == "tag";
-    let tag_ok = attrs
-        .iter()
-        .all(|a| TAG_ATTRS.contains(&a.as_str()));
+    let tag_ok = attrs.iter().all(|a| TAG_ATTRS.contains(a));
     if force_tag && !tag_ok {
         return Err(QueryError::Type(
             "query against `tag` uses attributes outside the tag partition".to_string(),
@@ -306,13 +317,13 @@ fn plan_select(s: &SelectStmt, tags_available: bool) -> Result<PlanNode, QueryEr
 
 /// Validate attribute and function names against the full schema.
 fn validate_names(
-    attrs: &[String],
+    attrs: &[&str],
     columns: &[(String, Expr)],
     aggs: &[AggSpec],
     residual: &Option<Expr>,
 ) -> Result<(), QueryError> {
     for a in attrs {
-        if !FULL_ATTRS.contains(&a.as_str()) {
+        if !FULL_ATTRS.contains(a) {
             return Err(QueryError::Unknown(format!("attribute {a}")));
         }
     }

@@ -1,0 +1,118 @@
+//! Memoized HTM covers.
+//!
+//! Computing a region cover walks the HTM mesh recursively — cheap next
+//! to a cold scan, but pure overhead when the same region is queried
+//! repeatedly (dashboards re-rendering a field, the E5/E14 experiment
+//! loops, the batch scheduler re-admitting a query class). Every store
+//! owns a [`CoverCache`] keyed by `(domain fingerprint, level)` so
+//! repeated region scans skip `Cover::compute` entirely.
+
+use sdss_htm::{Cover, Domain, HtmError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Entries kept before the cache wholesale resets (covers for distinct
+/// regions are small; this bound only guards pathological workloads that
+/// never repeat a region).
+const CACHE_CAP: usize = 128;
+
+/// One cached cover with the domain that defined it.
+#[derive(Debug)]
+struct Entry {
+    domain: Domain,
+    cover: Arc<Cover>,
+}
+
+#[derive(Debug, Default)]
+pub struct CoverCache {
+    /// Keyed by fingerprint; each entry keeps the defining [`Domain`] so
+    /// a fingerprint collision is detected (equality check on hit)
+    /// instead of silently returning the wrong cover.
+    map: Mutex<HashMap<(u128, u8), Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CoverCache {
+    pub fn new() -> CoverCache {
+        CoverCache::default()
+    }
+
+    /// The cover of `domain` at `level`, computed at most once per
+    /// distinct `(domain, level)` for the cache's lifetime.
+    pub fn get_or_compute(&self, domain: &Domain, level: u8) -> Result<Arc<Cover>, HtmError> {
+        let key = (domain.fingerprint(), level);
+        if let Some(entry) = self.map.lock().unwrap().get(&key) {
+            if &entry.domain == domain {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(entry.cover.clone());
+            }
+            // Fingerprint collision: fall through and compute fresh
+            // (correctness first; the colliding entry keeps its slot).
+        }
+        // Compute outside the lock: concurrent scans of the same fresh
+        // region may both compute, but neither blocks the other.
+        let cover = Arc::new(Cover::compute(domain, level)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().unwrap();
+        if map.len() >= CACHE_CAP {
+            map.clear();
+        }
+        map.entry(key).or_insert_with(|| Entry {
+            domain: domain.clone(),
+            cover: cover.clone(),
+        });
+        Ok(cover)
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdss_htm::Region;
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = CoverCache::new();
+        let d = Region::circle(185.0, 15.0, 1.0).unwrap();
+        let a = cache.get_or_compute(&d, 10).unwrap();
+        let b = cache.get_or_compute(&d, 10).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (1, 1));
+        // A rebuilt-but-identical domain also hits.
+        let d2 = Region::circle(185.0, 15.0, 1.0).unwrap();
+        let c = cache.get_or_compute(&d2, 10).unwrap();
+        assert!(Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn level_and_region_distinguish_entries() {
+        let cache = CoverCache::new();
+        let d = Region::circle(185.0, 15.0, 1.0).unwrap();
+        let e = Region::circle(185.0, 15.0, 2.0).unwrap();
+        let a10 = cache.get_or_compute(&d, 10).unwrap();
+        let a12 = cache.get_or_compute(&d, 12).unwrap();
+        let b10 = cache.get_or_compute(&e, 10).unwrap();
+        assert!(!Arc::ptr_eq(&a10, &a12));
+        assert!(!Arc::ptr_eq(&a10, &b10));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats(), (0, 3));
+    }
+}

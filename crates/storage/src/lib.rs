@@ -17,13 +17,20 @@
 //!   driven by HTM covers
 //! * [`vertical`] — the tag-object vertical partition (paper §Desktop
 //!   Data Analysis)
+//! * [`column`] — struct-of-arrays tag columns per container, batch
+//!   views with selection bitmaps, and the zero-copy `TagView` (the E5
+//!   scan path's memory-bandwidth substrate)
+//! * [`cover_cache`] — memoized HTM covers keyed by
+//!   `(domain fingerprint, level)` for repeated region queries
 //! * [`sample`] — deterministic percentage samples ("a 1% sample ... to
 //!   quickly test and debug programs")
 //! * [`partition`] — spatial partitioning of containers over servers
 //! * [`estimate`] — output volume / search time prediction from the
 //!   intersection volume
 
+pub mod column;
 pub mod container;
+pub mod cover_cache;
 pub mod estimate;
 pub mod page;
 pub mod partition;
@@ -31,7 +38,9 @@ pub mod sample;
 pub mod store;
 pub mod vertical;
 
+pub use column::{ColumnBatch, ColumnChunk, SelectionMask, TagView, BATCH_ROWS};
 pub use container::{Container, ContainerStats};
+pub use cover_cache::CoverCache;
 pub use estimate::{CostModel, QueryEstimate};
 pub use page::{Page, PageIter, PAGE_SIZE};
 pub use partition::PartitionMap;

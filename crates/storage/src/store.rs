@@ -14,9 +14,10 @@
 //!   children can be ignored").
 
 use crate::container::Container;
+use crate::cover_cache::CoverCache;
 use crate::StorageError;
 use sdss_catalog::PhotoObj;
-use sdss_htm::{Cover, Domain, HtmId};
+use sdss_htm::{Domain, HtmId};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -91,6 +92,10 @@ pub struct ObjectStore {
     /// obj_id → (container raw id, slot).
     id_index: std::collections::HashMap<u64, (u64, u32)>,
     touches: TouchCounters,
+    /// Serialization scratch reused across single-object inserts.
+    scratch: Vec<u8>,
+    /// Memoized region covers for repeated queries.
+    cover_cache: CoverCache,
 }
 
 impl ObjectStore {
@@ -111,6 +116,8 @@ impl ObjectStore {
             containers: BTreeMap::new(),
             id_index: std::collections::HashMap::new(),
             touches: TouchCounters::default(),
+            scratch: Vec::with_capacity(PhotoObj::SERIALIZED_LEN),
+            cover_cache: CoverCache::new(),
         })
     }
 
@@ -121,6 +128,11 @@ impl ObjectStore {
 
     pub fn touches(&self) -> &TouchCounters {
         &self.touches
+    }
+
+    /// Cover-cache (hits, misses) — observability for repeated queries.
+    pub fn cover_cache_stats(&self) -> (u64, u64) {
+        self.cover_cache.stats()
     }
 
     /// Number of objects stored.
@@ -148,17 +160,10 @@ impl ObjectStore {
     }
 
     /// Insert one object. Counts one write touch per container *opened*,
-    /// so arrival-order loading shows its cost (experiment E9).
+    /// so arrival-order loading shows its cost (experiment E9). The
+    /// serialization scratch buffer lives on the store and is reused
+    /// across calls.
     pub fn insert(&mut self, obj: &PhotoObj) -> Result<(), StorageError> {
-        let mut scratch = Vec::with_capacity(PhotoObj::SERIALIZED_LEN);
-        self.insert_with_scratch(obj, &mut scratch)
-    }
-
-    fn insert_with_scratch(
-        &mut self,
-        obj: &PhotoObj,
-        scratch: &mut Vec<u8>,
-    ) -> Result<(), StorageError> {
         let cid = self.container_id_of(obj)?;
         self.touches.write_touches.fetch_add(1, Ordering::Relaxed);
         let container = self
@@ -166,7 +171,7 @@ impl ObjectStore {
             .entry(cid.raw())
             .or_insert_with(|| Container::new(cid, PhotoObj::SERIALIZED_LEN));
         let slot = container.len() as u32;
-        container.push_photo(obj, scratch)?;
+        container.push_photo(obj, &mut self.scratch)?;
         self.id_index.insert(obj.obj_id, (cid.raw(), slot));
         Ok(())
     }
@@ -280,7 +285,7 @@ impl ObjectStore {
                 self.config.container_level
             )));
         }
-        let cover = Cover::compute(domain, level)?;
+        let cover = self.cover_cache.get_or_compute(domain, level)?;
         let full = cover.full_ranges();
         let partial = cover.partial_ranges();
         let touched = cover

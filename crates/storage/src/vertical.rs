@@ -4,13 +4,34 @@
 //! projected from the full store. Queries that touch only the ten popular
 //! attributes run here and read ~19× fewer bytes (experiment E5); the
 //! pointer (`obj_id`) fetches the full object on demand.
+//!
+//! Each container additionally keeps a struct-of-arrays [`ColumnChunk`]
+//! image of its rows, built at projection time. [`TagStore::scan_batches`]
+//! streams those chunks as [`ColumnBatch`]es with a [`SelectionMask`]
+//! pre-filled from the HTM cover (full trixels set, boundary trixels
+//! exact-tested, everything else cleared) — the substrate the query
+//! engine's compiled predicates run on at memory bandwidth.
 
+use crate::column::{ColumnBatch, ColumnChunk, SelectionMask, BATCH_ROWS};
 use crate::container::Container;
+use crate::cover_cache::CoverCache;
 use crate::store::{ObjectStore, RegionScan};
 use crate::StorageError;
 use sdss_catalog::{PhotoObj, TagObject};
-use sdss_htm::{Cover, Domain, HtmId};
+use sdss_htm::{Cover, Domain, HtmId, HtmRangeSet};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Precomputed cover machinery for one region scan, shared by the row
+/// and batch scan paths.
+struct CoverWalk {
+    cover: Arc<Cover>,
+    /// Touched deep ranges coarsened to the container level.
+    touched: HtmRangeSet,
+    level: u8,
+    /// Bit shift from level-20 ids down to the cover level.
+    shift: u64,
+}
 
 /// Vertical partition holding tag objects, clustered like the full store.
 #[derive(Debug)]
@@ -18,9 +39,13 @@ pub struct TagStore {
     container_level: u8,
     scan_cover_level: u8,
     containers: BTreeMap<u64, Container>,
-    /// tag record slot → htm20, parallel to insertion order per container
-    /// (tags don't carry their deep id; we keep it for cover filtering).
-    deep_ids: BTreeMap<u64, Vec<u64>>,
+    /// Slot-parallel SoA image of each container (`Arc` so simulated
+    /// cluster nodes can ship chunks without copying the columns).
+    columns: BTreeMap<u64, Arc<ColumnChunk>>,
+    /// Serialization scratch reused across inserts.
+    scratch: Vec<u8>,
+    /// Memoized region covers for repeated queries.
+    cover_cache: CoverCache,
 }
 
 impl TagStore {
@@ -30,21 +55,21 @@ impl TagStore {
             container_level: store.config().container_level,
             scan_cover_level: store.config().scan_cover_level,
             containers: BTreeMap::new(),
-            deep_ids: BTreeMap::new(),
+            columns: BTreeMap::new(),
+            scratch: Vec::with_capacity(TagObject::SERIALIZED_LEN),
+            cover_cache: CoverCache::new(),
         };
-        let mut scratch = Vec::with_capacity(TagObject::SERIALIZED_LEN);
         for container in store.containers() {
             for mut rec in container.iter_records() {
                 let obj = PhotoObj::read_from(&mut rec).expect("valid store record");
-                out.insert(&obj, &mut scratch)
-                    .expect("projection of a valid object");
+                out.insert(&obj).expect("projection of a valid object");
             }
         }
         out
     }
 
-    /// Insert the tag projection of one object.
-    pub fn insert(&mut self, obj: &PhotoObj, scratch: &mut Vec<u8>) -> Result<(), StorageError> {
+    /// Insert the tag projection of one object (row bytes + columns).
+    pub fn insert(&mut self, obj: &PhotoObj) -> Result<(), StorageError> {
         let tag = TagObject::from_photo(obj);
         let deep = HtmId::from_raw(obj.htm20)?;
         let cid = deep.ancestor_at(self.container_level);
@@ -52,10 +77,11 @@ impl TagStore {
             .containers
             .entry(cid.raw())
             .or_insert_with(|| Container::new(cid, TagObject::SERIALIZED_LEN));
-        scratch.clear();
-        tag.write_to(scratch);
-        container.push_record(scratch, tag.mag(2), tag.class)?;
-        self.deep_ids.entry(cid.raw()).or_default().push(obj.htm20);
+        self.scratch.clear();
+        tag.write_to(&mut self.scratch);
+        container.push_record(&self.scratch, tag.mag(2), tag.class)?;
+        let chunk = self.columns.entry(cid.raw()).or_default();
+        Arc::make_mut(chunk).push(&tag, obj.htm20);
         Ok(())
     }
 
@@ -80,6 +106,20 @@ impl TagStore {
         self.containers.values()
     }
 
+    /// The SoA chunks, keyed by raw container id.
+    pub fn column_chunks(&self) -> impl Iterator<Item = (u64, &Arc<ColumnChunk>)> {
+        self.columns.iter().map(|(&raw, c)| (raw, c))
+    }
+
+    pub fn column_chunk(&self, raw: u64) -> Option<&Arc<ColumnChunk>> {
+        self.columns.get(&raw)
+    }
+
+    /// Cover-cache (hits, misses) — observability for repeated queries.
+    pub fn cover_cache_stats(&self) -> (u64, u64) {
+        self.cover_cache.stats()
+    }
+
     /// Full scan of all tags.
     pub fn scan_all(&self, mut f: impl FnMut(&TagObject)) -> usize {
         let mut bytes = 0;
@@ -91,6 +131,62 @@ impl TagStore {
             }
         }
         bytes
+    }
+
+    fn check_level(&self, cover_level: Option<u8>) -> Result<u8, StorageError> {
+        let level = cover_level.unwrap_or(self.scan_cover_level);
+        if level < self.container_level || level > 20 {
+            return Err(StorageError::InvalidConfig(format!(
+                "cover level {level} outside [{}, 20]",
+                self.container_level
+            )));
+        }
+        Ok(level)
+    }
+
+    /// Resolve the cover machinery for one region scan (shared by the
+    /// row and batch paths so the cover logic exists exactly once).
+    fn cover_walk(
+        &self,
+        domain: &Domain,
+        cover_level: Option<u8>,
+    ) -> Result<CoverWalk, StorageError> {
+        let level = self.check_level(cover_level)?;
+        let cover = self.cover_cache.get_or_compute(domain, level)?;
+        let touched = cover.touched_ranges().coarsen(level, self.container_level);
+        Ok(CoverWalk {
+            cover,
+            touched,
+            level,
+            shift: 2 * (20 - level) as u64,
+        })
+    }
+
+    /// Walk every touched container, classifying each as wholly inside
+    /// the full cover or bisected, with the common byte/container stats
+    /// accounting. `f` returns `false` to stop early.
+    fn for_each_touched_container(
+        &self,
+        walk: &CoverWalk,
+        stats: &mut RegionScan,
+        mut f: impl FnMut(&u64, &Container, bool, &mut RegionScan) -> bool,
+    ) {
+        let full = walk.cover.full_ranges();
+        for &(lo, hi) in walk.touched.ranges() {
+            for (raw, container) in self.containers.range(lo..hi) {
+                stats.bytes_scanned += container.bytes();
+                let (clo, chi) = container.id().deep_range(walk.level);
+                let container_full = full.contains_range(clo, chi);
+                if container_full {
+                    stats.containers_full += 1;
+                } else {
+                    stats.containers_partial += 1;
+                }
+                if !f(raw, container, container_full, stats) {
+                    return;
+                }
+            }
+        }
     }
 
     /// Region scan over tags, same cover logic as the full store.
@@ -114,58 +210,121 @@ impl TagStore {
         cover_level: Option<u8>,
         mut f: impl FnMut(&TagObject) -> bool,
     ) -> Result<RegionScan, StorageError> {
-        let level = cover_level.unwrap_or(self.scan_cover_level);
-        if level < self.container_level || level > 20 {
-            return Err(StorageError::InvalidConfig(format!(
-                "cover level {level} outside [{}, 20]",
-                self.container_level
-            )));
-        }
-        let cover = Cover::compute(domain, level)?;
-        let full = cover.full_ranges();
-        let partial = cover.partial_ranges();
-        let touched = cover.touched_ranges().coarsen(level, self.container_level);
-        let shift = 2 * (20 - level) as u64;
+        let walk = self.cover_walk(domain, cover_level)?;
+        let (full, partial) = (walk.cover.full_ranges(), walk.cover.partial_ranges());
 
         let mut stats = RegionScan::default();
-        'outer: for &(lo, hi) in touched.ranges() {
-            for (raw, container) in self.containers.range(lo..hi) {
-                stats.bytes_scanned += container.bytes();
-                let deep_ids = &self.deep_ids[raw];
-                let (clo, chi) = container.id().deep_range(level);
-                if full.contains_range(clo, chi) {
-                    stats.containers_full += 1;
-                    for mut rec in container.iter_records() {
-                        let tag = TagObject::read_from(&mut rec)?;
-                        stats.objects_yielded += 1;
-                        if !f(&tag) {
-                            break 'outer;
-                        }
-                    }
-                    continue;
+        let mut err: Option<StorageError> = None;
+        self.for_each_touched_container(&walk, &mut stats, |raw, container, container_full, stats| {
+            let mut read = |mut rec: &[u8]| match TagObject::read_from(&mut rec) {
+                Ok(tag) => Some(tag),
+                Err(e) => {
+                    err = Some(e.into());
+                    None
                 }
-                stats.containers_partial += 1;
-                for (slot, mut rec) in container.iter_records().enumerate() {
-                    let deep_id = deep_ids[slot] >> shift;
-                    if full.contains(deep_id) {
-                        let tag = TagObject::read_from(&mut rec)?;
+            };
+            if container_full {
+                for rec in container.iter_records() {
+                    let Some(tag) = read(rec) else { return false };
+                    stats.objects_yielded += 1;
+                    if !f(&tag) {
+                        return false;
+                    }
+                }
+                return true;
+            }
+            let deep_ids = &self.columns[raw].htm20;
+            for (slot, rec) in container.iter_records().enumerate() {
+                let deep_id = deep_ids[slot] >> walk.shift;
+                if full.contains(deep_id) {
+                    let Some(tag) = read(rec) else { return false };
+                    stats.objects_yielded += 1;
+                    if !f(&tag) {
+                        return false;
+                    }
+                } else if partial.contains(deep_id) {
+                    let Some(tag) = read(rec) else { return false };
+                    stats.objects_exact_tested += 1;
+                    if domain.contains(tag.unit_vec()) {
                         stats.objects_yielded += 1;
                         if !f(&tag) {
-                            break 'outer;
-                        }
-                    } else if partial.contains(deep_id) {
-                        let tag = TagObject::read_from(&mut rec)?;
-                        stats.objects_exact_tested += 1;
-                        if domain.contains(tag.unit_vec()) {
-                            stats.objects_yielded += 1;
-                            if !f(&tag) {
-                                break 'outer;
-                            }
+                            return false;
                         }
                     }
                 }
             }
+            true
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(stats),
         }
+    }
+
+    /// Columnar region scan: streams each container's [`ColumnBatch`]es
+    /// with a [`SelectionMask`] already encoding the spatial decision —
+    /// rows in fully-covered trixels are set without any geometry, rows
+    /// in boundary trixels are exact-tested, everything else is cleared.
+    /// `domain = None` scans the whole store with all bits set.
+    ///
+    /// The callback may return `false` to stop early. `objects_yielded`
+    /// counts selected rows.
+    pub fn scan_batches(
+        &self,
+        domain: Option<&Domain>,
+        cover_level: Option<u8>,
+        mut f: impl FnMut(&ColumnBatch<'_>, &SelectionMask) -> bool,
+    ) -> Result<RegionScan, StorageError> {
+        let mut stats = RegionScan::default();
+
+        let Some(domain) = domain else {
+            // Unrestricted sweep: every batch, all bits set.
+            'all: for (raw, container) in &self.containers {
+                stats.bytes_scanned += container.bytes();
+                stats.containers_full += 1;
+                let chunk = &self.columns[raw];
+                for batch in chunk.batches(BATCH_ROWS) {
+                    let sel = SelectionMask::all_set(batch.len());
+                    stats.objects_yielded += batch.len();
+                    if !f(&batch, &sel) {
+                        break 'all;
+                    }
+                }
+            }
+            return Ok(stats);
+        };
+
+        let walk = self.cover_walk(domain, cover_level)?;
+        let (full, partial) = (walk.cover.full_ranges(), walk.cover.partial_ranges());
+
+        self.for_each_touched_container(&walk, &mut stats, |raw, _container, container_full, stats| {
+            let chunk = &self.columns[raw];
+            for batch in chunk.batches(BATCH_ROWS) {
+                let sel = if container_full {
+                    stats.objects_yielded += batch.len();
+                    SelectionMask::all_set(batch.len())
+                } else {
+                    let mut sel = SelectionMask::none_set(batch.len());
+                    for (i, &deep) in batch.htm20.iter().enumerate() {
+                        let deep_id = deep >> walk.shift;
+                        if full.contains(deep_id) {
+                            sel.set(i);
+                        } else if partial.contains(deep_id) {
+                            stats.objects_exact_tested += 1;
+                            if domain.contains(batch.unit_vec(i)) {
+                                sel.set(i);
+                            }
+                        }
+                    }
+                    stats.objects_yielded += sel.count();
+                    sel
+                };
+                if !f(&batch, &sel) {
+                    return false;
+                }
+            }
+            true
+        });
         Ok(stats)
     }
 
@@ -201,6 +360,14 @@ mod tests {
         let (store, tags, objs) = stores(1);
         assert_eq!(tags.len(), objs.len());
         assert_eq!(tags.num_containers(), store.num_containers());
+        // Chunks are slot-parallel with the record containers.
+        for (raw, chunk) in tags.column_chunks() {
+            let container = tags
+                .containers()
+                .find(|c| c.id().raw() == raw)
+                .expect("chunk has a container");
+            assert_eq!(chunk.len(), container.len());
+        }
     }
 
     #[test]
@@ -240,5 +407,71 @@ mod tests {
             assert!((full.mag(2) - tag.mag(2)).abs() < 1e-6);
             assert_eq!(full.class, tag.class);
         }
+    }
+
+    #[test]
+    fn batch_scan_selects_same_rows_as_row_scan() {
+        let (_, tags, _) = stores(5);
+        for radius in [0.4, 1.5, 3.0] {
+            let domain = Region::circle(185.0, 15.0, radius).unwrap();
+            let (rows, row_stats) = tags.query_region(&domain, None).unwrap();
+            let mut batch_ids: Vec<u64> = Vec::new();
+            let batch_stats = tags
+                .scan_batches(Some(&domain), None, |batch, sel| {
+                    batch_ids.extend(sel.iter_set().map(|i| batch.obj_id[i]));
+                    true
+                })
+                .unwrap();
+            let mut row_ids: Vec<u64> = rows.iter().map(|t| t.obj_id).collect();
+            row_ids.sort_unstable();
+            batch_ids.sort_unstable();
+            assert_eq!(row_ids, batch_ids, "radius {radius}");
+            assert_eq!(batch_stats.objects_yielded, row_stats.objects_yielded);
+            assert_eq!(
+                batch_stats.objects_exact_tested,
+                row_stats.objects_exact_tested
+            );
+            assert_eq!(batch_stats.bytes_scanned, row_stats.bytes_scanned);
+        }
+    }
+
+    #[test]
+    fn batch_scan_unrestricted_covers_everything() {
+        let (_, tags, objs) = stores(6);
+        let mut n = 0usize;
+        let stats = tags
+            .scan_batches(None, None, |batch, sel| {
+                assert_eq!(sel.count(), batch.len());
+                n += batch.len();
+                true
+            })
+            .unwrap();
+        assert_eq!(n, objs.len());
+        assert_eq!(stats.objects_yielded, objs.len());
+    }
+
+    #[test]
+    fn batch_scan_early_stop() {
+        let (_, tags, _) = stores(7);
+        let mut batches = 0usize;
+        tags.scan_batches(None, None, |_, _| {
+            batches += 1;
+            false
+        })
+        .unwrap();
+        assert_eq!(batches, 1);
+    }
+
+    #[test]
+    fn repeated_region_scans_hit_the_cover_cache() {
+        let (_, tags, _) = stores(8);
+        let domain = Region::circle(185.0, 15.0, 1.0).unwrap();
+        let (a, _) = tags.query_region(&domain, None).unwrap();
+        let (hits0, misses0) = tags.cover_cache_stats();
+        assert_eq!((hits0, misses0), (0, 1));
+        let (b, _) = tags.query_region(&domain, None).unwrap();
+        assert_eq!(a.len(), b.len());
+        let (hits1, misses1) = tags.cover_cache_stats();
+        assert_eq!((hits1, misses1), (1, 1));
     }
 }

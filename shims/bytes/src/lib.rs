@@ -1,0 +1,378 @@
+//! Minimal API-compatible shim for the `bytes` crate.
+//!
+//! The build environment is offline, so this workspace vendors the small
+//! slice of the `bytes` API the archive actually uses: the [`Buf`] /
+//! [`BufMut`] cursor traits over little-endian fixed-width records, and
+//! the [`Bytes`] / [`BytesMut`] owned buffers (cheap-clone payload
+//! shipping between simulated nodes).
+
+use std::sync::Arc;
+
+/// Read cursor over a contiguous byte source.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(b)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_be_bytes(b)
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(b)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_be_bytes(b)
+    }
+
+    fn get_i32(&mut self) -> i32 {
+        self.get_u32() as i32
+    }
+
+    fn get_i64(&mut self) -> i64 {
+        self.get_u64() as i64
+    }
+
+    fn get_f32(&mut self) -> f32 {
+        f32::from_bits(self.get_u32())
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write cursor that appends to a growable byte sink.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_f32(&mut self, v: f32) {
+        self.put_slice(&v.to_bits().to_be_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_bits().to_be_bytes());
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        for _ in 0..cnt {
+            self.put_u8(val);
+        }
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+/// Immutable, cheaply clonable byte buffer (shared payload).
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    pub fn copy_from_slice(src: &[u8]) -> Bytes {
+        Bytes {
+            data: Arc::from(src),
+            start: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sub-range view sharing the same allocation.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of range");
+        Bytes {
+            data: Arc::from(&self[lo..hi]),
+            start: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+            start: 0,
+        }
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of Bytes");
+        self.start += cnt;
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Clone, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> BytesMut {
+        BytesMut { buf: src.to_vec() }
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le() {
+        let mut buf = Vec::new();
+        buf.put_u64_le(0xdead_beef);
+        buf.put_f64_le(1.5);
+        buf.put_f32_le(2.5);
+        buf.put_u8(7);
+        buf.put_bytes(0, 3);
+        let mut rd: &[u8] = &buf;
+        assert_eq!(rd.get_u64_le(), 0xdead_beef);
+        assert_eq!(rd.get_f64_le(), 1.5);
+        assert_eq!(rd.get_f32_le(), 2.5);
+        assert_eq!(rd.get_u8(), 7);
+        rd.advance(3);
+        assert_eq!(rd.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_freeze_and_advance() {
+        let mut bm = BytesMut::with_capacity(8);
+        bm.extend_from_slice(&[1, 2, 3, 4]);
+        let mut b = bm.freeze();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.get_u8(), 1);
+        assert_eq!(&b[..], &[2, 3, 4]);
+        let c = b.clone();
+        assert_eq!(c.len(), 3);
+    }
+}

@@ -1,0 +1,284 @@
+//! Minimal API-compatible shim for `criterion` (offline build).
+//!
+//! Real wall-clock measurement with a simple adaptive loop (no
+//! statistics beyond min/mean): each benchmark warms up briefly, then
+//! runs batches until ~300 ms of samples accumulate, and prints
+//! `name  time: [mean ...]` lines shaped like criterion's output.
+//! `CRITERION_MEASURE_MS` overrides the measurement budget.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// One measured result, exposed so harnesses can export machine-readable
+/// reports next to the human-readable lines.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub name: String,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub iters: u64,
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Mean throughput in units/second if a throughput was declared.
+    pub fn rate_per_sec(&self) -> Option<f64> {
+        self.throughput.map(|t| {
+            let per_iter = match t {
+                Throughput::Bytes(n) | Throughput::Elements(n) => n as f64,
+            };
+            per_iter / (self.mean_ns / 1e9)
+        })
+    }
+}
+
+pub struct Bencher {
+    measurement: Duration,
+    result: Option<(f64, f64, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warmup + calibration: find an iteration count that fills the
+        // measurement window without timing each call individually.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.measurement / 4 && warm_iters < 10_000 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((self.measurement.as_secs_f64() / 10.0 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut total_ns = 0f64;
+        let mut min_ns = f64::INFINITY;
+        let mut iters = 0u64;
+        let deadline = Instant::now() + self.measurement;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            total_ns += ns * batch as f64;
+            min_ns = min_ns.min(ns);
+            iters += batch;
+        }
+        self.result = Some((total_ns / iters.max(1) as f64, min_ns, iters));
+    }
+}
+
+fn measure_budget() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_one(
+    name: &str,
+    throughput: Option<Throughput>,
+    measurement: Duration,
+    f: impl FnOnce(&mut Bencher),
+) -> Measurement {
+    let mut b = Bencher {
+        measurement,
+        result: None,
+    };
+    f(&mut b);
+    let (mean_ns, min_ns, iters) = b.result.unwrap_or((f64::NAN, f64::NAN, 0));
+    let m = Measurement {
+        name: name.to_string(),
+        mean_ns,
+        min_ns,
+        iters,
+        throughput,
+    };
+    let rate = m
+        .rate_per_sec()
+        .map(|r| match throughput {
+            Some(Throughput::Bytes(_)) => format!("  thrpt: {:.1} MiB/s", r / (1024.0 * 1024.0)),
+            Some(Throughput::Elements(_)) => format!("  thrpt: {:.0} elem/s", r),
+            None => String::new(),
+        })
+        .unwrap_or_default();
+    println!(
+        "{name:<40} time: [{} .. {}] ({} iters){rate}",
+        fmt_time(min_ns),
+        fmt_time(mean_ns),
+        iters
+    );
+    m
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    measurement: Option<Duration>,
+    pub measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = name.into();
+        let budget = self.measurement.unwrap_or_else(measure_budget);
+        let m = run_one(&id.id, None, budget, f);
+        self.measurements.push(m);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+            measurement: None,
+        }
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = Some(d);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = Some(d);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = name.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let budget = self
+            .measurement
+            .or(self.parent.measurement)
+            .unwrap_or_else(measure_budget);
+        let m = run_one(&full, self.throughput, budget, f);
+        self.parent.measurements.push(m);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        let budget = self
+            .measurement
+            .or(self.parent.measurement)
+            .unwrap_or_else(measure_budget);
+        let m = run_one(&full, self.throughput, budget, |b| f(b, input));
+        self.parent.measurements.push(m);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,191 @@
+//! Minimal API-compatible shim for `proptest` (offline build).
+//!
+//! Implements the subset this workspace uses: the `proptest!` macro,
+//! `prop_assert*` / `prop_assume!`, `any::<T>()`, numeric range
+//! strategies, tuples, `prop_map`, `collection::{vec, btree_set}` and
+//! `array::uniform5`. Cases are generated from a deterministic per-test
+//! RNG; there is no shrinking — a failing case prints its inputs via the
+//! assertion message instead.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, size_range)` — a vector of strategy-generated items.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.usize_in(self.size.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `btree_set(element, size_range)` — sets may come out smaller than
+    /// requested when duplicates collide, like upstream.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = rng.usize_in(self.size.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct Uniform5<S>(S);
+
+    /// Five independent draws from one strategy.
+    pub fn uniform5<S: Strategy>(element: S) -> Uniform5<S> {
+        Uniform5(element)
+    }
+
+    impl<S: Strategy> Strategy for Uniform5<S> {
+        type Value = [S::Value; 5];
+
+        fn sample(&self, rng: &mut TestRng) -> [S::Value; 5] {
+            [
+                self.0.sample(rng),
+                self.0.sample(rng),
+                self.0.sample(rng),
+                self.0.sample(rng),
+                self.0.sample(rng),
+            ]
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Run one proptest case body; used by the `proptest!` expansion.
+#[doc(hidden)]
+pub type CaseResult = Result<(), String>;
+
+#[macro_export]
+macro_rules! proptest {
+    (@cases ($cases:expr) $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cases = $cases;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    let dbg = format!(concat!($(stringify!($arg), " = {:?}, "),+), $(&$arg),+);
+                    let result: $crate::CaseResult = (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(msg) = result {
+                        panic!("proptest case {}/{} failed: {}\n  inputs: {}", case + 1, cases, msg, dbg);
+                    }
+                }
+            }
+        )+
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)+) => {
+        $crate::proptest!(@cases ($cfg.cases) $($rest)+);
+    };
+    ($($rest:tt)+) => {
+        $crate::proptest!(@cases ($crate::test_runner::cases()) $($rest)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), lhs, rhs
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a), stringify!($b), lhs
+            ));
+        }
+    }};
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}

@@ -1,0 +1,194 @@
+//! Minimal API-compatible shim for `rand` (offline build).
+//!
+//! Provides the `Rng` extension trait (`gen`, `gen_range`, `gen_bool`)
+//! over a `RngCore`, plus the `rand_core` seeding traits re-exported by
+//! the `rand_chacha` shim. Statistical quality matches what the test
+//! suite needs (uniform, deterministic per seed); it does not reproduce
+//! upstream `rand` output streams.
+
+pub mod rand_core {
+    /// Core source of randomness.
+    pub trait RngCore {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64;
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+    }
+
+    /// Seedable RNG construction.
+    pub trait SeedableRng: Sized {
+        type Seed: AsMut<[u8]> + Default;
+
+        fn from_seed(seed: Self::Seed) -> Self;
+
+        /// Expand a 64-bit seed with SplitMix64 (like upstream rand_core).
+        fn seed_from_u64(mut state: u64) -> Self {
+            let mut seed = Self::Seed::default();
+            for chunk in seed.as_mut().chunks_mut(8) {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let b = z.to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+            Self::from_seed(seed)
+        }
+    }
+}
+
+pub use rand_core::{RngCore, SeedableRng};
+
+/// Types `gen::<T>()` can produce.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),+) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by `gen_range` (generic over the output type, like
+/// upstream, so float literals infer from the assignment context).
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! float_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let unit = <$t as Standard>::sample(rng);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                // Treat the closed interval like the half-open one; the
+                // endpoint has measure zero for the float workloads here.
+                let unit = <$t as Standard>::sample(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )+};
+}
+
+float_range!(f32, f64);
+
+macro_rules! int_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing extension trait.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        <f64 as Standard>::sample(self) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SplitMix(u64);
+
+    impl RngCore for SplitMix {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SplitMix(42);
+        for _ in 0..1000 {
+            let f = rng.gen_range(10.0f64..20.0);
+            assert!((10.0..20.0).contains(&f));
+            let i = rng.gen_range(3u8..7);
+            assert!((3..7).contains(&i));
+            let c = rng.gen_range(-1.0f64..=1.0);
+            assert!((-1.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn unit_floats() {
+        let mut rng = SplitMix(7);
+        let mean: f64 = (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}
