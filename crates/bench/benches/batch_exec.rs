@@ -14,8 +14,10 @@
 
 use criterion::{criterion_group, Criterion, Throughput};
 use sdss_bench::{build_stores, standard_sky};
-use sdss_query::{Engine, ExecMode};
+use sdss_query::{Archive, ArchiveConfig, ExecMode};
+use sdss_storage::{ObjectStore, TagStore};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 const N_OBJECTS: usize = 60_000;
@@ -48,15 +50,33 @@ const QUERIES: &[(&str, &str)] = &[
     ),
 ];
 
+/// Two archive handles over the same stores, compiled vs interpreted.
+fn archive_pair(store: ObjectStore, tags: TagStore) -> (Archive, Archive) {
+    let (store, tags) = (Arc::new(store), Arc::new(tags));
+    let compiled = Archive::with_config(
+        store.clone(),
+        Some(tags.clone()),
+        ArchiveConfig {
+            mode: ExecMode::Auto,
+            ..ArchiveConfig::default()
+        },
+    );
+    let interpreted = Archive::with_config(
+        store,
+        Some(tags),
+        ArchiveConfig {
+            mode: ExecMode::Interpreted,
+            ..ArchiveConfig::default()
+        },
+    );
+    (compiled, interpreted)
+}
+
 fn bench_batch_exec(c: &mut Criterion) {
     let objs = standard_sky(N_OBJECTS, 2026);
     let (store, tags) = build_stores(&objs, 6);
     let n_rows = tags.len() as u64;
-
-    let mut compiled = Engine::new(&store, Some(&tags));
-    compiled.mode = ExecMode::Auto;
-    let mut interpreted = Engine::new(&store, Some(&tags));
-    interpreted.mode = ExecMode::Interpreted;
+    let (compiled, interpreted) = archive_pair(store, tags);
 
     for (name, sql) in QUERIES {
         // Sanity: identical results and the compiled path engaging.
@@ -79,12 +99,14 @@ fn bench_batch_exec(c: &mut Criterion) {
 
 criterion_group!(benches, bench_batch_exec);
 
-/// Best-of-N wall time for one engine+query.
-fn best_secs(engine: &Engine<'_>, sql: &str, runs: usize) -> f64 {
+/// Best-of-N wall time for one archive+query, re-executing one prepared
+/// statement (the server-shaped hot path: no per-run parse/plan).
+fn best_secs(archive: &Archive, sql: &str, runs: usize) -> f64 {
+    let prepared = archive.prepare(sql).expect("query prepares");
     let mut best = f64::INFINITY;
     for _ in 0..runs {
         let t0 = Instant::now();
-        black_box(engine.run(sql).expect("query runs").rows.len());
+        black_box(prepared.run().expect("query runs").rows.len());
         best = best.min(t0.elapsed().as_secs_f64());
     }
     best
@@ -94,11 +116,7 @@ fn emit_json() {
     let objs = standard_sky(N_OBJECTS, 2026);
     let (store, tags) = build_stores(&objs, 6);
     let scanned_rows = tags.len() as f64;
-
-    let mut compiled = Engine::new(&store, Some(&tags));
-    compiled.mode = ExecMode::Auto;
-    let mut interpreted = Engine::new(&store, Some(&tags));
-    interpreted.mode = ExecMode::Interpreted;
+    let (compiled, interpreted) = archive_pair(store, tags);
 
     let mut entries = Vec::new();
     let mut speedups = Vec::new();

@@ -1,0 +1,106 @@
+//! Concurrent query throughput over one shared `Archive` handle — the
+//! server-facing measurement the API redesign exists for: N client
+//! threads hammering prepared statements against the same stores.
+//!
+//! Emits `BENCH_concurrent.json` at the workspace root with aggregate
+//! queries/second at 1, 4 and 8 client threads (plus the scaling factor
+//! vs single-threaded), so CI and later sessions can track whether the
+//! shared handle actually scales with clients.
+
+use sdss_bench::{build_stores, standard_sky};
+use sdss_query::{Archive, Prepared};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const N_OBJECTS: usize = 60_000;
+/// Queries each thread executes per timed run.
+const QUERIES_PER_THREAD: usize = 24;
+const THREAD_COUNTS: &[usize] = &[1, 4, 8];
+
+/// The client mix: cone searches, color cuts and an aggregate — all on
+/// the compiled tag path, prepared once and re-run per request.
+const QUERIES: &[&str] = &[
+    "SELECT objid, ra, dec, r FROM photoobj WHERE CIRCLE(185, 15, 1.5) AND r < $1",
+    "SELECT objid, gr FROM photoobj WHERE class = 'GALAXY' AND gr BETWEEN $1 AND 1.2",
+    "SELECT COUNT(*) FROM photoobj WHERE r BETWEEN 18 AND $1",
+];
+/// One binding per query (kept fixed so every run does identical work).
+const PARAMS: &[f64] = &[21.0, 0.35, 21.5];
+
+fn run_clients(archive: &Archive, threads: usize) -> f64 {
+    let prepared: Arc<Vec<Prepared>> = Arc::new(
+        QUERIES
+            .iter()
+            .map(|sql| archive.prepare(sql).expect("query prepares"))
+            .collect(),
+    );
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let prepared = prepared.clone();
+            std::thread::spawn(move || {
+                for i in 0..QUERIES_PER_THREAD {
+                    let q = (t + i) % prepared.len();
+                    let out = prepared[q]
+                        .run_with(&[PARAMS[q]])
+                        .expect("query runs");
+                    black_box(out.rows.len());
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total_queries = (threads * QUERIES_PER_THREAD) as f64;
+    total_queries / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    println!("concurrent query throughput ({N_OBJECTS} objects, shared Archive)\n");
+    let objs = standard_sky(N_OBJECTS, 2027);
+    let (store, tags) = build_stores(&objs, 6);
+    let archive = Archive::new(store, Some(Arc::new(tags)));
+
+    // Warm: covers cached, allocator primed, sanity-check the mix.
+    for (sql, p) in QUERIES.iter().zip(PARAMS) {
+        let out = archive
+            .prepare(sql)
+            .expect("prepares")
+            .run_with(&[*p])
+            .expect("runs");
+        assert!(out.stats.columnar, "{sql} missed the compiled path");
+    }
+
+    let mut entries = Vec::new();
+    let mut qps_1 = 0.0f64;
+    println!("{:<10} {:>12} {:>10}", "threads", "queries/s", "scaling");
+    println!("{}", "-".repeat(34));
+    for &threads in THREAD_COUNTS {
+        // Best of 3 to shed scheduler noise.
+        let qps = (0..3)
+            .map(|_| run_clients(&archive, threads))
+            .fold(0.0f64, f64::max);
+        if threads == 1 {
+            qps_1 = qps;
+        }
+        let scaling = qps / qps_1;
+        println!("{threads:<10} {qps:>12.1} {scaling:>9.2}x");
+        entries.push(format!(
+            "    {{\"threads\": {threads}, \"queries_per_sec\": {qps:.1}, \"scaling_vs_1\": {scaling:.2}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"concurrent_queries\",\n  \"objects\": {N_OBJECTS},\n  \
+         \"queries_per_thread\": {QUERIES_PER_THREAD},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let path = root.join("BENCH_concurrent.json");
+    std::fs::write(&path, json).expect("write BENCH_concurrent.json");
+    println!("\nwrote {}", path.display());
+}

@@ -4,8 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sdss_bench::{build_stores, standard_sky};
 use sdss_htm::Region;
-use sdss_query::Engine;
+use sdss_query::Archive;
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_cone_queries(c: &mut Criterion) {
     let objs = standard_sky(20_000, 61);
@@ -21,15 +22,18 @@ fn bench_cone_queries(c: &mut Criterion) {
     });
     group.finish();
 
-    let engine = Engine::new(&store, Some(&tags));
-    let engine_full = Engine::new(&store, None);
+    let store = Arc::new(store);
+    let archive = Archive::new(store.clone(), Some(Arc::new(tags)));
+    let archive_full = Archive::new(store, None);
     let sql = "SELECT objid, ra, dec, r FROM photoobj WHERE CIRCLE(185, 15, 1) AND r < 21";
     let mut group = c.benchmark_group("engine_cone");
     group.bench_function("tag_route", |b| {
-        b.iter(|| black_box(engine.run(sql).unwrap().rows.len()));
+        let prepared = archive.prepare(sql).unwrap();
+        b.iter(|| black_box(prepared.run().unwrap().rows.len()));
     });
     group.bench_function("full_route", |b| {
-        b.iter(|| black_box(engine_full.run(sql).unwrap().rows.len()));
+        let prepared = archive_full.prepare(sql).unwrap();
+        b.iter(|| black_box(prepared.run().unwrap().rows.len()));
     });
     group.finish();
 }
@@ -37,12 +41,17 @@ fn bench_cone_queries(c: &mut Criterion) {
 fn bench_parse_plan(c: &mut Criterion) {
     let objs = standard_sky(500, 62);
     let (store, tags) = build_stores(&objs, 7);
-    let engine = Engine::new(&store, Some(&tags));
+    let archive = Archive::new(store, Some(Arc::new(tags)));
     let sql = "SELECT objid, ra, dec, g - r AS color FROM photoobj \
                WHERE CIRCLE(185, 15, 2) AND r < 22 AND class = 'GALAXY' \
                ORDER BY color DESC LIMIT 100";
     c.bench_function("parse_and_plan", |b| {
-        b.iter(|| black_box(engine.explain(sql).unwrap().root.size()));
+        b.iter(|| black_box(archive.explain(sql).unwrap().root.size()));
+    });
+    // The prepared-statement path pays that once: preparing includes the
+    // cost estimate, re-running binds parameters only.
+    c.bench_function("prepare_once", |b| {
+        b.iter(|| black_box(archive.prepare(sql).unwrap().n_params()));
     });
 }
 

@@ -5,7 +5,8 @@
 //! seeing results almost immediately."
 
 use sdss_bench::{build_stores, standard_sky};
-use sdss_query::Engine;
+use sdss_query::Archive;
+use std::sync::Arc;
 
 fn main() {
     let n = std::env::args()
@@ -15,7 +16,7 @@ fn main() {
     println!("E12: ASAP streaming — first row vs completion ({n} objects)\n");
     let objs = standard_sky(n, 49);
     let (store, tags) = build_stores(&objs, 7);
-    let engine = Engine::new(&store, Some(&tags));
+    let archive = Archive::new(store, Some(Arc::new(tags)));
 
     let queries = [
         (
@@ -42,7 +43,7 @@ fn main() {
     );
     println!("{}", "-".repeat(72));
     for (name, sql) in queries {
-        let out = engine.run(sql).unwrap();
+        let out = archive.run(sql).unwrap();
         let first = out
             .stats
             .time_to_first_row

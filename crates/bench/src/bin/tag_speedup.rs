@@ -6,7 +6,8 @@
 
 use sdss_bench::{build_stores, fmt_bytes, standard_sky};
 use sdss_catalog::{PhotoObj, TagObject};
-use sdss_query::Engine;
+use sdss_query::Archive;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -60,8 +61,10 @@ fn main() {
         "query", "rows", "tag (ms)", "full (ms)", "speedup"
     );
     println!("{}", "-".repeat(64));
-    let with_tags = Engine::new(&store, Some(&tags));
-    let full_only = Engine::new(&store, None);
+    let store = Arc::new(store);
+    let tags = Arc::new(tags);
+    let with_tags = Archive::new(store.clone(), Some(tags.clone()));
+    let full_only = Archive::new(store.clone(), None);
     for (name, sql) in queries {
         // Warm both paths once, then measure best-of-3.
         let rows = with_tags.run(sql).unwrap().rows.len();

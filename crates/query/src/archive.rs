@@ -1,0 +1,1028 @@
+//! The archive server API: a shared, thread-safe query surface.
+//!
+//! The paper's archive is a multi-user server: query agents accept many
+//! concurrent requests, *estimate their cost before running them*,
+//! stream partial results ASAP, and let users abort long scans. This
+//! module is that surface:
+//!
+//! * [`Archive`] — an owned, cloneable, `Send + Sync` handle; stores
+//!   live behind `Arc` and any number of threads submit queries
+//!   concurrently.
+//! * [`Prepared`] — parse + plan exactly once ([`Archive::prepare`]),
+//!   inspect the plan and its plan-time [`CostEstimate`] (rows / bytes /
+//!   containers touched, from the container density map + HTM cover),
+//!   then execute repeatedly with `$1`-style numeric parameters re-bound
+//!   per execution — no re-parse, no re-plan.
+//! * [`ResultStream`] — a pull-based stream of [`ResultBatch`]es; the
+//!   columnar scan path delivers struct-of-arrays batches end to end and
+//!   rows materialize only when the consumer asks
+//!   ([`ResultBatch::rows`]).
+//! * [`QueryTicket`] — every execution's cancel token + live progress
+//!   counters; [`QueryStats`] summarizes the run once the stream
+//!   finishes.
+//! * Admission control — a semaphore-bounded slot pool
+//!   ([`AdmissionConfig`]): executions queue for a slot instead of
+//!   oversubscribing the machine, and *heavy* queries (estimated bytes
+//!   over a threshold) additionally share a smaller heavy-slot pool so
+//!   a burst of full-sky sweeps cannot starve interactive cone searches.
+
+use crate::exec::{
+    launch, plan_uses_columnar, BatchHandle, ExecEnv, ExecMode, ResultBatch, Row, ScanTotals,
+    TicketCore,
+};
+use crate::parser::parse;
+use crate::plan::{plan, PlanNode, QueryPlan, ScanTarget};
+use crate::QueryError;
+use sdss_storage::{CostModel, ObjectStore, TagStore};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Which store the root scans of a query were routed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteChoice {
+    /// At least one scan read full photometric objects.
+    Full,
+    /// Every scan ran on the tag vertical partition.
+    TagOnly,
+}
+
+/// Timing, routing and scan statistics for one finished execution.
+#[derive(Debug, Clone)]
+pub struct QueryStats {
+    pub route: RouteChoice,
+    /// Did every scan leaf run on the compiled columnar batch path?
+    pub columnar: bool,
+    /// Time spent queued for an admission slot before execution began.
+    pub queue_time: Duration,
+    /// Latency from execution start (admission granted, threads
+    /// launched) until the first row reached the consumer — the ASAP
+    /// metric. Parse/plan time is *not* included: `prepare` is a
+    /// separate phase.
+    pub time_to_first_row: Option<Duration>,
+    /// Execution wall time (excludes parse/plan and queueing).
+    pub total_time: Duration,
+    /// Rows delivered to the consumer.
+    pub rows: usize,
+    /// Batches delivered to the consumer.
+    pub batches: usize,
+    /// Scan-side totals: bytes/containers touched, exact geometry
+    /// tests, and cover-cache hit/miss counts.
+    pub scan: ScanTotals,
+}
+
+/// A fully materialized query result.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+    pub stats: QueryStats,
+}
+
+/// Plan-time cost prediction for one prepared query, summed over every
+/// scan leaf of the plan (set operations have several).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostEstimate {
+    /// Predicted number of rows the scans will yield (before residual
+    /// predicates).
+    pub est_rows: f64,
+    /// Bytes the scans will read (exact for whole-container reads).
+    pub est_bytes: u64,
+    /// Predicted single-server scan seconds at the cost model's
+    /// calibrated bandwidth.
+    pub est_seconds: f64,
+    pub containers_full: usize,
+    pub containers_partial: usize,
+    /// At least one scan has no spatial restriction (whole-store sweep).
+    pub full_sweep: bool,
+}
+
+/// Admission-control configuration: the slot pool bounding concurrent
+/// executions.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Total concurrently executing queries; the rest queue.
+    pub max_concurrent: usize,
+    /// Estimated scan bytes at or above which a query is *heavy*.
+    pub heavy_bytes: u64,
+    /// Of the `max_concurrent` slots, how many may run heavy queries at
+    /// once (clamped to at least 1 so heavy queries always make
+    /// progress).
+    pub max_heavy: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        AdmissionConfig {
+            max_concurrent: cores.max(2),
+            heavy_bytes: 64 << 20,
+            max_heavy: 2,
+        }
+    }
+}
+
+/// A point-in-time view of the admission state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionSnapshot {
+    /// Queries currently holding an execution slot.
+    pub running: usize,
+    /// Queries blocked waiting for a slot.
+    pub queued: usize,
+    /// High-water mark of `running` since the archive was built.
+    pub peak_running: usize,
+}
+
+#[derive(Debug)]
+struct SlotState {
+    free: usize,
+    heavy_free: usize,
+    queued: usize,
+    running: usize,
+    peak_running: usize,
+}
+
+/// A counting semaphore over (general, heavy) slots.
+#[derive(Debug)]
+struct Slots {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl Slots {
+    fn new(cfg: &AdmissionConfig) -> Slots {
+        let total = cfg.max_concurrent.max(1);
+        Slots {
+            state: Mutex::new(SlotState {
+                free: total,
+                heavy_free: cfg.max_heavy.clamp(1, total),
+                queued: 0,
+                running: 0,
+                peak_running: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(self: &Arc<Slots>, heavy: bool) -> SlotGuard {
+        let mut st = self.state.lock().unwrap();
+        st.queued += 1;
+        while st.free == 0 || (heavy && st.heavy_free == 0) {
+            st = self.cv.wait(st).unwrap();
+        }
+        st.queued -= 1;
+        st.free -= 1;
+        if heavy {
+            st.heavy_free -= 1;
+        }
+        st.running += 1;
+        st.peak_running = st.peak_running.max(st.running);
+        drop(st);
+        SlotGuard {
+            slots: self.clone(),
+            heavy,
+        }
+    }
+
+    /// Non-blocking acquire: `None` when the pool (or heavy pool) is
+    /// exhausted right now.
+    fn try_acquire(self: &Arc<Slots>, heavy: bool) -> Option<SlotGuard> {
+        let mut st = self.state.lock().unwrap();
+        if st.free == 0 || (heavy && st.heavy_free == 0) {
+            return None;
+        }
+        st.free -= 1;
+        if heavy {
+            st.heavy_free -= 1;
+        }
+        st.running += 1;
+        st.peak_running = st.peak_running.max(st.running);
+        drop(st);
+        Some(SlotGuard {
+            slots: self.clone(),
+            heavy,
+        })
+    }
+
+    fn snapshot(&self) -> AdmissionSnapshot {
+        let st = self.state.lock().unwrap();
+        AdmissionSnapshot {
+            running: st.running,
+            queued: st.queued,
+            peak_running: st.peak_running,
+        }
+    }
+}
+
+/// Holds one execution slot; returning it on drop wakes queued queries.
+#[derive(Debug)]
+struct SlotGuard {
+    slots: Arc<Slots>,
+    heavy: bool,
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        let mut st = self.slots.state.lock().unwrap();
+        st.free += 1;
+        if self.heavy {
+            st.heavy_free += 1;
+        }
+        st.running -= 1;
+        drop(st);
+        self.slots.cv.notify_all();
+    }
+}
+
+/// Archive-wide configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArchiveConfig {
+    /// Cover level override for all scans (None = store default).
+    pub cover_level: Option<u8>,
+    /// Columnar compilation vs forced interpretation (default: Auto).
+    pub mode: ExecMode,
+    /// Calibration for plan-time cost estimates.
+    pub cost_model: CostModel,
+    /// The execution slot pool.
+    pub admission: AdmissionConfig,
+}
+
+#[derive(Debug)]
+struct ArchiveInner {
+    store: Arc<ObjectStore>,
+    tags: Option<Arc<TagStore>>,
+    config: ArchiveConfig,
+    slots: Arc<Slots>,
+}
+
+/// The shared archive handle: clone it freely, send it across threads;
+/// every clone talks to the same stores and the same admission pool.
+#[derive(Debug, Clone)]
+pub struct Archive {
+    inner: Arc<ArchiveInner>,
+}
+
+impl Archive {
+    /// An archive over the given stores with default configuration.
+    /// Accepts owned stores or pre-shared `Arc`s.
+    pub fn new(store: impl Into<Arc<ObjectStore>>, tags: Option<Arc<TagStore>>) -> Archive {
+        Archive::with_config(store, tags, ArchiveConfig::default())
+    }
+
+    pub fn with_config(
+        store: impl Into<Arc<ObjectStore>>,
+        tags: Option<Arc<TagStore>>,
+        config: ArchiveConfig,
+    ) -> Archive {
+        Archive {
+            inner: Arc::new(ArchiveInner {
+                store: store.into(),
+                tags,
+                slots: Arc::new(Slots::new(&config.admission)),
+                config,
+            }),
+        }
+    }
+
+    pub fn store(&self) -> &Arc<ObjectStore> {
+        &self.inner.store
+    }
+
+    pub fn tags(&self) -> Option<&Arc<TagStore>> {
+        self.inner.tags.as_ref()
+    }
+
+    pub fn config(&self) -> &ArchiveConfig {
+        &self.inner.config
+    }
+
+    /// Current admission-control state (running / queued / peak).
+    pub fn admission(&self) -> AdmissionSnapshot {
+        self.inner.slots.snapshot()
+    }
+
+    /// Parse and plan without executing (EXPLAIN).
+    pub fn explain(&self, sql: &str) -> Result<QueryPlan, QueryError> {
+        plan(&parse(sql)?, self.inner.tags.is_some())
+    }
+
+    /// Parse + plan + estimate once; the returned [`Prepared`] executes
+    /// any number of times (concurrently, with fresh parameters) without
+    /// repeating any of that work.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared, QueryError> {
+        let query_plan = self.explain(sql)?;
+        let route = route_of(&query_plan.root);
+        let columnar = plan_uses_columnar(
+            &query_plan.root,
+            self.inner.tags.is_some(),
+            self.inner.config.mode,
+        );
+        let estimate = self.estimate_plan(&query_plan.root)?;
+        let heavy = estimate.est_bytes >= self.inner.config.admission.heavy_bytes;
+        Ok(Prepared {
+            archive: self.clone(),
+            columns: query_plan.root.columns(),
+            plan: Arc::new(query_plan),
+            route,
+            columnar,
+            estimate,
+            heavy,
+        })
+    }
+
+    /// Prepare, execute without parameters, and collect every row.
+    pub fn run(&self, sql: &str) -> Result<QueryOutput, QueryError> {
+        self.prepare(sql)?.run()
+    }
+
+    /// Sum per-scan-leaf estimates from container statistics + the HTM
+    /// cover. Reads no object data; covers memoize in the stores' cover
+    /// caches, so repeated prepares of a hot region cost nothing.
+    fn estimate_plan(&self, node: &PlanNode) -> Result<CostEstimate, QueryError> {
+        let mut est = CostEstimate::default();
+        self.accumulate_estimate(node, &mut est)?;
+        Ok(est)
+    }
+
+    fn accumulate_estimate(
+        &self,
+        node: &PlanNode,
+        est: &mut CostEstimate,
+    ) -> Result<(), QueryError> {
+        match node {
+            PlanNode::Scan(s) => {
+                let model = &self.inner.config.cost_model;
+                let tag_route = s.target == ScanTarget::Tag && self.inner.tags.is_some();
+                let leaf = match (&s.domain, tag_route) {
+                    (Some(domain), true) => {
+                        let tags = self.inner.tags.as_ref().expect("tag_route checked");
+                        model.estimate_tags(tags, domain)?
+                    }
+                    (Some(domain), false) => model.estimate(&self.inner.store, domain)?,
+                    (None, true) => {
+                        est.full_sweep = true;
+                        let tags = self.inner.tags.as_ref().expect("tag_route checked");
+                        model.estimate_sweep(tags.containers())
+                    }
+                    (None, false) => {
+                        est.full_sweep = true;
+                        model.estimate_sweep(self.inner.store.containers())
+                    }
+                };
+                est.est_rows += leaf.est_rows;
+                est.est_bytes += leaf.est_bytes;
+                est.est_seconds += leaf.est_seconds;
+                est.containers_full += leaf.containers_full;
+                est.containers_partial += leaf.containers_partial;
+            }
+            PlanNode::Sort { child, .. }
+            | PlanNode::Limit { child, .. }
+            | PlanNode::Aggregate { child, .. } => self.accumulate_estimate(child, est)?,
+            PlanNode::Set { left, right, .. } => {
+                self.accumulate_estimate(left, est)?;
+                self.accumulate_estimate(right, est)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn route_of(node: &PlanNode) -> RouteChoice {
+    fn any_full(node: &PlanNode) -> bool {
+        match node {
+            PlanNode::Scan(s) => s.target == ScanTarget::Full,
+            PlanNode::Sort { child, .. } | PlanNode::Limit { child, .. } => any_full(child),
+            PlanNode::Aggregate { child, .. } => any_full(child),
+            PlanNode::Set { left, right, .. } => any_full(left) || any_full(right),
+        }
+    }
+    if any_full(node) {
+        RouteChoice::Full
+    } else {
+        RouteChoice::TagOnly
+    }
+}
+
+/// A parsed + planned + estimated query, ready to execute any number of
+/// times. Cheap to clone; clones share the plan.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    archive: Archive,
+    plan: Arc<QueryPlan>,
+    columns: Vec<String>,
+    route: RouteChoice,
+    columnar: bool,
+    estimate: CostEstimate,
+    heavy: bool,
+}
+
+impl Prepared {
+    /// The Query Execution Tree this statement will run.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// EXPLAIN-style rendering of the plan.
+    pub fn explain(&self) -> String {
+        self.plan.explain()
+    }
+
+    /// The plan-time cost prediction (rows / bytes / containers).
+    pub fn estimate(&self) -> &CostEstimate {
+        &self.estimate
+    }
+
+    /// Number of `$N` parameters each execution must bind.
+    pub fn n_params(&self) -> usize {
+        self.plan.n_params
+    }
+
+    /// Output column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    pub fn route(&self) -> RouteChoice {
+        self.route
+    }
+
+    /// Plan-time prediction: will every scan leaf run on the compiled
+    /// columnar path? ([`QueryStats::columnar`] is the per-execution
+    /// truth, judged after parameter binding.)
+    pub fn columnar(&self) -> bool {
+        self.columnar
+    }
+
+    /// Would this execution occupy a heavy admission slot?
+    pub fn is_heavy(&self) -> bool {
+        self.heavy
+    }
+
+    /// Execute with no parameters, streaming batches.
+    pub fn stream(&self) -> Result<ResultStream, QueryError> {
+        self.stream_with(&[])
+    }
+
+    /// Execute with `$N` parameters bound positionally (`params[0]` is
+    /// `$1`). Binding substitutes literals into a clone of the plan —
+    /// no re-parse, no re-plan, spatial covers and routing reused as-is.
+    /// Blocks while the admission pool is full (the queue), then
+    /// launches execution threads and returns the pull end.
+    ///
+    /// **Deadlock note:** an open [`ResultStream`] holds its admission
+    /// slot until dropped or finished. A caller already holding
+    /// `max_concurrent` open streams that calls this again waits for a
+    /// slot only it can free — layer nested queries over open streams
+    /// with [`Prepared::try_stream_with`] instead.
+    pub fn stream_with(&self, params: &[f64]) -> Result<ResultStream, QueryError> {
+        let root = self.bind_root(params)?;
+        let queued_at = Instant::now();
+        let slot = self.archive.inner.slots.acquire(self.heavy);
+        Ok(self.launch_stream(root, slot, queued_at.elapsed()))
+    }
+
+    /// Non-blocking variant of [`Prepared::stream`]: errors immediately
+    /// when the admission pool has no free (heavy-)slot.
+    pub fn try_stream(&self) -> Result<ResultStream, QueryError> {
+        self.try_stream_with(&[])
+    }
+
+    /// Non-blocking variant of [`Prepared::stream_with`]: errors
+    /// immediately when the admission pool has no free (heavy-)slot
+    /// instead of queueing, so callers that hold open streams can issue
+    /// nested queries without risking self-deadlock.
+    pub fn try_stream_with(&self, params: &[f64]) -> Result<ResultStream, QueryError> {
+        let root = self.bind_root(params)?;
+        let slot = self
+            .archive
+            .inner
+            .slots
+            .try_acquire(self.heavy)
+            .ok_or_else(|| {
+                QueryError::Exec("admission pool is full (try again later)".to_string())
+            })?;
+        Ok(self.launch_stream(root, slot, Duration::ZERO))
+    }
+
+    fn bind_root(&self, params: &[f64]) -> Result<PlanNode, QueryError> {
+        if params.len() != self.plan.n_params {
+            return Err(QueryError::Exec(format!(
+                "query takes {} parameter(s), got {}",
+                self.plan.n_params,
+                params.len()
+            )));
+        }
+        if params.is_empty() {
+            Ok(self.plan.root.clone())
+        } else {
+            self.plan.root.bind_params(params)
+        }
+    }
+
+    /// The post-admission half of an execution: spawn the node threads
+    /// and wrap the pull end.
+    fn launch_stream(
+        &self,
+        root: PlanNode,
+        slot: SlotGuard,
+        queue_time: Duration,
+    ) -> ResultStream {
+        let inner = &self.archive.inner;
+        // The execution-truth flag: judged on the *bound* plan (binding
+        // can only widen compilability — e.g. a parameter in a position
+        // the static gate judged conservatively).
+        let columnar =
+            plan_uses_columnar(&root, inner.tags.is_some(), inner.config.mode);
+        let ticket = Arc::new(TicketCore::default());
+        let env = ExecEnv {
+            store: inner.store.clone(),
+            tags: inner.tags.clone(),
+            cover_level: inner.config.cover_level,
+            mode: inner.config.mode,
+        };
+        let started = Instant::now();
+        let handle = launch(&env, root, &ticket);
+        ResultStream {
+            handle,
+            ticket: QueryTicket { core: ticket },
+            route: self.route,
+            columnar,
+            queue_time,
+            started,
+            first: None,
+            rows: 0,
+            batches: 0,
+            finished: false,
+            _slot: slot,
+        }
+    }
+
+    /// Execute with no parameters and collect every row.
+    pub fn run(&self) -> Result<QueryOutput, QueryError> {
+        self.run_with(&[])
+    }
+
+    /// Execute with parameters and collect every row.
+    pub fn run_with(&self, params: &[f64]) -> Result<QueryOutput, QueryError> {
+        self.stream_with(params)?.collect_output()
+    }
+}
+
+/// Live progress + cancellation for one execution. Clones share state;
+/// hand one to a dashboard thread and call [`QueryTicket::cancel`] from
+/// anywhere.
+#[derive(Debug, Clone)]
+pub struct QueryTicket {
+    core: Arc<TicketCore>,
+}
+
+impl QueryTicket {
+    /// Request cooperative cancellation: scan leaves stop between
+    /// batches (already-buffered batches may still arrive).
+    pub fn cancel(&self) {
+        self.core.cancel();
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.core.is_cancelled()
+    }
+
+    /// Scan-side progress so far (rows/batches produced, bytes read).
+    pub fn progress(&self) -> ScanTotals {
+        self.core.totals()
+    }
+
+    /// The first execution-thread failure, if any (a failed producer
+    /// otherwise looks like a clean early end-of-stream).
+    pub fn failure(&self) -> Option<String> {
+        self.core.failure()
+    }
+}
+
+/// The pull end of one execution: iterate [`ResultBatch`]es as they
+/// arrive (ASAP push upstream, pull at the edge), then call
+/// [`ResultStream::finish`] for the [`QueryStats`].
+///
+/// Dropping the stream mid-flight tears execution down: node threads
+/// observe the closed channel and exit. The admission slot is held until
+/// the stream is dropped or finished.
+pub struct ResultStream {
+    handle: BatchHandle,
+    ticket: QueryTicket,
+    route: RouteChoice,
+    columnar: bool,
+    queue_time: Duration,
+    started: Instant,
+    first: Option<Duration>,
+    rows: usize,
+    batches: usize,
+    finished: bool,
+    _slot: SlotGuard,
+}
+
+impl ResultStream {
+    /// Output column names.
+    pub fn columns(&self) -> &[String] {
+        &self.handle.columns
+    }
+
+    /// This execution's cancel/progress ticket.
+    pub fn ticket(&self) -> QueryTicket {
+        self.ticket.clone()
+    }
+
+    /// The next batch, blocking until one arrives or the plan finishes.
+    pub fn next_batch(&mut self) -> Option<ResultBatch> {
+        if self.finished {
+            return None;
+        }
+        match self.handle.rx.recv() {
+            Ok(batch) => {
+                if self.first.is_none() && !batch.is_empty() {
+                    self.first = Some(self.started.elapsed());
+                }
+                self.rows += batch.len();
+                self.batches += 1;
+                Some(batch)
+            }
+            Err(_) => {
+                self.finished = true;
+                None
+            }
+        }
+    }
+
+    /// Statistics for what this stream consumed. Scan-side totals are
+    /// final once the stream has fully drained (or execution was
+    /// cancelled and wound down).
+    pub fn finish(self) -> QueryStats {
+        QueryStats {
+            route: self.route,
+            columnar: self.columnar,
+            queue_time: self.queue_time,
+            time_to_first_row: self.first,
+            total_time: self.started.elapsed(),
+            rows: self.rows,
+            batches: self.batches,
+            scan: self.ticket.core.totals(),
+        }
+    }
+
+    /// The first execution-thread failure, if any. Meaningful once the
+    /// stream has drained: a dead producer closes its channel exactly
+    /// like a finished one, so callers that need the distinction check
+    /// here (or use [`ResultStream::collect_output`], which does).
+    pub fn failure(&self) -> Option<String> {
+        self.ticket.failure()
+    }
+
+    /// Drain everything, materializing rows at the edge. Errors if an
+    /// execution thread failed mid-flight (the rows would be silently
+    /// truncated otherwise).
+    pub fn collect_output(mut self) -> Result<QueryOutput, QueryError> {
+        let columns = self.columns().to_vec();
+        let mut rows: Vec<Row> = Vec::new();
+        while let Some(batch) = self.next_batch() {
+            batch.append_rows(&mut rows);
+        }
+        if let Some(msg) = self.failure() {
+            return Err(QueryError::Exec(msg));
+        }
+        Ok(QueryOutput {
+            columns,
+            rows,
+            stats: self.finish(),
+        })
+    }
+}
+
+impl Iterator for ResultStream {
+    type Item = ResultBatch;
+
+    fn next(&mut self) -> Option<ResultBatch> {
+        self.next_batch()
+    }
+}
+
+/// Abandoning a stream cancels its execution: without this, blocking
+/// nodes (Sort/Aggregate/Set) would keep draining their children to
+/// completion on detached threads *after* the admission slot returns to
+/// the pool — unaccounted background work admission exists to prevent.
+impl Drop for ResultStream {
+    fn drop(&mut self) {
+        self.ticket.cancel();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Value;
+    use sdss_catalog::{PhotoObj, SkyModel};
+    use sdss_htm::Region;
+    use sdss_storage::StoreConfig;
+
+    fn setup(seed: u64) -> (Archive, Vec<PhotoObj>) {
+        let objs = SkyModel::small(seed).generate().unwrap();
+        let mut store = ObjectStore::new(StoreConfig::default()).unwrap();
+        store.insert_batch(&objs).unwrap();
+        let tags = TagStore::from_store(&store);
+        (Archive::new(store, Some(Arc::new(tags))), objs)
+    }
+
+    #[test]
+    fn cone_query_matches_brute_force() {
+        let (archive, objs) = setup(1);
+        let out = archive
+            .run("SELECT objid, ra, dec, r FROM photoobj WHERE CIRCLE(185, 15, 1.5) AND r < 21")
+            .unwrap();
+        let domain = Region::circle(185.0, 15.0, 1.5).unwrap();
+        let want: Vec<&PhotoObj> = objs
+            .iter()
+            .filter(|o| domain.contains(o.unit_vec()) && o.mag(2) < 21.0)
+            .collect();
+        assert_eq!(out.rows.len(), want.len());
+        assert_eq!(out.stats.route, RouteChoice::TagOnly);
+        assert_eq!(out.columns, vec!["objid", "ra", "dec", "r"]);
+        // ids agree
+        let mut got: Vec<u64> = out
+            .rows
+            .iter()
+            .map(|r| r[0].as_id().unwrap())
+            .collect();
+        let mut exp: Vec<u64> = want.iter().map(|o| o.obj_id).collect();
+        got.sort_unstable();
+        exp.sort_unstable();
+        assert_eq!(got, exp);
+        // Scan accounting flowed through the ticket into the stats.
+        assert!(out.stats.scan.bytes_scanned > 0);
+        assert_eq!(out.stats.scan.cover_cache_hits + out.stats.scan.cover_cache_misses, 1);
+    }
+
+    #[test]
+    fn full_route_when_needed() {
+        let (archive, objs) = setup(2);
+        let out = archive
+            .run("SELECT objid, psf_r FROM photoobj WHERE CIRCLE(185, 15, 1) AND psf_r < 21")
+            .unwrap();
+        assert_eq!(out.stats.route, RouteChoice::Full);
+        let domain = Region::circle(185.0, 15.0, 1.0).unwrap();
+        let want = objs
+            .iter()
+            .filter(|o| domain.contains(o.unit_vec()) && o.bands[2].psf_mag < 21.0)
+            .count();
+        assert_eq!(out.rows.len(), want);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let (archive, _) = setup(3);
+        let out = archive
+            .run("SELECT objid, r FROM photoobj WHERE CIRCLE(185, 15, 2) ORDER BY r LIMIT 5")
+            .unwrap();
+        assert!(out.rows.len() <= 5);
+        // Sorted ascending by r.
+        for w in out.rows.windows(2) {
+            assert!(w[0][1].as_num().unwrap() <= w[1][1].as_num().unwrap());
+        }
+        // DESC gives the reverse extreme.
+        let desc = archive
+            .run("SELECT objid, r FROM photoobj WHERE CIRCLE(185, 15, 2) ORDER BY r DESC LIMIT 1")
+            .unwrap();
+        let all = archive
+            .run("SELECT objid, r FROM photoobj WHERE CIRCLE(185, 15, 2)")
+            .unwrap();
+        let max_r = all
+            .rows
+            .iter()
+            .map(|r| r[1].as_num().unwrap())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(desc.rows[0][1].as_num().unwrap(), max_r);
+    }
+
+    #[test]
+    fn aggregates_over_region() {
+        let (archive, objs) = setup(4);
+        let out = archive
+            .run("SELECT COUNT(*), MIN(r), MAX(r), AVG(r) FROM photoobj WHERE CIRCLE(185, 15, 2)")
+            .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        let domain = Region::circle(185.0, 15.0, 2.0).unwrap();
+        let rs: Vec<f64> = objs
+            .iter()
+            .filter(|o| domain.contains(o.unit_vec()))
+            .map(|o| o.mag(2) as f64)
+            .collect();
+        let row = &out.rows[0];
+        assert_eq!(row[0].as_num().unwrap() as usize, rs.len());
+        let min = rs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = rs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let avg = rs.iter().sum::<f64>() / rs.len() as f64;
+        assert!((row[1].as_num().unwrap() - min).abs() < 1e-9);
+        assert!((row[2].as_num().unwrap() - max).abs() < 1e-9);
+        assert!((row[3].as_num().unwrap() - avg).abs() < 1e-6);
+    }
+
+    #[test]
+    fn set_operations() {
+        let (archive, objs) = setup(5);
+        let bright = "SELECT objid FROM photoobj WHERE r < 20";
+        let galaxies = "SELECT objid FROM photoobj WHERE class = 'GALAXY'";
+        let inter = archive
+            .run(&format!("({bright}) INTERSECT ({galaxies})"))
+            .unwrap();
+        let expect_inter = objs
+            .iter()
+            .filter(|o| o.mag(2) < 20.0 && o.class == sdss_catalog::ObjClass::Galaxy)
+            .count();
+        assert_eq!(inter.rows.len(), expect_inter);
+
+        let except = archive
+            .run(&format!("({bright}) EXCEPT ({galaxies})"))
+            .unwrap();
+        let expect_except = objs
+            .iter()
+            .filter(|o| o.mag(2) < 20.0 && o.class != sdss_catalog::ObjClass::Galaxy)
+            .count();
+        assert_eq!(except.rows.len(), expect_except);
+
+        let union = archive
+            .run(&format!("({bright}) UNION ({galaxies})"))
+            .unwrap();
+        let expect_union = objs
+            .iter()
+            .filter(|o| o.mag(2) < 20.0 || o.class == sdss_catalog::ObjClass::Galaxy)
+            .count();
+        assert_eq!(union.rows.len(), expect_union);
+    }
+
+    #[test]
+    fn sample_reduces_rows_deterministically() {
+        let (archive, _) = setup(6);
+        let all = archive.run("SELECT objid FROM photoobj").unwrap();
+        let s1 = archive.run("SELECT objid FROM photoobj SAMPLE 0.2").unwrap();
+        let s2 = archive.run("SELECT objid FROM photoobj SAMPLE 0.2").unwrap();
+        assert_eq!(s1.rows.len(), s2.rows.len());
+        assert!(s1.rows.len() < all.rows.len() / 2);
+        assert!(!s1.rows.is_empty());
+    }
+
+    #[test]
+    fn streaming_early_drop_stops_consumption() {
+        let (archive, _) = setup(7);
+        let prepared = archive.prepare("SELECT objid FROM photoobj").unwrap();
+        let mut stream = prepared.stream().unwrap();
+        let first = stream.next_batch().expect("at least one batch");
+        assert!(!first.is_empty());
+        // Dropping mid-flight releases the slot and tears down cleanly.
+        drop(stream);
+        assert_eq!(archive.admission().running, 0);
+    }
+
+    #[test]
+    fn time_to_first_row_is_recorded() {
+        let (archive, _) = setup(8);
+        let out = archive
+            .run("SELECT objid FROM photoobj WHERE CIRCLE(185, 15, 3)")
+            .unwrap();
+        let stats = out.stats;
+        assert!(stats.time_to_first_row.is_some());
+        assert!(stats.time_to_first_row.unwrap() <= stats.total_time);
+        assert_eq!(stats.rows, out.rows.len());
+        assert!(stats.batches >= 1);
+    }
+
+    #[test]
+    fn dist_function_in_predicate() {
+        let (archive, objs) = setup(9);
+        // DIST is not extracted spatially (it's a scalar function), so it
+        // scans everything — correctness check only.
+        let out = archive
+            .run("SELECT objid FROM photoobj WHERE DIST(185, 15) < 1.0")
+            .unwrap();
+        let center = sdss_skycoords::SkyPos::new(185.0, 15.0).unwrap().unit_vec();
+        let want = objs
+            .iter()
+            .filter(|o| o.unit_vec().separation_deg(center) < 1.0)
+            .count();
+        assert_eq!(out.rows.len(), want);
+    }
+
+    #[test]
+    fn empty_result_is_not_an_error() {
+        let (archive, _) = setup(10);
+        let out = archive
+            .run("SELECT objid FROM photoobj WHERE r < 0")
+            .unwrap();
+        assert!(out.rows.is_empty());
+        assert!(out.stats.time_to_first_row.is_none());
+    }
+
+    #[test]
+    fn unknown_attributes_rejected_at_prepare_time() {
+        let (archive, _) = setup(11);
+        assert!(archive.prepare("SELECT qqq FROM photoobj").is_err());
+    }
+
+    #[test]
+    fn archive_without_tags_still_answers() {
+        let objs = SkyModel::small(12).generate().unwrap();
+        let mut store = ObjectStore::new(StoreConfig::default()).unwrap();
+        store.insert_batch(&objs).unwrap();
+        let archive = Archive::new(store, None);
+        let out = archive
+            .run("SELECT objid FROM photoobj WHERE r < 20")
+            .unwrap();
+        let want = objs.iter().filter(|o| o.mag(2) < 20.0).count();
+        assert_eq!(out.rows.len(), want);
+        assert_eq!(out.stats.route, RouteChoice::Full);
+    }
+
+    #[test]
+    fn values_are_typed() {
+        let (archive, _) = setup(13);
+        let out = archive
+            .run("SELECT class, r FROM photoobj WHERE CIRCLE(185, 15, 0.5)")
+            .unwrap();
+        for row in &out.rows {
+            assert!(matches!(row[0], Value::Str(_)));
+            assert!(matches!(row[1], Value::Num(_)));
+        }
+    }
+
+    #[test]
+    fn estimate_predicts_cone_scan() {
+        let (archive, _) = setup(14);
+        let small = archive
+            .prepare("SELECT objid FROM photoobj WHERE CIRCLE(185, 15, 0.5)")
+            .unwrap();
+        let big = archive
+            .prepare("SELECT objid FROM photoobj WHERE CIRCLE(185, 15, 3)")
+            .unwrap();
+        assert!(small.estimate().est_bytes > 0);
+        assert!(big.estimate().est_bytes > small.estimate().est_bytes);
+        assert!(big.estimate().est_rows > small.estimate().est_rows);
+        assert!(!small.estimate().full_sweep);
+        let sweep = archive.prepare("SELECT objid FROM photoobj").unwrap();
+        assert!(sweep.estimate().full_sweep);
+        // The estimate matched reality: the executed scan read exactly
+        // the predicted bytes (whole-container reads are exact).
+        let out = small.run().unwrap();
+        assert_eq!(out.stats.scan.bytes_scanned, small.estimate().est_bytes);
+    }
+
+    #[test]
+    fn columnar_batches_survive_to_the_edge() {
+        let (archive, _) = setup(15);
+        let prepared = archive
+            .prepare("SELECT objid, ra, r, class FROM photoobj WHERE r < 21")
+            .unwrap();
+        assert!(prepared.columnar());
+        let mut stream = prepared.stream().unwrap();
+        let mut saw_columnar = false;
+        while let Some(batch) = stream.next_batch() {
+            // Every batch off the compiled scan path is still columnar
+            // here — nothing flattened to rows inside the fabric.
+            saw_columnar |= batch.is_columnar();
+            assert!(batch.is_columnar());
+        }
+        assert!(saw_columnar);
+    }
+
+    #[test]
+    fn archive_types_are_send_and_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<Archive>();
+        check::<Prepared>();
+        check::<QueryTicket>();
+        fn check_send<T: Send>() {}
+        check_send::<ResultStream>();
+    }
+
+    #[test]
+    fn admission_slots_block_and_release() {
+        let cfg = AdmissionConfig {
+            max_concurrent: 2,
+            heavy_bytes: 1,
+            max_heavy: 1,
+        };
+        let slots = Arc::new(Slots::new(&cfg));
+        let a = slots.acquire(false);
+        let b = slots.acquire(true);
+        assert_eq!(slots.snapshot().running, 2);
+        // Third acquire must wait until one guard drops.
+        let slots2 = slots.clone();
+        let t = std::thread::spawn(move || {
+            let _c = slots2.acquire(false);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(slots.snapshot().queued, 1);
+        drop(a);
+        t.join().unwrap();
+        assert_eq!(slots.snapshot().queued, 0);
+        drop(b);
+        assert_eq!(slots.snapshot().running, 0);
+        assert_eq!(slots.snapshot().peak_running, 2);
+    }
+}

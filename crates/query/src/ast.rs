@@ -125,6 +125,10 @@ pub enum Expr {
     Call(String, Vec<Expr>),
     /// A spatial predicate used as a boolean factor.
     Spatial(SpatialPred),
+    /// A numbered prepared-statement parameter (`$1`, `$2`, ...;
+    /// 1-based). Bound to a numeric value per execution without
+    /// re-parsing or re-planning.
+    Param(usize),
 }
 
 impl Expr {
@@ -141,7 +145,7 @@ impl Expr {
     pub fn attrs_ref<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
             Expr::Attr(name) => out.push(name),
-            Expr::Lit(_) | Expr::Spatial(_) => {}
+            Expr::Lit(_) | Expr::Spatial(_) | Expr::Param(_) => {}
             Expr::Unary(_, e) => e.attrs_ref(out),
             Expr::Bin(_, a, b) => {
                 a.attrs_ref(out);
@@ -166,12 +170,55 @@ impl Expr {
         }
     }
 
+    /// Highest `$N` parameter index referenced (0 = no parameters).
+    pub fn max_param(&self) -> usize {
+        match self {
+            Expr::Param(i) => *i,
+            Expr::Attr(_) | Expr::Lit(_) | Expr::Spatial(_) => 0,
+            Expr::Unary(_, e) => e.max_param(),
+            Expr::Bin(_, a, b) => a.max_param().max(b.max_param()),
+            Expr::Between(a, b, c) => a.max_param().max(b.max_param()).max(c.max_param()),
+            Expr::Call(_, args) => args.iter().map(Expr::max_param).max().unwrap_or(0),
+        }
+    }
+
+    /// Clone of this expression with every `$N` replaced by the literal
+    /// `params[N-1]`. Errors on a reference past the end of `params`.
+    pub fn bind_params(&self, params: &[f64]) -> Result<Expr, crate::QueryError> {
+        Ok(match self {
+            Expr::Param(i) => {
+                let v = params.get(i.checked_sub(1).ok_or_else(bad_param_zero)?).ok_or_else(
+                    || crate::QueryError::Exec(format!("parameter ${i} not supplied")),
+                )?;
+                Expr::Lit(Value::Num(*v))
+            }
+            Expr::Attr(_) | Expr::Lit(_) | Expr::Spatial(_) => self.clone(),
+            Expr::Unary(op, e) => Expr::Unary(*op, Box::new(e.bind_params(params)?)),
+            Expr::Bin(op, a, b) => Expr::Bin(
+                *op,
+                Box::new(a.bind_params(params)?),
+                Box::new(b.bind_params(params)?),
+            ),
+            Expr::Between(a, b, c) => Expr::Between(
+                Box::new(a.bind_params(params)?),
+                Box::new(b.bind_params(params)?),
+                Box::new(c.bind_params(params)?),
+            ),
+            Expr::Call(name, args) => Expr::Call(
+                name.clone(),
+                args.iter()
+                    .map(|a| a.bind_params(params))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+        })
+    }
+
     /// Rewrite every function call to its canonical (upper-case) name,
     /// recursively. The planner runs this once so row-time evaluation
     /// resolves functions without case-folding allocations.
     pub fn normalize_function_names(&mut self) {
         match self {
-            Expr::Attr(_) | Expr::Lit(_) | Expr::Spatial(_) => {}
+            Expr::Attr(_) | Expr::Lit(_) | Expr::Spatial(_) | Expr::Param(_) => {}
             Expr::Unary(_, e) => e.normalize_function_names(),
             Expr::Bin(_, a, b) => {
                 a.normalize_function_names();
@@ -194,6 +241,10 @@ impl Expr {
             }
         }
     }
+}
+
+fn bad_param_zero() -> crate::QueryError {
+    crate::QueryError::Exec("parameter indexes are 1-based ($1, $2, ...)".to_string())
 }
 
 /// Aggregate functions.

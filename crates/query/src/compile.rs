@@ -474,6 +474,47 @@ impl CompiledProjection {
         self.columns.len()
     }
 
+    /// Project the selected rows of one batch into an owned
+    /// [`ColumnarBatch`](crate::exec::ColumnarBatch): typed column
+    /// vectors, no per-row `Vec<Value>` and no string materialization —
+    /// the batch-native form the channel fabric ships. Rows materialize
+    /// only at the consumer edge via `ResultBatch::rows`.
+    pub fn eval_batch(
+        &self,
+        batch: &ColumnBatch<'_>,
+        sel: &SelectionMask,
+        scratch: &mut BatchScratch,
+    ) -> crate::exec::ColumnarBatch {
+        use crate::exec::ColumnData;
+        // `iter_set` has no size hint; pre-size every gather from the
+        // mask popcount so no column reallocates mid-fill.
+        let n = sel.count();
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| match col {
+                ProjColumn::Num(prog) => {
+                    prog.run(batch, scratch, Some(sel));
+                    let lane = &scratch.num[prog.out as usize];
+                    let mut v = Vec::with_capacity(n);
+                    v.extend(sel.iter_set().map(|i| lane[i]));
+                    ColumnData::Num(v)
+                }
+                ProjColumn::ObjId => {
+                    let mut v = Vec::with_capacity(n);
+                    v.extend(sel.iter_set().map(|i| batch.obj_id[i]));
+                    ColumnData::Id(v)
+                }
+                ProjColumn::Class => {
+                    let mut v = Vec::with_capacity(n);
+                    v.extend(sel.iter_set().map(|i| batch.class[i]));
+                    ColumnData::Class(v)
+                }
+            })
+            .collect();
+        crate::exec::ColumnarBatch::new(columns, n)
+    }
+
     /// Materialize the selected rows of one batch, appending to `out`.
     /// Columns evaluate lane-wise over the whole batch, then gather only
     /// the selected rows (column-major fill, so each program's scratch
@@ -595,6 +636,12 @@ impl Compiler {
         match e {
             Expr::Attr(name) => self.load(attr_src(name)?),
             Expr::Lit(Value::Num(v)) => self.load(NumSrc::Const(*v)),
+            // Unbound parameters compile as constant placeholders so the
+            // columnar gate can judge a prepared plan's shape; execution
+            // always compiles the *bound* plan, where `$N` is already a
+            // literal. (Parameters in literal-only positions — DIST
+            // targets, frame names — still fall back conservatively.)
+            Expr::Param(_) => self.load(NumSrc::Const(f64::NAN)),
             Expr::Unary(UnOp::Neg, a) => {
                 let a = self.compile_num(a)?;
                 let dst = self.alloc_num()?;

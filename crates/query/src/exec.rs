@@ -1,34 +1,48 @@
-//! Multithreaded QET execution with ASAP push streaming.
+//! Multithreaded QET execution with ASAP push streaming of *batches*.
 //!
-//! Every plan node runs on its own thread; rows flow upward through
-//! bounded crossbeam channels in small batches. Scan/Limit nodes stream;
-//! Sort/Aggregate/Set nodes are the paper's blocking nodes ("at least one
-//! of the child nodes must be complete before results can be sent further
-//! up the tree"). The channel fabric gives the ASAP property: the first
-//! matching object reaches the consumer while scans are still running.
+//! Every plan node runs on its own thread; results flow upward through
+//! bounded crossbeam channels as [`ResultBatch`]es. Scan/Limit nodes
+//! stream; Sort/Aggregate/Set nodes are the paper's blocking nodes ("at
+//! least one of the child nodes must be complete before results can be
+//! sent further up the tree"). The channel fabric gives the ASAP
+//! property: the first matching object reaches the consumer while scans
+//! are still running.
 //!
-//! Tag scans run **columnar**: the scan leaf pulls [`sdss_storage::ColumnBatch`]es
-//! from the tag store's struct-of-arrays chunks, evaluates the compiled
-//! predicate ([`crate::compile`]) over each batch into a selection
-//! bitmap, and only materializes `Row`s for surviving rows at the final
-//! projection — row-at-a-time interpretation remains as the fallback for
-//! whatever the compiler can't express.
+//! Tag scans run **columnar**: the scan leaf pulls
+//! [`sdss_storage::ColumnBatch`]es from the tag store's struct-of-arrays
+//! chunks, evaluates the compiled predicate ([`crate::compile`]) over
+//! each batch into a selection bitmap, and ships the projected columns
+//! onward as a [`ColumnarBatch`] — typed column vectors, **not**
+//! `Vec<Row>`. Rows materialize only at the edge, when a consumer calls
+//! [`ResultBatch::rows`]; row-at-a-time interpretation remains as the
+//! fallback for whatever the compiler can't express.
+//!
+//! Execution is owned, not scoped: stores travel as `Arc`s and node
+//! threads are detached, so a [`BatchHandle`] can outlive the call that
+//! launched it (the pull-based `ResultStream` of [`crate::archive`]).
+//! Producers observe consumer disappearance through channel send errors
+//! and cooperative cancellation through the shared [`TicketCore`].
 
 use crate::ast::{AggFn, Value};
 use crate::compile::{compile_predicate, compile_projection, BatchScratch};
 use crate::ops::{eval, AttrSource};
 use crate::plan::{PlanNode, ScanSpec, ScanTarget};
-use crate::QueryError;
 use crossbeam::channel::{bounded, Receiver, Sender};
-use sdss_storage::{sample_hash_keep, ObjectStore, TagStore};
+use sdss_catalog::ObjClass;
+use sdss_storage::{sample_hash_keep, ObjectStore, RegionScan, TagStore};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One output row.
 pub type Row = Vec<Value>;
 
-/// Rows travel in batches to amortize channel overhead.
+/// Rows travel in batches to amortize channel overhead (row-path).
 const BATCH: usize = 128;
+/// Columnar scans coalesce projected output up to this many rows before
+/// a send — selective predicates would otherwise push one tiny batch
+/// per input chunk and pay a channel round-trip each time.
+const COALESCE_ROWS: usize = 512;
 /// Channel depth: enough to decouple producer/consumer without buffering
 /// the whole result (that would break the ASAP property).
 const CHANNEL_DEPTH: usize = 8;
@@ -44,20 +58,350 @@ pub enum ExecMode {
     Interpreted,
 }
 
-/// A handle to a running (sub)tree: the receiving end of its output.
-pub struct ExecHandle {
-    /// Output column names (shared, not re-cloned per node).
-    pub columns: Arc<Vec<String>>,
-    pub rx: Receiver<Vec<Row>>,
+// ---------------------------------------------------------------------
+// Result batches
+// ---------------------------------------------------------------------
+
+/// One projected output column of a [`ColumnarBatch`].
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Numeric lane (`Value::Num` at the edge).
+    Num(Vec<f64>),
+    /// Exact object ids (`Value::Id` at the edge).
+    Id(Vec<u64>),
+    /// Raw class bytes; decoded to class-name strings only at the edge.
+    Class(Vec<u8>),
 }
 
-/// Execution context shared by all nodes of one query.
-pub struct ExecCtx<'a> {
-    pub store: &'a ObjectStore,
-    pub tags: Option<&'a TagStore>,
+impl ColumnData {
+    fn truncate(&mut self, n: usize) {
+        match self {
+            ColumnData::Num(v) => v.truncate(n),
+            ColumnData::Id(v) => v.truncate(n),
+            ColumnData::Class(v) => v.truncate(n),
+        }
+    }
+
+    /// The value of row `i`, materialized.
+    pub fn value_at(&self, i: usize) -> Value {
+        match self {
+            ColumnData::Num(v) => Value::Num(v[i]),
+            ColumnData::Id(v) => Value::Id(v[i]),
+            ColumnData::Class(v) => Value::Str(
+                ObjClass::from_u8(v[i])
+                    .expect("valid stored class")
+                    .as_str()
+                    .to_string(),
+            ),
+        }
+    }
+
+    /// Numeric view of row `i` (same semantics as [`Value::as_num`]).
+    pub fn num_at(&self, i: usize) -> Option<f64> {
+        match self {
+            ColumnData::Num(v) => Some(v[i]),
+            ColumnData::Id(v) => Some(v[i] as f64),
+            ColumnData::Class(_) => None,
+        }
+    }
+
+    /// Exact id view of row `i` (same semantics as [`Value::as_id`]).
+    pub fn id_at(&self, i: usize) -> Option<u64> {
+        match self {
+            ColumnData::Id(v) => Some(v[i]),
+            ColumnData::Num(v) => {
+                let x = v[i];
+                (x.fract() == 0.0 && (0.0..9.0e15).contains(&x)).then_some(x as u64)
+            }
+            ColumnData::Class(_) => None,
+        }
+    }
+}
+
+/// A batch of projected results in struct-of-arrays form — what the
+/// columnar scan path ships through the channel fabric instead of
+/// materialized rows.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnarBatch {
+    columns: Vec<ColumnData>,
+    len: usize,
+}
+
+impl ColumnarBatch {
+    /// Build from typed columns (all must share `len`).
+    pub fn new(columns: Vec<ColumnData>, len: usize) -> ColumnarBatch {
+        ColumnarBatch { columns, len }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn columns(&self) -> &[ColumnData] {
+        &self.columns
+    }
+
+    pub fn truncate(&mut self, n: usize) {
+        if n < self.len {
+            for c in &mut self.columns {
+                c.truncate(n);
+            }
+            self.len = n;
+        }
+    }
+
+    /// Append another batch of the same projection (column kinds must
+    /// line up — they do, coming from one compiled projection).
+    pub fn append(&mut self, other: ColumnarBatch) {
+        debug_assert_eq!(self.columns.len(), other.columns.len());
+        for (dst, src) in self.columns.iter_mut().zip(other.columns) {
+            match (dst, src) {
+                (ColumnData::Num(d), ColumnData::Num(s)) => d.extend(s),
+                (ColumnData::Id(d), ColumnData::Id(s)) => d.extend(s),
+                (ColumnData::Class(d), ColumnData::Class(s)) => d.extend(s),
+                _ => unreachable!("one projection produces one column layout"),
+            }
+        }
+        self.len += other.len;
+    }
+
+    /// Materialize every row — the edge adapter. Column-major fill: one
+    /// dispatch per column, not per cell.
+    pub fn rows(&self) -> Vec<Row> {
+        let mut rows: Vec<Row> = (0..self.len)
+            .map(|_| Vec::with_capacity(self.columns.len()))
+            .collect();
+        self.append_columns(&mut rows);
+        rows
+    }
+
+    fn append_columns(&self, rows: &mut [Row]) {
+        for col in &self.columns {
+            match col {
+                ColumnData::Num(v) => {
+                    for (row, &x) in rows.iter_mut().zip(v) {
+                        row.push(Value::Num(x));
+                    }
+                }
+                ColumnData::Id(v) => {
+                    for (row, &x) in rows.iter_mut().zip(v) {
+                        row.push(Value::Id(x));
+                    }
+                }
+                ColumnData::Class(v) => {
+                    for (row, &b) in rows.iter_mut().zip(v) {
+                        row.push(Value::Str(
+                            ObjClass::from_u8(b)
+                                .expect("valid stored class")
+                                .as_str()
+                                .to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// What travels through the channel fabric: columnar batches from the
+/// compiled scan path, row batches from everything else.
+#[derive(Debug, Clone)]
+pub enum ResultBatch {
+    Columnar(ColumnarBatch),
+    Rows(Vec<Row>),
+}
+
+impl ResultBatch {
+    pub fn len(&self) -> usize {
+        match self {
+            ResultBatch::Columnar(b) => b.len(),
+            ResultBatch::Rows(r) => r.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn truncate(&mut self, n: usize) {
+        match self {
+            ResultBatch::Columnar(b) => b.truncate(n),
+            ResultBatch::Rows(r) => r.truncate(n),
+        }
+    }
+
+    /// Is this batch still in columnar (non-materialized) form?
+    pub fn is_columnar(&self) -> bool {
+        matches!(self, ResultBatch::Columnar(_))
+    }
+
+    /// Materialize into rows — the edge adapter. Columnar batches decode
+    /// here and nowhere earlier.
+    pub fn rows(self) -> Vec<Row> {
+        match self {
+            ResultBatch::Columnar(b) => b.rows(),
+            ResultBatch::Rows(r) => r,
+        }
+    }
+
+    /// Materialize into an existing row buffer (no intermediate vector).
+    pub fn append_rows(self, out: &mut Vec<Row>) {
+        match self {
+            ResultBatch::Columnar(b) => {
+                let start = out.len();
+                out.extend((0..b.len()).map(|_| Vec::with_capacity(b.columns.len())));
+                b.append_columns(&mut out[start..]);
+            }
+            ResultBatch::Rows(r) => out.extend(r),
+        }
+    }
+
+    /// Numeric view of `(col, row)` without materializing.
+    pub fn num_at(&self, col: usize, row: usize) -> Option<f64> {
+        match self {
+            ResultBatch::Columnar(b) => b.columns[col].num_at(row),
+            ResultBatch::Rows(r) => r[row][col].as_num(),
+        }
+    }
+
+    /// Exact-id view of `(col, row)` without materializing.
+    pub fn id_at(&self, col: usize, row: usize) -> Option<u64> {
+        match self {
+            ResultBatch::Columnar(b) => b.columns[col].id_at(row),
+            ResultBatch::Rows(r) => r[row][col].as_id(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tickets: cancellation + live progress
+// ---------------------------------------------------------------------
+
+/// Shared per-execution state: the cancel token checked between batches
+/// and live progress counters the scan leaves update as they go. Wrapped
+/// by [`crate::archive::QueryTicket`] for the public API.
+#[derive(Debug, Default)]
+pub struct TicketCore {
+    cancelled: AtomicBool,
+    rows_scanned: AtomicU64,
+    batches_emitted: AtomicU64,
+    bytes_scanned: AtomicU64,
+    containers_full: AtomicU64,
+    containers_partial: AtomicU64,
+    exact_tests: AtomicU64,
+    cover_hits: AtomicU64,
+    cover_misses: AtomicU64,
+    /// First node-thread panic, surfaced instead of silently truncating
+    /// the result (detached threads have no join to propagate through).
+    failure: std::sync::Mutex<Option<String>>,
+}
+
+/// A snapshot of the scan-side counters (the totals behind
+/// [`crate::archive::QueryStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanTotals {
+    /// Rows that survived predicates at the scan leaves.
+    pub rows_scanned: u64,
+    /// Batches the scan leaves pushed into the fabric.
+    pub batches_emitted: u64,
+    pub bytes_scanned: u64,
+    pub containers_full: u64,
+    pub containers_partial: u64,
+    pub objects_exact_tested: u64,
+    pub cover_cache_hits: u64,
+    pub cover_cache_misses: u64,
+}
+
+impl TicketCore {
+    /// Request cooperative cancellation: scan leaves stop between
+    /// batches; blocking nodes drain out through closed channels.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Live scan-side totals (valid mid-flight; final once the stream
+    /// has drained).
+    pub fn totals(&self) -> ScanTotals {
+        ScanTotals {
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            batches_emitted: self.batches_emitted.load(Ordering::Relaxed),
+            bytes_scanned: self.bytes_scanned.load(Ordering::Relaxed),
+            containers_full: self.containers_full.load(Ordering::Relaxed),
+            containers_partial: self.containers_partial.load(Ordering::Relaxed),
+            objects_exact_tested: self.exact_tests.load(Ordering::Relaxed),
+            cover_cache_hits: self.cover_hits.load(Ordering::Relaxed),
+            cover_cache_misses: self.cover_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The first execution-thread failure, if any (checked by consumers
+    /// once the stream drains — a closed channel alone looks identical
+    /// to a clean finish).
+    pub fn failure(&self) -> Option<String> {
+        self.failure.lock().unwrap().clone()
+    }
+
+    fn record_failure(&self, msg: String) {
+        let mut slot = self.failure.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(msg);
+        }
+    }
+
+    fn note_batch(&self, rows: usize) {
+        self.rows_scanned.fetch_add(rows as u64, Ordering::Relaxed);
+        self.batches_emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn absorb_scan(&self, s: &RegionScan) {
+        self.bytes_scanned
+            .fetch_add(s.bytes_scanned as u64, Ordering::Relaxed);
+        self.containers_full
+            .fetch_add(s.containers_full as u64, Ordering::Relaxed);
+        self.containers_partial
+            .fetch_add(s.containers_partial as u64, Ordering::Relaxed);
+        self.exact_tests
+            .fetch_add(s.objects_exact_tested as u64, Ordering::Relaxed);
+        self.cover_hits.fetch_add(s.cover_cache_hits, Ordering::Relaxed);
+        self.cover_misses
+            .fetch_add(s.cover_cache_misses, Ordering::Relaxed);
+    }
+
+    fn absorb_sweep(&self, bytes: usize, containers: usize) {
+        self.bytes_scanned.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.containers_full
+            .fetch_add(containers as u64, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The execution environment and fabric
+// ---------------------------------------------------------------------
+
+/// Everything a query execution needs, owned: any number of concurrent
+/// executions share the stores through `Arc`.
+#[derive(Debug, Clone)]
+pub struct ExecEnv {
+    pub store: Arc<ObjectStore>,
+    pub tags: Option<Arc<TagStore>>,
     /// Cover level override for scans.
     pub cover_level: Option<u8>,
     pub mode: ExecMode,
+}
+
+/// A handle to a running (sub)tree: the receiving end of its output.
+pub struct BatchHandle {
+    /// Output column names (shared, not re-cloned per node).
+    pub columns: Arc<Vec<String>>,
+    pub rx: Receiver<ResultBatch>,
 }
 
 /// Lower a scan for the columnar path: `Some` iff the mode allows it,
@@ -99,59 +443,65 @@ pub fn plan_uses_columnar(plan: &PlanNode, tags_available: bool, mode: ExecMode)
     }
 }
 
-/// Execute a plan inside a thread scope, calling `consume` with the
-/// root's handle while producers are still running (ASAP push).
-///
-/// The scope guarantees all node threads finish before this returns, so
-/// borrowing the stores is safe without `Arc`.
-pub fn execute<'a, R>(
-    ctx: &ExecCtx<'a>,
-    plan: &PlanNode,
-    consume: impl FnOnce(ExecHandle) -> R,
-) -> Result<R, QueryError> {
-    let result = std::thread::scope(|scope| {
-        let handle = spawn_node(ctx, plan, scope);
-        consume(handle)
-    });
-    Ok(result)
+/// Launch a plan on detached node threads and return the root's handle.
+/// The caller pulls batches at its own pace; dropping the handle
+/// cascades channel-disconnect shutdown through the tree, and
+/// `ticket.cancel()` stops scans between batches.
+pub fn launch(env: &ExecEnv, plan: PlanNode, ticket: &Arc<TicketCore>) -> BatchHandle {
+    spawn_node(env, plan, ticket)
 }
 
-fn spawn_node<'s, 'env: 's, 'a: 'env>(
-    ctx: &ExecCtx<'a>,
-    node: &'env PlanNode,
-    scope: &'s std::thread::Scope<'s, 'env>,
-) -> ExecHandle {
+/// Spawn a detached node thread that records panics into the ticket —
+/// detached threads have no scope join to propagate through, and a
+/// silently dead producer would read as a clean (truncated) result.
+fn spawn_guarded(ticket: Arc<TicketCore>, body: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(move || {
+        if let Err(panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic payload".to_string());
+            ticket.record_failure(format!("execution thread panicked: {msg}"));
+        }
+    });
+}
+
+fn spawn_node(env: &ExecEnv, node: PlanNode, ticket: &Arc<TicketCore>) -> BatchHandle {
     match node {
-        PlanNode::Scan(spec) => spawn_scan(ctx, spec, scope),
+        PlanNode::Scan(spec) => spawn_scan(env, spec, ticket),
         PlanNode::Limit { child, n } => {
-            let child_handle = spawn_node(ctx, child, scope);
-            let (tx, rx) = bounded::<Vec<Row>>(CHANNEL_DEPTH);
-            let n = *n;
+            let child_handle = spawn_node(env, *child, ticket);
+            let (tx, rx) = bounded::<ResultBatch>(CHANNEL_DEPTH);
             let columns = child_handle.columns.clone();
-            scope.spawn(move || {
+            spawn_guarded(ticket.clone(), move || {
                 let mut remaining = n;
-                for batch in child_handle.rx.iter() {
+                for mut batch in child_handle.rx.iter() {
                     if remaining == 0 {
                         break; // dropping rx cancels the child
                     }
-                    let take = batch.len().min(remaining);
-                    remaining -= take;
-                    if tx.send(batch.into_iter().take(take).collect()).is_err() {
+                    batch.truncate(remaining);
+                    remaining -= batch.len();
+                    if tx.send(batch).is_err() {
                         break;
                     }
                 }
             });
-            ExecHandle { columns, rx }
+            BatchHandle { columns, rx }
         }
         PlanNode::Sort { child, key, desc } => {
-            let child_handle = spawn_node(ctx, child, scope);
-            let (tx, rx) = bounded::<Vec<Row>>(CHANNEL_DEPTH);
+            let child_handle = spawn_node(env, *child, ticket);
+            let (tx, rx) = bounded::<ResultBatch>(CHANNEL_DEPTH);
             let columns = child_handle.columns.clone();
-            let key_idx = columns.iter().position(|c| c == key);
-            let desc = *desc;
-            scope.spawn(move || {
-                // Blocking node: drain the child completely first.
-                let mut rows: Vec<Row> = child_handle.rx.iter().flatten().collect();
+            let key_idx = columns.iter().position(|c| c == &key);
+            spawn_guarded(ticket.clone(), move || {
+                // Blocking node: drain the child completely first. Sort
+                // needs random access, so this is where columnar batches
+                // materialize.
+                let mut rows: Vec<Row> = Vec::new();
+                for batch in child_handle.rx.iter() {
+                    batch.append_rows(&mut rows);
+                }
                 if let Some(idx) = key_idx {
                     rows.sort_by(|a, b| {
                         let ord = compare_values(&a[idx], &b[idx]);
@@ -163,21 +513,19 @@ fn spawn_node<'s, 'env: 's, 'a: 'env>(
                     });
                 }
                 for chunk in rows.chunks(BATCH) {
-                    if tx.send(chunk.to_vec()).is_err() {
+                    if tx.send(ResultBatch::Rows(chunk.to_vec())).is_err() {
                         break;
                     }
                 }
             });
-            ExecHandle { columns, rx }
+            BatchHandle { columns, rx }
         }
         PlanNode::Aggregate { child, aggs } => {
-            let child_handle = spawn_node(ctx, child, scope);
-            let (tx, rx) = bounded::<Vec<Row>>(CHANNEL_DEPTH);
+            let child_handle = spawn_node(env, *child, ticket);
+            let (tx, rx) = bounded::<ResultBatch>(CHANNEL_DEPTH);
             let columns = Arc::new(aggs.iter().map(|a| a.name.clone()).collect::<Vec<_>>());
-            // Borrow the specs from the plan ('env outlives the scope);
-            // resolve each aggregate's hidden `__agg_i` column up front
+            // Resolve each aggregate's hidden `__agg_i` column up front
             // instead of re-formatting the name per row.
-            let aggs: &'env [crate::plan::AggSpec] = aggs;
             let child_cols = child_handle.columns.clone();
             let arg_idx: Vec<Option<usize>> = aggs
                 .iter()
@@ -191,38 +539,40 @@ fn spawn_node<'s, 'env: 's, 'a: 'env>(
                     })
                 })
                 .collect();
-            scope.spawn(move || {
+            spawn_guarded(ticket.clone(), move || {
                 let mut acc: Vec<AggAcc> = aggs.iter().map(|a| AggAcc::new(a.func)).collect();
                 for batch in child_handle.rx.iter() {
-                    for row in batch {
+                    // Accumulate straight off the batch — columnar lanes
+                    // fold without materializing rows.
+                    for r in 0..batch.len() {
                         for (i, idx) in arg_idx.iter().enumerate() {
-                            let v = idx.and_then(|idx| row[idx].as_num());
+                            let v = idx.and_then(|idx| batch.num_at(idx, r));
                             acc[i].update(v);
                         }
                     }
                 }
                 let row: Row = acc.into_iter().map(AggAcc::finish).collect();
-                let _ = tx.send(vec![row]);
+                let _ = tx.send(ResultBatch::Rows(vec![row]));
             });
-            ExecHandle { columns, rx }
+            BatchHandle { columns, rx }
         }
         PlanNode::Set { op, left, right } => {
-            let lh = spawn_node(ctx, left, scope);
-            let rh = spawn_node(ctx, right, scope);
-            let (tx, rx) = bounded::<Vec<Row>>(CHANNEL_DEPTH);
+            let lh = spawn_node(env, *left, ticket);
+            let rh = spawn_node(env, *right, ticket);
+            let (tx, rx) = bounded::<ResultBatch>(CHANNEL_DEPTH);
             let columns = lh.columns.clone();
             let n_columns = columns.len();
             let objid_idx = columns
                 .iter()
                 .position(|c| c == "objid")
                 .expect("planner enforced objid for set ops");
-            let op = *op;
-            scope.spawn(move || {
-                // Blocking on the right side: build the key set.
+            spawn_guarded(ticket.clone(), move || {
+                // Blocking on the right side: build the key set (ids
+                // only — no row materialization).
                 let mut right_ids: HashSet<u64> = HashSet::new();
                 for batch in rh.rx.iter() {
-                    for row in batch {
-                        if let Some(id) = row[objid_idx].as_id() {
+                    for r in 0..batch.len() {
+                        if let Some(id) = batch.id_at(objid_idx, r) {
                             right_ids.insert(id);
                         }
                     }
@@ -231,7 +581,7 @@ fn spawn_node<'s, 'env: 's, 'a: 'env>(
                 let mut seen: HashSet<u64> = HashSet::new();
                 let mut out = Vec::with_capacity(BATCH);
                 for batch in lh.rx.iter() {
-                    for row in batch {
+                    for row in batch.rows() {
                         let Some(id) = row[objid_idx].as_id() else {
                             continue;
                         };
@@ -247,7 +597,7 @@ fn spawn_node<'s, 'env: 's, 'a: 'env>(
                             seen.insert(id);
                             out.push(row);
                             if out.len() >= BATCH
-                                && tx.send(std::mem::take(&mut out)).is_err() {
+                                && tx.send(ResultBatch::Rows(std::mem::take(&mut out))).is_err() {
                                     return;
                                 }
                         }
@@ -264,50 +614,54 @@ fn spawn_node<'s, 'env: 's, 'a: 'env>(
                             row[objid_idx] = Value::Id(id);
                             out.push(row);
                             if out.len() >= BATCH
-                                && tx.send(std::mem::take(&mut out)).is_err() {
+                                && tx.send(ResultBatch::Rows(std::mem::take(&mut out))).is_err() {
                                     return;
                                 }
                         }
                     }
                 }
                 if !out.is_empty() {
-                    let _ = tx.send(out);
+                    let _ = tx.send(ResultBatch::Rows(out));
                 }
             });
-            ExecHandle { columns, rx }
+            BatchHandle { columns, rx }
         }
     }
 }
 
 /// Lower a scan: project columns (plus hidden aggregate argument columns,
-/// handled by the planner caller) and stream matching rows. Tag scans
+/// handled by the planner caller) and stream matching batches. Tag scans
 /// take the columnar compiled path when the predicate and projection
 /// both lower to bytecode; everything else interprets row-at-a-time.
-fn spawn_scan<'s, 'env: 's, 'a: 'env>(
-    ctx: &ExecCtx<'a>,
-    spec: &'env ScanSpec,
-    scope: &'s std::thread::Scope<'s, 'env>,
-) -> ExecHandle {
-    let (tx, rx) = bounded::<Vec<Row>>(CHANNEL_DEPTH);
+fn spawn_scan(env: &ExecEnv, spec: ScanSpec, ticket: &Arc<TicketCore>) -> BatchHandle {
+    let (tx, rx) = bounded::<ResultBatch>(CHANNEL_DEPTH);
     let columns: Arc<Vec<String>> =
         Arc::new(spec.columns.iter().map(|(n, _)| n.clone()).collect());
-    let store = ctx.store;
-    let tags = ctx.tags;
-    let cover_level = ctx.cover_level;
+    let cover_level = env.cover_level;
+    let ticket = ticket.clone();
 
     // --- columnar fast path -------------------------------------------
     // `compile_scan` is the same gate `plan_uses_columnar` reports
     // through `QueryStats.columnar`; the programs compile exactly once.
-    if let Some((pred, proj)) = compile_scan(spec, tags.is_some(), ctx.mode) {
-        let tag_store = tags.expect("compile_scan checked tags");
-        scope.spawn(move || {
+    if let Some((pred, proj)) = compile_scan(&spec, env.tags.is_some(), env.mode) {
+        let tag_store = env.tags.clone().expect("compile_scan checked tags");
+        spawn_guarded(ticket.clone(), move || {
             let mut scratch = BatchScratch::new();
-            let mut out: Vec<Row> = Vec::with_capacity(BATCH);
             let mut keep_scratch: Vec<usize> = Vec::new();
-            let _ = tag_store.scan_batches(
+            // Coalesced output: selective predicates keep few rows per
+            // input chunk; accumulating up to COALESCE_ROWS before a
+            // send amortizes the channel round-trip. The FIRST non-empty
+            // batch flushes immediately — coalescing must not hold back
+            // the ASAP time-to-first-row property.
+            let mut pending: Option<ColumnarBatch> = None;
+            let mut sent_any = false;
+            let result = tag_store.scan_batches(
                 spec.domain.as_ref(),
                 cover_level,
                 |batch, sel| {
+                    if ticket.is_cancelled() {
+                        return false;
+                    }
                     let mut keep = sel.clone();
                     if let Some(pred) = &pred {
                         // The cover mask is the hint: rows it
@@ -329,30 +683,48 @@ fn spawn_scan<'s, 'env: 's, 'a: 'env>(
                             keep.clear(i);
                         }
                     }
-                    proj.eval_into(batch, &keep, &mut scratch, &mut out);
-                    while out.len() >= BATCH {
-                        let chunk: Vec<Row> = out.drain(..BATCH).collect();
-                        if tx.send(chunk).is_err() {
-                            return false; // consumer hung up
+                    if keep.any() {
+                        let out = proj.eval_batch(batch, &keep, &mut scratch);
+                        match &mut pending {
+                            None => pending = Some(out),
+                            Some(p) => p.append(out),
+                        }
+                        let threshold = if sent_any { COALESCE_ROWS } else { 1 };
+                        if pending.as_ref().is_some_and(|p| p.len() >= threshold) {
+                            let out = pending.take().expect("checked above");
+                            ticket.note_batch(out.len());
+                            sent_any = true;
+                            if tx.send(ResultBatch::Columnar(out)).is_err() {
+                                return false; // consumer hung up
+                            }
                         }
                     }
                     true
                 },
             );
-            if !out.is_empty() {
-                let _ = tx.send(out);
+            if let Some(out) = pending {
+                ticket.note_batch(out.len());
+                let _ = tx.send(ResultBatch::Columnar(out));
+            }
+            if let Ok(stats) = result {
+                ticket.absorb_scan(&stats);
             }
         });
-        return ExecHandle { columns, rx };
+        return BatchHandle { columns, rx };
     }
 
     // --- row-at-a-time fallback ---------------------------------------
-    scope.spawn(move || {
+    let store = env.store.clone();
+    let tags = env.tags.clone();
+    spawn_guarded(ticket.clone(), move || {
         let mut out: Vec<Row> = Vec::with_capacity(BATCH);
         let mut alive = true;
 
         // The row pipeline, generic over record type.
-        let mut emit = |src: &dyn AttrSource, tx: &Sender<Vec<Row>>| -> bool {
+        let mut emit = |src: &dyn AttrSource, tx: &Sender<ResultBatch>| -> bool {
+            if ticket.is_cancelled() {
+                return false;
+            }
             if let Some(f) = spec.sample {
                 let id = src.attr("objid").and_then(|v| v.as_id()).unwrap_or(0);
                 if !sample_hash_keep(id, f) {
@@ -374,51 +746,61 @@ fn spawn_scan<'s, 'env: 's, 'a: 'env>(
                 }
             }
             out.push(row);
-            if out.len() >= BATCH
-                && tx.send(std::mem::take(&mut out)).is_err() {
+            if out.len() >= BATCH {
+                ticket.note_batch(out.len());
+                if tx.send(ResultBatch::Rows(std::mem::take(&mut out))).is_err() {
                     return false;
                 }
+            }
             true
         };
 
-        match (spec.target, tags) {
+        match (spec.target, &tags) {
             (ScanTarget::Tag, Some(tag_store)) => match &spec.domain {
                 Some(domain) => {
-                    let _ = tag_store.scan_region_until(domain, cover_level, |t| {
+                    if let Ok(stats) =
+                        tag_store.scan_region_until(domain, cover_level, |t| {
+                            alive = emit(t, &tx);
+                            alive
+                        })
+                    {
+                        ticket.absorb_scan(&stats);
+                    }
+                }
+                None => {
+                    // Full tag scan (no spatial restriction); stops
+                    // between records on cancel / consumer hang-up.
+                    let (bytes, containers) = tag_store.scan_all_until(|t| {
                         alive = emit(t, &tx);
                         alive
                     });
-                }
-                None => {
-                    // Full tag scan (no spatial restriction).
-                    tag_store.scan_all(|t| {
-                        if alive {
-                            alive = emit(t, &tx);
-                        }
-                    });
+                    ticket.absorb_sweep(bytes, containers);
                 }
             },
             _ => match &spec.domain {
                 Some(domain) => {
-                    let _ = store.scan_region_until(domain, cover_level, |o| {
+                    if let Ok(stats) = store.scan_region_until(domain, cover_level, |o| {
+                        alive = emit(o, &tx);
+                        alive
+                    }) {
+                        ticket.absorb_scan(&stats);
+                    }
+                }
+                None => {
+                    let (bytes, containers) = store.scan_all_until(|o| {
                         alive = emit(o, &tx);
                         alive
                     });
-                }
-                None => {
-                    store.scan_all(|o| {
-                        if alive {
-                            alive = emit(o, &tx);
-                        }
-                    });
+                    ticket.absorb_sweep(bytes, containers);
                 }
             },
         }
         if alive && !out.is_empty() {
-            let _ = tx.send(out);
+            ticket.note_batch(out.len());
+            let _ = tx.send(ResultBatch::Rows(out));
         }
     });
-    ExecHandle { columns, rx }
+    BatchHandle { columns, rx }
 }
 
 /// Wrapper so `&dyn AttrSource` satisfies the generic eval bound.
@@ -564,5 +946,61 @@ mod tests {
         // Empty aggregates are NULL (except COUNT = 0).
         assert_eq!(AggAcc::new(AggFn::Avg).finish(), Value::Null);
         assert_eq!(AggAcc::new(AggFn::Count).finish(), Value::Num(0.0));
+    }
+
+    #[test]
+    fn columnar_batch_rows_and_truncate() {
+        let mut b = ColumnarBatch::new(
+            vec![
+                ColumnData::Id(vec![1, 2, 3]),
+                ColumnData::Num(vec![1.5, 2.5, 3.5]),
+                ColumnData::Class(vec![2, 1, 3]),
+            ],
+            3,
+        );
+        assert_eq!(b.len(), 3);
+        let rows = b.rows();
+        assert_eq!(rows[0][0], Value::Id(1));
+        assert_eq!(rows[1][1], Value::Num(2.5));
+        assert_eq!(rows[2][2], Value::Str("QSO".to_string()));
+        b.truncate(1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.rows().len(), 1);
+        // num_at / id_at agree with the materialized values.
+        assert_eq!(b.columns()[0].num_at(0), Some(1.0));
+        assert_eq!(b.columns()[1].num_at(0), Some(1.5));
+        assert_eq!(b.columns()[2].num_at(0), None);
+        assert_eq!(b.columns()[0].id_at(0), Some(1));
+    }
+
+    #[test]
+    fn guarded_spawn_surfaces_panics() {
+        let ticket = Arc::new(TicketCore::default());
+        spawn_guarded(ticket.clone(), || panic!("boom in a node thread"));
+        // The detached thread records its panic instead of vanishing.
+        for _ in 0..200 {
+            if ticket.failure().is_some() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let msg = ticket.failure().expect("panic recorded");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn ticket_counters_accumulate() {
+        let t = TicketCore::default();
+        t.note_batch(10);
+        t.note_batch(5);
+        t.absorb_sweep(1024, 3);
+        let totals = t.totals();
+        assert_eq!(totals.rows_scanned, 15);
+        assert_eq!(totals.batches_emitted, 2);
+        assert_eq!(totals.bytes_scanned, 1024);
+        assert_eq!(totals.containers_full, 3);
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
     }
 }

@@ -8,6 +8,8 @@ pub enum Tok {
     Ident(String),
     Num(f64),
     Str(String),
+    /// `$N` — a 1-based prepared-statement parameter.
+    Param(usize),
     LParen,
     RParen,
     Comma,
@@ -110,6 +112,30 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, QueryError> {
                         message: "lone '!' (did you mean '!=')".to_string(),
                     });
                 }
+            }
+            '$' => {
+                let start = i;
+                i += 1;
+                let digits_start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[digits_start..i];
+                let n: usize = text.parse().map_err(|_| QueryError::Lex {
+                    pos: start,
+                    message: "'$' must be followed by a parameter number ($1, $2, ...)"
+                        .to_string(),
+                })?;
+                if n == 0 {
+                    return Err(QueryError::Lex {
+                        pos: start,
+                        message: "parameter numbers are 1-based ($1, $2, ...)".to_string(),
+                    });
+                }
+                out.push(Spanned {
+                    tok: Tok::Param(n),
+                    pos: start,
+                });
             }
             '\'' => {
                 let start = i;

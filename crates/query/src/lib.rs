@@ -1,4 +1,4 @@
-//! # Query engine: parser, Query Execution Trees, streaming execution
+//! # Query engine: parser, Query Execution Trees, a multi-user archive API
 //!
 //! The paper's prototype query system:
 //!
@@ -12,20 +12,66 @@
 //! > that even in the case of a query that takes a very long time to
 //! > complete, the user starts seeing results almost immediately."
 //!
+//! The public surface is the **archive server API** in [`archive`]:
+//!
+//! * [`Archive`] — an owned, cloneable, `Send + Sync` handle over
+//!   `Arc`'d stores; any number of threads submit queries concurrently.
+//! * [`Archive::prepare`] → [`Prepared`] — parse/plan split from
+//!   execution: inspect the plan, read the plan-time [`CostEstimate`]
+//!   (rows / bytes / containers, from container statistics + the HTM
+//!   cover), then execute repeatedly with `$1`-style numeric parameters
+//!   re-bound per run — no re-parse, no re-plan.
+//! * [`Prepared::stream`] → [`ResultStream`] — pull-based
+//!   [`ResultBatch`]es; the compiled tag-scan path ships struct-of-arrays
+//!   [`ColumnarBatch`]es through the whole channel fabric and rows
+//!   materialize only at the edge ([`ResultBatch::rows`]).
+//! * [`QueryTicket`] — per-execution cancellation + live progress;
+//!   [`QueryStats`] closes the loop with timing, routing, scan-byte and
+//!   cover-cache counters.
+//! * Admission control — a semaphore-bounded slot pool
+//!   ([`AdmissionConfig`]) queues executions rather than oversubscribing,
+//!   with a separate bound on *heavy* (over-estimate) queries — the
+//!   behavior the paper's query agents gave the multi-user archive.
+//!
+//! ```
+//! use sdss_query::Archive;
+//! # use sdss_catalog::SkyModel;
+//! # use sdss_storage::{ObjectStore, StoreConfig, TagStore};
+//! # use std::sync::Arc;
+//! # let objs = SkyModel::small(7).generate().unwrap();
+//! # let mut store = ObjectStore::new(StoreConfig::default()).unwrap();
+//! # store.insert_batch(&objs).unwrap();
+//! # let tags = TagStore::from_store(&store);
+//! let archive = Archive::new(store, Some(Arc::new(tags)));
+//! let stmt = archive.prepare(
+//!     "SELECT objid, ra, dec, r FROM photoobj WHERE CIRCLE(185, 15, 2) AND r < $1",
+//! )?;
+//! assert!(stmt.estimate().est_bytes > 0);
+//! let bright = stmt.run_with(&[20.0])?; // binds $1 — no re-parse/re-plan
+//! let faint = stmt.run_with(&[22.0])?;
+//! assert!(bright.rows.len() <= faint.rows.len());
+//! # Ok::<(), sdss_query::QueryError>(())
+//! ```
+//!
+//! Module map:
+//!
 //! * [`ast`] / [`lexer`] / [`parser`] — a small SQL-ish surface language
-//!   with spatial predicates (`CIRCLE`, `RECT`, `BAND`) and set operators
-//!   (`UNION` / `INTERSECT` / `EXCEPT`)
+//!   with spatial predicates (`CIRCLE`, `RECT`, `BAND`), set operators
+//!   (`UNION` / `INTERSECT` / `EXCEPT`), and `$N` parameters
 //! * [`plan`] — the QET itself, built from the AST; spatial predicates
-//!   are compiled to HTM covers
+//!   are compiled to HTM covers; parameters bind per execution
 //! * [`compile`] — predicate/projection compilation to register bytecode
 //!   evaluated over tag column batches (the E5 hot path)
 //! * [`exec`] — multithreaded ASAP-push execution over crossbeam
-//!   channels; tag scans run columnar batches, everything else rows
-//! * [`engine`] — the façade: parse → plan → route (tag store vs full
-//!   store) → execute
+//!   channels; batches stay columnar through the fabric
+//! * [`archive`] — the server API: shared handle, prepared queries,
+//!   batch streams, tickets, admission control
+//! * [`engine`] — the deprecated single-caller façade (a shim over
+//!   [`Archive`]; see its docs for the migration map)
 //! * [`ops`] — the "special operators related to angular distances and
 //!   complex similarity tests" (the row-at-a-time fallback interpreter)
 
+pub mod archive;
 pub mod ast;
 pub mod compile;
 pub mod engine;
@@ -35,11 +81,18 @@ pub mod ops;
 pub mod parser;
 pub mod plan;
 
+pub use archive::{
+    AdmissionConfig, AdmissionSnapshot, Archive, ArchiveConfig, CostEstimate, Prepared,
+    QueryOutput, QueryStats, QueryTicket, ResultStream, RouteChoice,
+};
 pub use ast::{BinOp, Expr, Query, SelectStmt, SetOp, Value};
-pub use compile::{compile_predicate, compile_projection, BatchScratch, CompiledPredicate, CompiledProjection};
-pub use engine::{Engine, QueryOutput, QueryStats, RouteChoice};
-pub use exec::{ExecHandle, ExecMode, Row};
-pub use plan::{PlanNode, QueryPlan};
+pub use compile::{
+    compile_predicate, compile_projection, BatchScratch, CompiledPredicate, CompiledProjection,
+};
+#[allow(deprecated)]
+pub use engine::Engine;
+pub use exec::{ColumnData, ColumnarBatch, ExecMode, ResultBatch, Row, ScanTotals};
+pub use plan::{plans_built, PlanNode, QueryPlan};
 
 /// Errors produced by the query crate.
 #[derive(Debug, Clone, PartialEq)]

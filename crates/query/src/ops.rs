@@ -173,6 +173,9 @@ pub fn eval<S: AttrSource>(expr: &Expr, src: &S) -> Result<Value, QueryError> {
             let domain = crate::plan::spatial_to_domain(sp)?;
             Ok(Value::Bool(domain.contains(src.position())))
         }
+        // Parameters are substituted at bind time; reaching one here
+        // means the query ran without its parameters.
+        Expr::Param(i) => Err(QueryError::Exec(format!("unbound parameter ${i}"))),
     }
 }
 

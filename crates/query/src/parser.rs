@@ -384,6 +384,10 @@ impl Parser {
                 self.bump();
                 Ok(Expr::Lit(Value::Str(s)))
             }
+            Tok::Param(i) => {
+                self.bump();
+                Ok(Expr::Param(i))
+            }
             Tok::LParen => {
                 self.bump();
                 let e = self.expr()?;

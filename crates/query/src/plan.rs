@@ -17,6 +17,16 @@ use crate::ast::{
 use crate::ops::{function_arity, FULL_ATTRS, TAG_ATTRS};
 use crate::QueryError;
 use sdss_htm::{Domain, Region};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of plans built — lets tests assert that prepared
+/// queries re-execute without re-planning.
+static PLANS_BUILT: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of [`plan`] invocations in this process.
+pub fn plans_built() -> u64 {
+    PLANS_BUILT.load(Ordering::Relaxed)
+}
 
 /// Which store a scan reads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +96,75 @@ impl PlanNode {
         }
     }
 
+    /// Highest `$N` parameter index referenced anywhere in the tree
+    /// (0 = the plan takes no parameters).
+    pub fn max_param(&self) -> usize {
+        fn scan_max(s: &ScanSpec) -> usize {
+            let p = s.predicate.as_ref().map_or(0, Expr::max_param);
+            let c = s.columns.iter().map(|(_, e)| e.max_param()).max().unwrap_or(0);
+            p.max(c)
+        }
+        match self {
+            PlanNode::Scan(s) => scan_max(s),
+            PlanNode::Sort { child, .. } | PlanNode::Limit { child, .. } => child.max_param(),
+            PlanNode::Aggregate { child, aggs } => child
+                .max_param()
+                .max(aggs.iter().filter_map(|a| a.arg.as_ref()).map(Expr::max_param).max().unwrap_or(0)),
+            PlanNode::Set { left, right, .. } => left.max_param().max(right.max_param()),
+        }
+    }
+
+    /// Clone of this tree with every `$N` replaced by `params[N-1]` —
+    /// the per-execution bind step of a prepared query. Spatial domains,
+    /// routing and node shape are reused untouched; no re-parse, no
+    /// re-plan.
+    pub fn bind_params(&self, params: &[f64]) -> Result<PlanNode, QueryError> {
+        Ok(match self {
+            PlanNode::Scan(s) => PlanNode::Scan(ScanSpec {
+                target: s.target,
+                domain: s.domain.clone(),
+                predicate: s
+                    .predicate
+                    .as_ref()
+                    .map(|p| p.bind_params(params))
+                    .transpose()?,
+                columns: s
+                    .columns
+                    .iter()
+                    .map(|(n, e)| Ok((n.clone(), e.bind_params(params)?)))
+                    .collect::<Result<Vec<_>, QueryError>>()?,
+                sample: s.sample,
+            }),
+            PlanNode::Sort { child, key, desc } => PlanNode::Sort {
+                child: Box::new(child.bind_params(params)?),
+                key: key.clone(),
+                desc: *desc,
+            },
+            PlanNode::Limit { child, n } => PlanNode::Limit {
+                child: Box::new(child.bind_params(params)?),
+                n: *n,
+            },
+            PlanNode::Aggregate { child, aggs } => PlanNode::Aggregate {
+                child: Box::new(child.bind_params(params)?),
+                aggs: aggs
+                    .iter()
+                    .map(|a| {
+                        Ok(AggSpec {
+                            func: a.func,
+                            arg: a.arg.as_ref().map(|e| e.bind_params(params)).transpose()?,
+                            name: a.name.clone(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, QueryError>>()?,
+            },
+            PlanNode::Set { op, left, right } => PlanNode::Set {
+                op: *op,
+                left: Box::new(left.bind_params(params)?),
+                right: Box::new(right.bind_params(params)?),
+            },
+        })
+    }
+
     /// Number of nodes (for tests / EXPLAIN).
     pub fn size(&self) -> usize {
         match self {
@@ -138,6 +217,8 @@ impl PlanNode {
 #[derive(Debug, Clone)]
 pub struct QueryPlan {
     pub root: PlanNode,
+    /// Number of `$N` parameters the plan expects per execution.
+    pub n_params: usize,
 }
 
 impl QueryPlan {
@@ -153,9 +234,10 @@ impl QueryPlan {
 /// `tags_available` controls routing: without a tag store every scan goes
 /// to the full store.
 pub fn plan(query: &Query, tags_available: bool) -> Result<QueryPlan, QueryError> {
-    Ok(QueryPlan {
-        root: plan_query(query, tags_available)?,
-    })
+    PLANS_BUILT.fetch_add(1, Ordering::Relaxed);
+    let root = plan_query(query, tags_available)?;
+    let n_params = root.max_param();
+    Ok(QueryPlan { root, n_params })
 }
 
 fn plan_query(query: &Query, tags_available: bool) -> Result<PlanNode, QueryError> {

@@ -14,8 +14,9 @@ use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use sdss_catalog::SkyModel;
-use sdss_query::{Engine, ExecMode, Value};
+use sdss_query::{Archive, ArchiveConfig, ExecMode, Value};
 use sdss_storage::{ObjectStore, StoreConfig, TagStore};
+use std::sync::Arc;
 
 /// Bitwise value identity: NaN == NaN, -0.0 != +0.0.
 fn value_identical(a: &Value, b: &Value) -> bool {
@@ -184,21 +185,46 @@ impl QueryGen {
     }
 }
 
-fn build(seed: u64) -> (ObjectStore, TagStore) {
+fn build(seed: u64) -> (Arc<ObjectStore>, Arc<TagStore>) {
     let objs = SkyModel::small(seed).generate().unwrap();
     let mut store = ObjectStore::new(StoreConfig::default()).unwrap();
     store.insert_batch(&objs).unwrap();
     let tags = TagStore::from_store(&store);
-    (store, tags)
+    (Arc::new(store), Arc::new(tags))
+}
+
+/// Two archive handles over the same stores: one compiled, one forced
+/// to the row-at-a-time interpreter (the oracle).
+fn archive_pair(
+    store: &Arc<ObjectStore>,
+    tags: &Arc<TagStore>,
+    cover_level: Option<u8>,
+) -> (Archive, Archive) {
+    let auto = Archive::with_config(
+        store.clone(),
+        Some(tags.clone()),
+        ArchiveConfig {
+            cover_level,
+            mode: ExecMode::Auto,
+            ..ArchiveConfig::default()
+        },
+    );
+    let interp = Archive::with_config(
+        store.clone(),
+        Some(tags.clone()),
+        ArchiveConfig {
+            cover_level,
+            mode: ExecMode::Interpreted,
+            ..ArchiveConfig::default()
+        },
+    );
+    (auto, interp)
 }
 
 #[test]
 fn compiled_columnar_matches_interpreted_rows() {
     let (store, tags) = build(424242);
-    let mut auto = Engine::new(&store, Some(&tags));
-    auto.mode = ExecMode::Auto;
-    let mut interp = Engine::new(&store, Some(&tags));
-    interp.mode = ExecMode::Interpreted;
+    let (auto, interp) = archive_pair(&store, &tags, None);
 
     let mut generator = QueryGen::new(7);
     let n_cases = 250;
@@ -254,11 +280,7 @@ fn equivalence_holds_across_cover_levels_and_skies() {
         let (store, tags) = build(sky_seed);
         let mut generator = QueryGen::new(gen_seed);
         for &cover_level in &[6u8, 8, 12] {
-            let mut auto = Engine::new(&store, Some(&tags));
-            auto.cover_level = Some(cover_level);
-            let mut interp = Engine::new(&store, Some(&tags));
-            interp.cover_level = Some(cover_level);
-            interp.mode = ExecMode::Interpreted;
+            let (auto, interp) = archive_pair(&store, &tags, Some(cover_level));
             for _ in 0..25 {
                 let sql = generator.query();
                 let a = auto.run(&sql).unwrap();

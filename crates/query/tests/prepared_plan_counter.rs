@@ -1,0 +1,45 @@
+//! The acceptance assertion for prepared queries: re-execution with new
+//! parameters builds **zero** additional plans, verified through the
+//! process-global `plans_built()` counter.
+//!
+//! This lives in its own test binary on purpose — the counter counts
+//! every `plan()` in the process, so it can only be asserted exactly
+//! when nothing else plans concurrently (cargo runs tests *within* a
+//! binary in parallel, but this binary has a single test).
+
+use sdss_catalog::SkyModel;
+use sdss_query::{plans_built, Archive};
+use sdss_storage::{ObjectStore, StoreConfig, TagStore};
+use std::sync::Arc;
+
+#[test]
+fn reexecution_with_new_params_never_replans() {
+    let objs = SkyModel::small(41).generate().unwrap();
+    let mut store = ObjectStore::new(StoreConfig::default()).unwrap();
+    store.insert_batch(&objs).unwrap();
+    let tags = TagStore::from_store(&store);
+    let archive = Archive::new(store, Some(Arc::new(tags)));
+
+    let prepared = archive
+        .prepare("SELECT objid, r FROM photoobj WHERE CIRCLE(185, 15, 1.5) AND r < $1")
+        .unwrap();
+    let after_prepare = plans_built();
+    assert!(after_prepare >= 1, "prepare plans exactly once");
+
+    let mut sizes = Vec::new();
+    for cut in [18.0, 20.0, 22.0, 24.0] {
+        sizes.push(prepared.run_with(&[cut]).unwrap().rows.len());
+    }
+    assert_eq!(
+        plans_built(),
+        after_prepare,
+        "parameter re-binding must not re-plan (or re-parse)"
+    );
+    // Sanity: the bindings really changed execution behavior.
+    assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+    assert!(*sizes.last().unwrap() > sizes[0]);
+
+    // A fresh ad-hoc run does plan (the counter moves for real work).
+    let _ = archive.run("SELECT objid FROM photoobj LIMIT 1").unwrap();
+    assert_eq!(plans_built(), after_prepare + 1);
+}

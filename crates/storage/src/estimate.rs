@@ -13,10 +13,14 @@
 //! are exact (whole touched containers); time is bytes / calibrated scan
 //! bandwidth.
 
+use crate::container::Container;
+use crate::cover_cache::CoverCache;
 use crate::store::ObjectStore;
+use crate::vertical::TagStore;
 use crate::StorageError;
 use sdss_htm::cover::{classify_trixel_domain, Classification};
 use sdss_htm::{Cover, Domain, Trixel};
+use std::sync::Arc;
 
 /// Calibration constants for the estimator.
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +64,36 @@ impl CostModel {
         store: &ObjectStore,
         domain: &Domain,
     ) -> Result<QueryEstimate, StorageError> {
+        self.estimate_containers(
+            store.containers(),
+            store.config().container_level,
+            domain,
+            Some(store.cover_cache()),
+        )
+    }
+
+    /// Estimate a region query against the tag vertical partition: same
+    /// geometry classification, tag-store byte counts (the bytes a
+    /// tag-routed scan would actually read).
+    pub fn estimate_tags(
+        &self,
+        tags: &TagStore,
+        domain: &Domain,
+    ) -> Result<QueryEstimate, StorageError> {
+        self.estimate_containers(
+            tags.containers(),
+            tags.container_level(),
+            domain,
+            Some(tags.cover_cache()),
+        )
+    }
+
+    /// Exact prediction for an unrestricted sweep: every container is
+    /// read whole.
+    pub fn estimate_sweep<'a>(
+        &self,
+        containers: impl Iterator<Item = &'a Container>,
+    ) -> QueryEstimate {
         let mut est = QueryEstimate {
             est_rows: 0.0,
             est_bytes: 0,
@@ -67,13 +101,42 @@ impl CostModel {
             containers_full: 0,
             containers_partial: 0,
         };
-        let level = self.overlap_level.max(store.config().container_level);
+        for container in containers {
+            est.containers_full += 1;
+            est.est_rows += container.stats().count as f64;
+            est.est_bytes += container.bytes() as u64;
+        }
+        est.est_seconds = est.est_bytes as f64 / self.scan_bandwidth_bps;
+        est
+    }
+
+    /// The shared estimator core: classify an arbitrary container set
+    /// against the query region. `cache` (when given) memoizes the deep
+    /// overlap cover so repeated prepares of the same region are free.
+    pub fn estimate_containers<'a>(
+        &self,
+        containers: impl Iterator<Item = &'a Container>,
+        container_level: u8,
+        domain: &Domain,
+        cache: Option<&CoverCache>,
+    ) -> Result<QueryEstimate, StorageError> {
+        let mut est = QueryEstimate {
+            est_rows: 0.0,
+            est_bytes: 0,
+            est_seconds: 0.0,
+            containers_full: 0,
+            containers_partial: 0,
+        };
+        let level = self.overlap_level.max(container_level);
         // One deep cover shared by all bisected containers.
-        let cover = Cover::compute(domain, level)?;
+        let cover = match cache {
+            Some(cache) => cache.get_or_compute(domain, level)?,
+            None => Arc::new(Cover::compute(domain, level)?),
+        };
         let full = cover.full_ranges();
         let partial = cover.partial_ranges();
 
-        for container in store.containers() {
+        for container in containers {
             let t = Trixel::from_id(container.id());
             match classify_trixel_domain(&t, domain) {
                 Classification::Inside => {

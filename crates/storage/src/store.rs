@@ -82,6 +82,11 @@ pub struct RegionScan {
     /// Objects that needed the exact geometric test.
     pub objects_exact_tested: usize,
     pub bytes_scanned: usize,
+    /// Cover-cache lookups this scan answered from cache / computed
+    /// fresh (a single region scan does one lookup; aggregated scans
+    /// accumulate).
+    pub cover_cache_hits: u64,
+    pub cover_cache_misses: u64,
 }
 
 /// The container-clustered photometric object store.
@@ -133,6 +138,11 @@ impl ObjectStore {
     /// Cover-cache (hits, misses) — observability for repeated queries.
     pub fn cover_cache_stats(&self) -> (u64, u64) {
         self.cover_cache.stats()
+    }
+
+    /// The memoized cover cache (shared with plan-time estimation).
+    pub fn cover_cache(&self) -> &CoverCache {
+        &self.cover_cache
     }
 
     /// Number of objects stored.
@@ -239,19 +249,35 @@ impl ObjectStore {
     /// Full scan with a callback; returns bytes scanned. The scan and
     /// dataflow machines build on this.
     pub fn scan_all(&self, mut f: impl FnMut(&PhotoObj)) -> usize {
+        self.scan_all_until(|obj| {
+            f(obj);
+            true
+        })
+        .0
+    }
+
+    /// Like [`ObjectStore::scan_all`] but the callback may return
+    /// `false` to stop early (cancelled queries). Returns
+    /// `(bytes_scanned, containers_read)` for the containers actually
+    /// opened.
+    pub fn scan_all_until(&self, mut f: impl FnMut(&PhotoObj) -> bool) -> (usize, usize) {
         let mut bytes = 0;
-        for c in self.containers.values() {
+        let mut containers = 0;
+        'outer: for c in self.containers.values() {
             self.touches.read_touches.fetch_add(1, Ordering::Relaxed);
             bytes += c.bytes();
+            containers += 1;
             for mut rec in c.iter_records() {
                 let obj = PhotoObj::read_from(&mut rec).expect("valid record");
-                f(&obj);
+                if !f(&obj) {
+                    break 'outer;
+                }
             }
         }
         self.touches
             .bytes_read
             .fetch_add(bytes as u64, Ordering::Relaxed);
-        bytes
+        (bytes, containers)
     }
 
     /// Region scan: yields every object inside `domain` exactly once.
@@ -285,7 +311,7 @@ impl ObjectStore {
                 self.config.container_level
             )));
         }
-        let cover = self.cover_cache.get_or_compute(domain, level)?;
+        let (cover, cache_hit) = self.cover_cache.get_or_compute_traced(domain, level)?;
         let full = cover.full_ranges();
         let partial = cover.partial_ranges();
         let touched = cover
@@ -293,6 +319,11 @@ impl ObjectStore {
             .coarsen(level, self.config.container_level);
 
         let mut stats = RegionScan::default();
+        if cache_hit {
+            stats.cover_cache_hits = 1;
+        } else {
+            stats.cover_cache_misses = 1;
+        }
         let shift = 2 * (20 - level) as u64;
         let mut stopped = false;
 

@@ -31,6 +31,8 @@ struct CoverWalk {
     level: u8,
     /// Bit shift from level-20 ids down to the cover level.
     shift: u64,
+    /// Did the cover come from the cache?
+    cache_hit: bool,
 }
 
 /// Vertical partition holding tag objects, clustered like the full store.
@@ -120,17 +122,43 @@ impl TagStore {
         self.cover_cache.stats()
     }
 
+    /// The memoized cover cache (shared with plan-time estimation).
+    pub fn cover_cache(&self) -> &CoverCache {
+        &self.cover_cache
+    }
+
+    /// HTM level of the clustering containers.
+    pub fn container_level(&self) -> u8 {
+        self.container_level
+    }
+
     /// Full scan of all tags.
     pub fn scan_all(&self, mut f: impl FnMut(&TagObject)) -> usize {
+        self.scan_all_until(|tag| {
+            f(tag);
+            true
+        })
+        .0
+    }
+
+    /// Like [`TagStore::scan_all`] but the callback may return `false`
+    /// to stop early (cancelled queries). Returns
+    /// `(bytes_scanned, containers_read)` for the containers actually
+    /// opened.
+    pub fn scan_all_until(&self, mut f: impl FnMut(&TagObject) -> bool) -> (usize, usize) {
         let mut bytes = 0;
-        for c in self.containers.values() {
+        let mut containers = 0;
+        'outer: for c in self.containers.values() {
             bytes += c.bytes();
+            containers += 1;
             for mut rec in c.iter_records() {
                 let tag = TagObject::read_from(&mut rec).expect("valid tag record");
-                f(&tag);
+                if !f(&tag) {
+                    break 'outer;
+                }
             }
         }
-        bytes
+        (bytes, containers)
     }
 
     fn check_level(&self, cover_level: Option<u8>) -> Result<u8, StorageError> {
@@ -152,14 +180,24 @@ impl TagStore {
         cover_level: Option<u8>,
     ) -> Result<CoverWalk, StorageError> {
         let level = self.check_level(cover_level)?;
-        let cover = self.cover_cache.get_or_compute(domain, level)?;
+        let (cover, cache_hit) = self.cover_cache.get_or_compute_traced(domain, level)?;
         let touched = cover.touched_ranges().coarsen(level, self.container_level);
         Ok(CoverWalk {
             cover,
             touched,
             level,
             shift: 2 * (20 - level) as u64,
+            cache_hit,
         })
+    }
+
+    /// Record one cover lookup into scan stats.
+    fn record_cover(walk: &CoverWalk, stats: &mut RegionScan) {
+        if walk.cache_hit {
+            stats.cover_cache_hits += 1;
+        } else {
+            stats.cover_cache_misses += 1;
+        }
     }
 
     /// Walk every touched container, classifying each as wholly inside
@@ -214,6 +252,7 @@ impl TagStore {
         let (full, partial) = (walk.cover.full_ranges(), walk.cover.partial_ranges());
 
         let mut stats = RegionScan::default();
+        Self::record_cover(&walk, &mut stats);
         let mut err: Option<StorageError> = None;
         self.for_each_touched_container(&walk, &mut stats, |raw, container, container_full, stats| {
             let mut read = |mut rec: &[u8]| match TagObject::read_from(&mut rec) {
@@ -296,6 +335,7 @@ impl TagStore {
 
         let walk = self.cover_walk(domain, cover_level)?;
         let (full, partial) = (walk.cover.full_ranges(), walk.cover.partial_ranges());
+        Self::record_cover(&walk, &mut stats);
 
         self.for_each_touched_container(&walk, &mut stats, |raw, _container, container_full, stats| {
             let chunk = &self.columns[raw];

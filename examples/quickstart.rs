@@ -6,8 +6,9 @@
 
 use sdss::catalog::SkyModel;
 use sdss::coords::angle::{format_dms, format_hms};
-use sdss::query::Engine;
+use sdss::query::Archive;
 use sdss::storage::{ObjectStore, StoreConfig, TagStore};
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A reproducible synthetic sky: ~10k objects in a 5-degree field
@@ -34,16 +35,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tags.bytes() as f64 / 1e6
     );
 
-    // 3. A cone search with photometric cuts — the engine routes it to
+    // 3. A cone search with photometric cuts — prepared once (with a
+    //    plan-time cost estimate), parameterized per run, and routed to
     //    the tag partition automatically.
-    let engine = Engine::new(&store, Some(&tags));
-    let out = engine.run(
+    let archive = Archive::new(store, Some(Arc::new(tags)));
+    let stmt = archive.prepare(
         "SELECT objid, ra, dec, r, g - r AS color FROM photoobj \
-         WHERE CIRCLE(185.0, 15.0, 1.0) AND r < 19.5 AND class = 'GALAXY' \
+         WHERE CIRCLE(185.0, 15.0, 1.0) AND r < $1 AND class = 'GALAXY' \
          ORDER BY r LIMIT 8",
     )?;
     println!(
-        "\nbright galaxies within 1 deg (route: {:?}, first row after {:.2} ms):",
+        "\nplan-time estimate: ~{:.0} rows, {:.1} KB to scan, {} containers",
+        stmt.estimate().est_rows,
+        stmt.estimate().est_bytes as f64 / 1e3,
+        stmt.estimate().containers_full + stmt.estimate().containers_partial
+    );
+    let out = stmt.run_with(&[21.0])?; // bind $1 = 21.0 — no re-plan
+    println!(
+        "bright galaxies within 1 deg (route: {:?}, first row after {:.2} ms):",
         out.stats.route,
         out.stats
             .time_to_first_row
@@ -65,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 4. Aggregates and the special angular-distance operator.
-    let stats = engine.run(
+    let stats = archive.run(
         "SELECT COUNT(*), AVG(r), MIN(r), MAX(r) FROM photoobj WHERE DIST(185, 15) < 2.5",
     )?;
     let row = &stats.rows[0];

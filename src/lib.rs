@@ -21,8 +21,9 @@
 //!
 //! ```
 //! use sdss::catalog::SkyModel;
-//! use sdss::query::Engine;
+//! use sdss::query::Archive;
 //! use sdss::storage::{ObjectStore, StoreConfig, TagStore};
+//! use std::sync::Arc;
 //!
 //! // 1. A reproducible synthetic sky (stands in for the telescope).
 //! let objs = SkyModel::small(7).generate().unwrap();
@@ -32,11 +33,13 @@
 //! store.insert_batch(&objs).unwrap();
 //! let tags = TagStore::from_store(&store);
 //!
-//! // 3. Ask the archive a question.
-//! let engine = Engine::new(&store, Some(&tags));
-//! let out = engine
-//!     .run("SELECT ra, dec, r FROM photoobj WHERE CIRCLE(185, 15, 2) AND r < 21 LIMIT 5")
+//! // 3. Ask the archive a question. The `Archive` handle is shared and
+//! //    thread-safe: clone it across as many client threads as you like.
+//! let archive = Archive::new(store, Some(Arc::new(tags)));
+//! let stmt = archive
+//!     .prepare("SELECT ra, dec, r FROM photoobj WHERE CIRCLE(185, 15, 2) AND r < $1 LIMIT 5")
 //!     .unwrap();
+//! let out = stmt.run_with(&[21.0]).unwrap(); // bind $1; re-run freely
 //! assert!(out.rows.len() <= 5);
 //! ```
 

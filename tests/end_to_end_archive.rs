@@ -6,11 +6,11 @@ use sdss::catalog::{ObjClass, PhotoObj, SkyModel, TagObject};
 use sdss::dataflow::{ObjPredicate, ScanMachine, SimCluster};
 use sdss::htm::Region;
 use sdss::loader::{chunk::chunks_from_catalog, load_clustered};
-use sdss::query::{Engine, RouteChoice};
+use sdss::query::{Archive, RouteChoice};
 use sdss::storage::{ObjectStore, StoreConfig, TagStore};
 use std::sync::Arc;
 
-fn build_archive(seed: u64) -> (ObjectStore, TagStore, Vec<PhotoObj>) {
+fn build_archive(seed: u64) -> (Arc<ObjectStore>, Arc<TagStore>, Vec<PhotoObj>) {
     let objs = SkyModel::small(seed).generate().expect("valid model");
     let chunks = chunks_from_catalog(objs.clone(), 3).expect("chunking");
     let mut store = ObjectStore::new(StoreConfig::default()).expect("store");
@@ -18,7 +18,7 @@ fn build_archive(seed: u64) -> (ObjectStore, TagStore, Vec<PhotoObj>) {
         load_clustered(&mut store, c).expect("load");
     }
     let tags = TagStore::from_store(&store);
-    (store, tags, objs)
+    (Arc::new(store), Arc::new(tags), objs)
 }
 
 #[test]
@@ -57,9 +57,9 @@ fn all_access_paths_agree() {
     p1.sort_unstable();
     assert_eq!(p1, want, "direct region scan");
 
-    // Path 2: the query engine (tag route).
-    let engine = Engine::new(&store, Some(&tags));
-    let out = engine
+    // Path 2: the archive query API (tag route).
+    let archive = Archive::new(store.clone(), Some(tags.clone()));
+    let out = archive
         .run("SELECT objid FROM photoobj WHERE CIRCLE(185, 15, 2) AND r < 21")
         .unwrap();
     assert_eq!(out.stats.route, RouteChoice::TagOnly);
@@ -81,13 +81,13 @@ fn all_access_paths_agree() {
 #[test]
 fn sql_class_counts_match_generator() {
     let (store, tags, objs) = build_archive(103);
-    let engine = Engine::new(&store, Some(&tags));
+    let archive = Archive::new(store, Some(tags));
     for (class, name) in [
         (ObjClass::Galaxy, "GALAXY"),
         (ObjClass::Star, "STAR"),
         (ObjClass::Quasar, "QSO"),
     ] {
-        let out = engine
+        let out = archive
             .run(&format!(
                 "SELECT COUNT(*) FROM photoobj WHERE class = '{name}'"
             ))
@@ -101,8 +101,8 @@ fn sql_class_counts_match_generator() {
 #[test]
 fn tag_and_full_routes_return_identical_results() {
     let (store, tags, _) = build_archive(104);
-    let with_tags = Engine::new(&store, Some(&tags));
-    let full_only = Engine::new(&store, None);
+    let with_tags = Archive::new(store.clone(), Some(tags));
+    let full_only = Archive::new(store, None);
     for sql in [
         "SELECT objid, r FROM photoobj WHERE CIRCLE(185, 15, 1.5) AND gr > 0.3",
         "SELECT objid, ra, dec FROM photoobj WHERE BAND('GALACTIC', 40, 90) AND r < 22",
