@@ -20,6 +20,7 @@
 
 pub mod cluster;
 pub mod hash;
+pub mod pool;
 pub mod river;
 pub mod scan;
 pub mod sched;
@@ -28,6 +29,7 @@ pub mod xmatch;
 
 pub use cluster::{NodeStats, RecordKind, SimCluster};
 pub use hash::{brute_force_pairs, HashMachine, HashReport, PairPredicate, PairResult};
+pub use pool::{PoolReport, WorkerPool};
 pub use river::{RiverGraph, RiverReport, RiverStage};
 pub use scan::{ContinuousScan, ObjPredicate, ScanMachine, ScanReport, TagPredicate, TagScanMachine};
 pub use sched::{BatchScheduler, JobClass, JobState};

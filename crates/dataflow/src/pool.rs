@@ -1,0 +1,237 @@
+//! # The morsel-driven scan worker pool
+//!
+//! The paper's scan machine got intra-query parallelism for free: one
+//! query's containers were striped across ~20 nodes, so every spindle
+//! and CPU worked on the same sweep at once. This module is the
+//! single-node analog: a pool of worker threads draining a shared
+//! [`MorselQueue`] of container-sized work items.
+//!
+//! ## The morsel model
+//!
+//! A *morsel* is one container's worth of scan work — big enough to
+//! amortize dispatch (a claim is one `fetch_add`), small enough that
+//! workers re-balance at container granularity. The queue is built from
+//! the touched-container list of one scan, pre-sharded into byte-balanced
+//! per-worker runs by the same greedy rule `PartitionMap` uses to stripe
+//! containers across servers (spatially contiguous, so each worker walks
+//! neighboring containers). A worker drains its home shard first and then
+//! *steals* from the fullest remaining shard; a fat container therefore
+//! delays only the worker holding it, never the whole scan. Workers stop
+//! between morsels when the job is cancelled, so teardown latency is one
+//! morsel, not one scan.
+//!
+//! ## Slot accounting contract with `Archive` admission
+//!
+//! The query engine's admission pool (`sdss_query::Archive`) accounts
+//! slots in **worker threads, not queries**: a query granted `W` workers
+//! holds `W` slots for as long as its scan runs, so an 8-worker sweep
+//! occupies the machine exactly like 8 single-worker queries and the
+//! admission bound stays a true bound on concurrent scan threads. Pools
+//! must therefore never spawn more workers than the caller was granted —
+//! [`WorkerPool::run`] takes the worker count from its queue, which the
+//! caller sized to its grant. Dataflow machines that schedule their own
+//! jobs (no admission pool above them) account the same way through
+//! [`crate::sched::BatchScheduler`]: one pool job per sweep, classed
+//! [`JobClass::Interactive`] or [`JobClass::Batch`].
+
+use crate::sched::{BatchScheduler, JobClass, JobState};
+use crate::DataflowError;
+use sdss_storage::MorselQueue;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What a finished pool job reports.
+#[derive(Debug, Clone)]
+pub struct PoolReport {
+    /// Worker threads that ran.
+    pub workers: usize,
+    /// Total morsels dispatched.
+    pub morsels: u64,
+    /// Morsels each worker claimed (home shard + steals).
+    pub per_worker_morsels: Vec<u64>,
+    /// Wall time of the drain.
+    pub wall: Duration,
+    /// Whether the job ran to completion (false = a worker cancelled).
+    pub completed: bool,
+}
+
+/// A worker pool that drains morsel queues with scoped threads, keeping
+/// job-level accounting in a [`BatchScheduler`] so interactive scans and
+/// batch sweeps are classed exactly like the paper's machines.
+#[derive(Debug)]
+pub struct WorkerPool {
+    sched: Mutex<BatchScheduler>,
+    job_done: Condvar,
+}
+
+impl WorkerPool {
+    /// A pool running up to `slots` concurrent jobs — further jobs block
+    /// in the scheduler queue until a slot frees (worker threads within
+    /// a job are bounded by each job's queue, not by `slots`).
+    pub fn new(slots: usize) -> WorkerPool {
+        WorkerPool {
+            sched: Mutex::new(BatchScheduler::new(slots)),
+            job_done: Condvar::new(),
+        }
+    }
+
+    /// Drain `queue` with one scoped worker thread per shard. `work`
+    /// receives `(worker index, morsel index)` and returns `false` to
+    /// cancel the whole job (all workers stop between morsels).
+    ///
+    /// The job is submitted/dispatched/completed in the pool's
+    /// [`BatchScheduler`] under `class`, so observers see scan jobs in
+    /// the same queue the hash/river machines use — and the slot bound
+    /// is real: the call blocks until the scheduler dispatches its job.
+    pub fn run(
+        &self,
+        name: &str,
+        class: JobClass,
+        est_seconds: f64,
+        queue: &MorselQueue,
+        work: impl Fn(usize, usize) -> bool + Sync,
+    ) -> Result<PoolReport, DataflowError> {
+        let job_id = {
+            let mut sched = self.sched.lock().unwrap();
+            let id = sched.submit(name, class, est_seconds);
+            // Jobs run synchronously on the caller's thread, so wait for
+            // the scheduler to actually grant a slot — completing a job
+            // that never dispatched would strand it Queued forever.
+            loop {
+                while sched.dispatch().is_some() {}
+                if sched.state_of(id) == Some(JobState::Running) {
+                    break;
+                }
+                sched = self.job_done.wait(sched).unwrap();
+            }
+            id
+        };
+        let report = drain(queue, &work);
+        self.sched.lock().unwrap().complete(job_id);
+        self.job_done.notify_all();
+        Ok(report)
+    }
+
+    /// Jobs finished so far (scheduler accounting).
+    pub fn finished_jobs(&self) -> usize {
+        self.sched.lock().unwrap().finished()
+    }
+}
+
+/// Drain a [`MorselQueue`] with one scoped thread per worker shard —
+/// the pool primitive, usable without scheduler accounting. `work`
+/// returns `false` to cancel; all workers observe the cancel between
+/// morsels.
+pub fn drain(queue: &MorselQueue, work: &(impl Fn(usize, usize) -> bool + Sync)) -> PoolReport {
+    let workers = queue.workers();
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let stop = &stop;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let Some(m) = queue.next(w) else { break };
+                    if !work(w, m) {
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    PoolReport {
+        workers,
+        morsels: queue.total_dispatched(),
+        per_worker_morsels: (0..workers).map(|w| queue.dispatched(w)).collect(),
+        wall: start.elapsed(),
+        completed: !stop.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn pool_drains_every_morsel_once() {
+        let sizes: Vec<usize> = (0..53).map(|i| 500 + i * 11).collect();
+        let queue = MorselQueue::build(&sizes, 4);
+        let seen: Vec<AtomicUsize> = (0..53).map(|_| AtomicUsize::new(0)).collect();
+        let pool = WorkerPool::new(2);
+        let report = pool
+            .run("sweep", JobClass::Interactive, 0.1, &queue, |_, m| {
+                seen[m].fetch_add(1, Ordering::Relaxed);
+                true
+            })
+            .unwrap();
+        assert!(report.completed);
+        assert_eq!(report.workers, 4);
+        assert_eq!(report.morsels, 53);
+        assert_eq!(report.per_worker_morsels.iter().sum::<u64>(), 53);
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(Ordering::Relaxed), 1, "morsel {i}");
+        }
+        assert_eq!(pool.finished_jobs(), 1);
+    }
+
+    #[test]
+    fn contended_pool_serializes_jobs_without_stranding_them() {
+        // One slot, two concurrent jobs: the second blocks until the
+        // first completes; both finish and none is left Queued/Running.
+        let pool = Arc::new(WorkerPool::new(1));
+        let sizes = vec![10usize; 40];
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let pool = pool.clone();
+            let sizes = sizes.clone();
+            handles.push(std::thread::spawn(move || {
+                let queue = MorselQueue::build(&sizes, 2);
+                pool.run("job", JobClass::Batch, 0.1, &queue, |_, _| {
+                    std::thread::yield_now();
+                    true
+                })
+                .unwrap()
+            }));
+        }
+        for h in handles {
+            assert!(h.join().unwrap().completed);
+        }
+        assert_eq!(pool.finished_jobs(), 2, "a job was stranded in the scheduler");
+    }
+
+    #[test]
+    fn cancel_stops_all_workers() {
+        let sizes = vec![100usize; 400];
+        let queue = MorselQueue::build(&sizes, 4);
+        let done = AtomicUsize::new(0);
+        let report = drain(&queue, &|_, _| {
+            // Cancel after a handful of morsels; the queue must stay
+            // mostly undrained.
+            done.fetch_add(1, Ordering::Relaxed) < 5
+        });
+        assert!(!report.completed);
+        assert!(
+            report.morsels < 100,
+            "cancel leaked: {} morsels dispatched",
+            report.morsels
+        );
+    }
+
+    #[test]
+    fn skewed_queue_still_engages_all_workers() {
+        // One shard holds nearly all bytes; stealing spreads the drain.
+        let mut sizes = vec![1usize; 64];
+        sizes[0] = 1_000_000;
+        let queue = MorselQueue::build(&sizes, 4);
+        let report = drain(&queue, &|_, _| {
+            std::thread::yield_now();
+            true
+        });
+        assert!(report.completed);
+        assert_eq!(report.morsels, 64);
+    }
+}

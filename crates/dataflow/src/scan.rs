@@ -23,13 +23,14 @@
 //!   paper driving the batch execution substrate.
 
 use crate::cluster::{RecordKind, SimCluster};
+use crate::pool::WorkerPool;
 use crate::DataflowError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use sdss_catalog::{PhotoObj, TagObject};
 use sdss_query::compile::BatchScratch;
 use sdss_query::CompiledPredicate;
-use sdss_storage::{TagView, BATCH_ROWS};
+use sdss_storage::{MorselQueue, TagView, BATCH_ROWS};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -133,9 +134,12 @@ impl<'a> ScanMachine<'a> {
 }
 
 /// The scan machine over a tag-partition cluster: same parallel sweep,
-/// but rows are either viewed zero-copy or scanned columnar.
+/// but rows are either viewed zero-copy or scanned columnar, and the
+/// containers drain morsel-driven through a [`WorkerPool`] instead of a
+/// static per-node split — a slow node's containers get stolen.
 pub struct TagScanMachine<'a> {
     cluster: &'a SimCluster,
+    pool: WorkerPool,
 }
 
 impl<'a> TagScanMachine<'a> {
@@ -145,7 +149,10 @@ impl<'a> TagScanMachine<'a> {
                 "tag scan machine needs a tag cluster".into(),
             ));
         }
-        Ok(TagScanMachine { cluster })
+        Ok(TagScanMachine {
+            cluster,
+            pool: WorkerPool::new(cluster.n_nodes()),
+        })
     }
 
     /// One-shot parallel sweep with a zero-copy view predicate: no
@@ -207,9 +214,11 @@ impl<'a> TagScanMachine<'a> {
         )
     }
 
-    /// Shared node-parallel sweep plumbing: `scan_container` returns
-    /// `(bytes, objects)` per container, or `None` when the collector
-    /// hung up.
+    /// Shared morsel-driven sweep plumbing: every node's containers are
+    /// published as one byte-balanced [`MorselQueue`] and the worker
+    /// pool drains it (one worker per node, stealing across nodes).
+    /// `scan_container` returns `(bytes, objects)` per container, or
+    /// `None` when the collector hung up.
     fn sweep(
         &self,
         scan_container: impl Fn(
@@ -221,42 +230,44 @@ impl<'a> TagScanMachine<'a> {
         on_match: &mut impl FnMut(TagObject),
     ) -> Result<ScanReport, DataflowError> {
         let n = self.cluster.n_nodes();
+        let flat: Vec<&crate::cluster::NodeContainer> = (0..n)
+            .flat_map(|node| self.cluster.node(node).iter())
+            .collect();
+        let sizes: Vec<usize> = flat.iter().map(|c| c.payload.len()).collect();
+        let queue = MorselQueue::build(&sizes, n);
         let (tx, rx) = unbounded::<TagObject>();
         let bytes = AtomicUsize::new(0);
         let objects = AtomicUsize::new(0);
         let start = Instant::now();
         let mut matches = 0usize;
 
-        std::thread::scope(|scope| {
-            for node in 0..n {
-                let tx = tx.clone();
-                let bytes = &bytes;
-                let objects = &objects;
-                let cluster = self.cluster;
-                let scan_container = &scan_container;
-                scope.spawn(move || {
-                    let mut local_bytes = 0usize;
-                    let mut local_objects = 0usize;
-                    let send = |t: TagObject| tx.send(t).is_ok();
-                    for container in cluster.node(node) {
-                        match scan_container(container, &send) {
-                            Some((b, o)) => {
-                                local_bytes += b;
-                                local_objects += o;
-                            }
-                            None => return, // collector hung up
+        let pool_result = std::thread::scope(|scope| {
+            let pool = &self.pool;
+            let flat = &flat;
+            let queue = &queue;
+            let bytes = &bytes;
+            let objects = &objects;
+            let scan_container = &scan_container;
+            let drainer = scope.spawn(move || {
+                let send = |t: TagObject| tx.send(t).is_ok();
+                pool.run("tag-sweep", crate::sched::JobClass::Interactive, 0.0, queue, |_, m| {
+                    match scan_container(flat[m], &send) {
+                        Some((b, o)) => {
+                            bytes.fetch_add(b, Ordering::Relaxed);
+                            objects.fetch_add(o, Ordering::Relaxed);
+                            true
                         }
+                        None => false, // collector hung up
                     }
-                    bytes.fetch_add(local_bytes, Ordering::Relaxed);
-                    objects.fetch_add(local_objects, Ordering::Relaxed);
-                });
-            }
-            drop(tx);
+                })
+            });
             for tag in rx.iter() {
                 matches += 1;
                 on_match(tag);
             }
+            drainer.join().expect("pool drainer panicked")
         });
+        pool_result?;
 
         Ok(ScanReport {
             nodes: n,

@@ -65,6 +65,18 @@ pub struct QueryStats {
     pub rows: usize,
     /// Batches delivered to the consumer.
     pub batches: usize,
+    /// Worker-thread slots this execution held (= scan workers granted
+    /// at admission).
+    pub workers_granted: usize,
+    /// Scan workers that actually ran (morsel workers, serial drivers
+    /// and interpreted fallbacks all register).
+    pub workers_used: usize,
+    /// Bytes scanned per worker, in worker completion order — the
+    /// balance check for the parallel-efficiency numbers.
+    pub worker_bytes: Vec<u64>,
+    /// Container morsels dispatched across all scan workers (0 when no
+    /// morsel queue was involved, e.g. interpreted fallbacks).
+    pub morsels: u64,
     /// Scan-side totals: bytes/containers touched, exact geometry
     /// tests, and cover-cache hit/miss counts.
     pub scan: ScanTotals,
@@ -97,17 +109,27 @@ pub struct CostEstimate {
 }
 
 /// Admission-control configuration: the slot pool bounding concurrent
-/// executions.
+/// scan **worker threads** (not query count — a query holds one slot per
+/// granted scan worker, so an 8-worker sweep occupies the machine like 8
+/// single-worker queries).
 #[derive(Debug, Clone, Copy)]
 pub struct AdmissionConfig {
-    /// Total concurrently executing queries; the rest queue.
-    pub max_concurrent: usize,
+    /// Total worker-thread slots across all executing queries; waiters
+    /// queue cost-ordered (shortest estimated query first, with a
+    /// starvation bound).
+    pub max_worker_slots: usize,
     /// Estimated scan bytes at or above which a query is *heavy*.
     pub heavy_bytes: u64,
-    /// Of the `max_concurrent` slots, how many may run heavy queries at
-    /// once (clamped to at least 1 so heavy queries always make
-    /// progress).
+    /// How many heavy queries may execute at once (clamped to at least 1
+    /// so heavy queries always make progress).
     pub max_heavy: usize,
+    /// Cap on scan workers granted to one query — the intra-query
+    /// parallelism degree (clamped to at least 1).
+    pub max_workers_per_query: usize,
+    /// Starvation bound for the cost-ordered queue: once a waiter has
+    /// been bypassed by this many later-arriving queries it becomes a
+    /// barrier no later arrival may pass.
+    pub max_bypass: u32,
 }
 
 impl Default for AdmissionConfig {
@@ -116,34 +138,60 @@ impl Default for AdmissionConfig {
             .map(|n| n.get())
             .unwrap_or(4);
         AdmissionConfig {
-            max_concurrent: cores.max(2),
+            // Enough slots for one full-width sweep plus interactive
+            // queries alongside it.
+            max_worker_slots: (2 * cores).max(4),
             heavy_bytes: 64 << 20,
             max_heavy: 2,
+            max_workers_per_query: cores.max(1),
+            max_bypass: 4,
         }
     }
 }
 
-/// A point-in-time view of the admission state.
+/// A point-in-time view of the admission state. All slot counts are in
+/// worker threads.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AdmissionSnapshot {
-    /// Queries currently holding an execution slot.
+    /// Worker-thread slots currently held by executing queries.
     pub running: usize,
-    /// Queries blocked waiting for a slot.
+    /// Queries blocked waiting for slots.
     pub queued: usize,
     /// High-water mark of `running` since the archive was built.
     pub peak_running: usize,
+}
+
+/// One queued admission request.
+#[derive(Debug)]
+struct Waiter {
+    id: u64,
+    weight: usize,
+    heavy: bool,
+    est_seconds: f64,
+    /// Later-arriving queries that dispatched ahead of this one.
+    bypass: u32,
 }
 
 #[derive(Debug)]
 struct SlotState {
     free: usize,
     heavy_free: usize,
-    queued: usize,
+    total: usize,
+    max_bypass: u32,
+    /// Waiting queries in arrival order.
+    waiters: Vec<Waiter>,
+    next_id: u64,
     running: usize,
     peak_running: usize,
 }
 
-/// A counting semaphore over (general, heavy) slots.
+/// A weighted counting semaphore over (general, heavy) worker slots with
+/// a **cost-ordered** wait queue: among the waiters that fit the free
+/// slots, the one with the smallest `est_seconds` dispatches first
+/// (short interactive queries jump queued sweeps). Every dispatch that
+/// overtakes an earlier arrival increments the overtaken waiters'
+/// bypass counts; a waiter at the bound becomes a barrier — nothing
+/// later passes it, so the pool drains until the starved query fits.
 #[derive(Debug)]
 struct Slots {
     state: Mutex<SlotState>,
@@ -152,12 +200,15 @@ struct Slots {
 
 impl Slots {
     fn new(cfg: &AdmissionConfig) -> Slots {
-        let total = cfg.max_concurrent.max(1);
+        let total = cfg.max_worker_slots.max(1);
         Slots {
             state: Mutex::new(SlotState {
                 free: total,
                 heavy_free: cfg.max_heavy.clamp(1, total),
-                queued: 0,
+                total,
+                max_bypass: cfg.max_bypass,
+                waiters: Vec::new(),
+                next_id: 0,
                 running: 0,
                 peak_running: 0,
             }),
@@ -165,42 +216,106 @@ impl Slots {
         }
     }
 
-    fn acquire(self: &Arc<Slots>, heavy: bool) -> SlotGuard {
-        let mut st = self.state.lock().unwrap();
-        st.queued += 1;
-        while st.free == 0 || (heavy && st.heavy_free == 0) {
-            st = self.cv.wait(st).unwrap();
+    fn fits(st: &SlotState, w: &Waiter) -> bool {
+        w.weight <= st.free && (!w.heavy || st.heavy_free > 0)
+    }
+
+    /// The waiter that should dispatch next, if any fits right now.
+    fn chosen(st: &SlotState) -> Option<usize> {
+        // A starved waiter is a barrier: it dispatches next or nothing
+        // does (the pool drains until it fits).
+        if let Some(pos) = st
+            .waiters
+            .iter()
+            .position(|w| w.bypass >= st.max_bypass)
+        {
+            return Self::fits(st, &st.waiters[pos]).then_some(pos);
         }
-        st.queued -= 1;
-        st.free -= 1;
-        if heavy {
+        // Cost order: cheapest eligible first; `min_by` keeps the first
+        // (earliest-arrival) of equal estimates, so FIFO breaks ties.
+        st.waiters
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| Self::fits(st, w))
+            .min_by(|(_, a), (_, b)| a.est_seconds.total_cmp(&b.est_seconds))
+            .map(|(pos, _)| pos)
+    }
+
+    /// Take `pos` out of the queue and claim its slots. Earlier arrivals
+    /// still waiting were just bypassed.
+    fn dispatch(st: &mut SlotState, pos: usize) -> Waiter {
+        let w = st.waiters.remove(pos);
+        for earlier in &mut st.waiters[..pos] {
+            earlier.bypass += 1;
+        }
+        st.free -= w.weight;
+        if w.heavy {
             st.heavy_free -= 1;
         }
-        st.running += 1;
+        st.running += w.weight;
         st.peak_running = st.peak_running.max(st.running);
-        drop(st);
-        SlotGuard {
-            slots: self.clone(),
+        w
+    }
+
+    /// Blocking acquire of `weight` worker slots (clamped to the pool
+    /// size so wide queries always fit eventually).
+    fn acquire(self: &Arc<Slots>, weight: usize, heavy: bool, est_seconds: f64) -> SlotGuard {
+        let mut st = self.state.lock().unwrap();
+        let weight = weight.clamp(1, st.total);
+        let id = st.next_id;
+        st.next_id += 1;
+        st.waiters.push(Waiter {
+            id,
+            weight,
             heavy,
+            est_seconds,
+            bypass: 0,
+        });
+        loop {
+            if let Some(pos) = Self::chosen(&st) {
+                if st.waiters[pos].id == id {
+                    let w = Self::dispatch(&mut st, pos);
+                    drop(st);
+                    // Another waiter may also fit in what's left.
+                    self.cv.notify_all();
+                    return SlotGuard {
+                        slots: self.clone(),
+                        weight: w.weight,
+                        heavy,
+                    };
+                }
+                // Someone else should go first; make sure they're awake.
+                self.cv.notify_all();
+            }
+            st = self.cv.wait(st).unwrap();
         }
     }
 
-    /// Non-blocking acquire: `None` when the pool (or heavy pool) is
-    /// exhausted right now.
-    fn try_acquire(self: &Arc<Slots>, heavy: bool) -> Option<SlotGuard> {
+    /// Non-blocking acquire: `None` when the slots aren't free right now
+    /// or queued queries are ahead (try never jumps the queue).
+    fn try_acquire(self: &Arc<Slots>, weight: usize, heavy: bool) -> Option<SlotGuard> {
         let mut st = self.state.lock().unwrap();
-        if st.free == 0 || (heavy && st.heavy_free == 0) {
+        let weight = weight.clamp(1, st.total);
+        let probe = Waiter {
+            id: 0,
+            weight,
+            heavy,
+            est_seconds: 0.0,
+            bypass: 0,
+        };
+        if !st.waiters.is_empty() || !Self::fits(&st, &probe) {
             return None;
         }
-        st.free -= 1;
+        st.free -= weight;
         if heavy {
             st.heavy_free -= 1;
         }
-        st.running += 1;
+        st.running += weight;
         st.peak_running = st.peak_running.max(st.running);
         drop(st);
         Some(SlotGuard {
             slots: self.clone(),
+            weight,
             heavy,
         })
     }
@@ -209,27 +324,29 @@ impl Slots {
         let st = self.state.lock().unwrap();
         AdmissionSnapshot {
             running: st.running,
-            queued: st.queued,
+            queued: st.waiters.len(),
             peak_running: st.peak_running,
         }
     }
 }
 
-/// Holds one execution slot; returning it on drop wakes queued queries.
+/// Holds one execution's worker slots; returning them on drop wakes
+/// queued queries.
 #[derive(Debug)]
 struct SlotGuard {
     slots: Arc<Slots>,
+    weight: usize,
     heavy: bool,
 }
 
 impl Drop for SlotGuard {
     fn drop(&mut self) {
         let mut st = self.slots.state.lock().unwrap();
-        st.free += 1;
+        st.free += self.weight;
         if self.heavy {
             st.heavy_free += 1;
         }
-        st.running -= 1;
+        st.running -= self.weight;
         drop(st);
         self.slots.cv.notify_all();
     }
@@ -388,6 +505,19 @@ impl Archive {
     }
 }
 
+/// Scan leaves of a plan (set operations have several running at once).
+fn count_scan_leaves(node: &PlanNode) -> usize {
+    match node {
+        PlanNode::Scan(_) => 1,
+        PlanNode::Sort { child, .. }
+        | PlanNode::Limit { child, .. }
+        | PlanNode::Aggregate { child, .. } => count_scan_leaves(child),
+        PlanNode::Set { left, right, .. } => {
+            count_scan_leaves(left) + count_scan_leaves(right)
+        }
+    }
+}
+
 fn route_of(node: &PlanNode) -> RouteChoice {
     fn any_full(node: &PlanNode) -> bool {
         match node {
@@ -459,6 +589,27 @@ impl Prepared {
         self.heavy
     }
 
+    /// Scan workers an execution will be granted — and the worker-thread
+    /// slots it will hold while running. Every scan leaf needs at least
+    /// one thread (set operations run their sides concurrently), so the
+    /// grant never drops below the leaf count; beyond that, only
+    /// compiled columnar plans parallelize, bounded by the per-query
+    /// cap, the pool size, and the number of touched containers (a
+    /// one-container cone search gains nothing from a second worker).
+    pub fn planned_workers(&self) -> usize {
+        let leaves = count_scan_leaves(&self.plan.root).max(1);
+        if !self.columnar {
+            return leaves;
+        }
+        let containers = self.estimate.containers_full + self.estimate.containers_partial;
+        let cfg = &self.archive.inner.config.admission;
+        cfg.max_workers_per_query
+            .max(1)
+            .min(cfg.max_worker_slots.max(1))
+            .min(containers.max(1))
+            .max(leaves)
+    }
+
     /// Execute with no parameters, streaming batches.
     pub fn stream(&self) -> Result<ResultStream, QueryError> {
         self.stream_with(&[])
@@ -471,14 +622,20 @@ impl Prepared {
     /// launches execution threads and returns the pull end.
     ///
     /// **Deadlock note:** an open [`ResultStream`] holds its admission
-    /// slot until dropped or finished. A caller already holding
-    /// `max_concurrent` open streams that calls this again waits for a
-    /// slot only it can free — layer nested queries over open streams
-    /// with [`Prepared::try_stream_with`] instead.
+    /// slots (one per granted worker, see [`Prepared::planned_workers`])
+    /// until dropped or finished. A caller whose open streams already
+    /// hold enough of the `max_worker_slots` pool that this execution's
+    /// grant cannot fit waits for slots only it can free — layer nested
+    /// queries over open streams with [`Prepared::try_stream_with`]
+    /// instead.
     pub fn stream_with(&self, params: &[f64]) -> Result<ResultStream, QueryError> {
         let root = self.bind_root(params)?;
         let queued_at = Instant::now();
-        let slot = self.archive.inner.slots.acquire(self.heavy);
+        let slot = self.archive.inner.slots.acquire(
+            self.planned_workers(),
+            self.heavy,
+            self.estimate.est_seconds,
+        );
         Ok(self.launch_stream(root, slot, queued_at.elapsed()))
     }
 
@@ -498,7 +655,7 @@ impl Prepared {
             .archive
             .inner
             .slots
-            .try_acquire(self.heavy)
+            .try_acquire(self.planned_workers(), self.heavy)
             .ok_or_else(|| {
                 QueryError::Exec("admission pool is full (try again later)".to_string())
             })?;
@@ -535,11 +692,21 @@ impl Prepared {
         let columnar =
             plan_uses_columnar(&root, inner.tags.is_some(), inner.config.mode);
         let ticket = Arc::new(TicketCore::default());
+        // The granted slots split across the plan's scan leaves (set
+        // operations run several concurrently): `leaves * per_leaf <=
+        // granted`, so the execution never runs more scan threads than
+        // it holds slots for. (`planned_workers` grants at least one
+        // slot per leaf; the only exception is a pool smaller than the
+        // plan's leaf count, where the clamp to the pool size leaves
+        // each leaf its mandatory single thread.)
+        let workers_granted = slot.weight;
+        let leaves = count_scan_leaves(&root).max(1);
         let env = ExecEnv {
             store: inner.store.clone(),
             tags: inner.tags.clone(),
             cover_level: inner.config.cover_level,
             mode: inner.config.mode,
+            workers: (workers_granted / leaves).max(1),
         };
         let started = Instant::now();
         let handle = launch(&env, root, &ticket);
@@ -553,6 +720,7 @@ impl Prepared {
             first: None,
             rows: 0,
             batches: 0,
+            workers_granted,
             finished: false,
             _slot: slot,
         }
@@ -617,6 +785,7 @@ pub struct ResultStream {
     first: Option<Duration>,
     rows: usize,
     batches: usize,
+    workers_granted: usize,
     finished: bool,
     _slot: SlotGuard,
 }
@@ -657,6 +826,7 @@ impl ResultStream {
     /// final once the stream has fully drained (or execution was
     /// cancelled and wound down).
     pub fn finish(self) -> QueryStats {
+        let worker_scans = self.ticket.core.worker_scans();
         QueryStats {
             route: self.route,
             columnar: self.columnar,
@@ -665,6 +835,10 @@ impl ResultStream {
             total_time: self.started.elapsed(),
             rows: self.rows,
             batches: self.batches,
+            workers_granted: self.workers_granted,
+            workers_used: worker_scans.len(),
+            worker_bytes: worker_scans.iter().map(|w| w.bytes_scanned).collect(),
+            morsels: worker_scans.iter().map(|w| w.morsels).sum(),
             scan: self.ticket.core.totals(),
         }
     }
@@ -1000,21 +1174,26 @@ mod tests {
         check_send::<ResultStream>();
     }
 
+    fn slots_cfg(max_worker_slots: usize, max_heavy: usize, max_bypass: u32) -> AdmissionConfig {
+        AdmissionConfig {
+            max_worker_slots,
+            heavy_bytes: 1,
+            max_heavy,
+            max_workers_per_query: max_worker_slots,
+            max_bypass,
+        }
+    }
+
     #[test]
     fn admission_slots_block_and_release() {
-        let cfg = AdmissionConfig {
-            max_concurrent: 2,
-            heavy_bytes: 1,
-            max_heavy: 1,
-        };
-        let slots = Arc::new(Slots::new(&cfg));
-        let a = slots.acquire(false);
-        let b = slots.acquire(true);
+        let slots = Arc::new(Slots::new(&slots_cfg(2, 1, 4)));
+        let a = slots.acquire(1, false, 1.0);
+        let b = slots.acquire(1, true, 1.0);
         assert_eq!(slots.snapshot().running, 2);
         // Third acquire must wait until one guard drops.
         let slots2 = slots.clone();
         let t = std::thread::spawn(move || {
-            let _c = slots2.acquire(false);
+            let _c = slots2.acquire(1, false, 1.0);
         });
         std::thread::sleep(Duration::from_millis(30));
         assert_eq!(slots.snapshot().queued, 1);
@@ -1024,5 +1203,115 @@ mod tests {
         drop(b);
         assert_eq!(slots.snapshot().running, 0);
         assert_eq!(slots.snapshot().peak_running, 2);
+    }
+
+    #[test]
+    fn weighted_acquire_accounts_worker_slots() {
+        let slots = Arc::new(Slots::new(&slots_cfg(8, 2, 4)));
+        // An 8-worker sweep holds 8 slots — the whole pool.
+        let sweep = slots.acquire(8, false, 100.0);
+        assert_eq!(slots.snapshot().running, 8);
+        let slots2 = slots.clone();
+        let t = std::thread::spawn(move || {
+            let _one = slots2.acquire(1, false, 0.1);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(slots.snapshot().queued, 1, "no room beside a full-width sweep");
+        drop(sweep);
+        t.join().unwrap();
+        assert_eq!(slots.snapshot().running, 0);
+        assert_eq!(slots.snapshot().peak_running, 8);
+        // Weights clamp to the pool: an oversized request still fits.
+        let wide = slots.acquire(64, false, 1.0);
+        assert_eq!(slots.snapshot().running, 8);
+        drop(wide);
+    }
+
+    #[test]
+    fn admission_queue_is_cost_ordered() {
+        let slots = Arc::new(Slots::new(&slots_cfg(1, 1, 100)));
+        let hold = slots.acquire(1, false, 0.0);
+        let (order_tx, order_rx) = std::sync::mpsc::channel::<&'static str>();
+        // Expensive waiter arrives first...
+        let slow = {
+            let slots = slots.clone();
+            let tx = order_tx.clone();
+            std::thread::spawn(move || {
+                let g = slots.acquire(1, false, 60.0);
+                tx.send("slow").unwrap();
+                drop(g);
+            })
+        };
+        while slots.snapshot().queued < 1 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // ...then a cheap one.
+        let fast = {
+            let slots = slots.clone();
+            let tx = order_tx.clone();
+            std::thread::spawn(move || {
+                let g = slots.acquire(1, false, 0.5);
+                tx.send("fast").unwrap();
+                // Hold briefly so "slow" can't finish first by racing.
+                std::thread::sleep(Duration::from_millis(20));
+                drop(g);
+            })
+        };
+        while slots.snapshot().queued < 2 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        drop(hold);
+        // The cheap query dispatches ahead of the earlier expensive one.
+        assert_eq!(order_rx.recv_timeout(Duration::from_secs(5)).unwrap(), "fast");
+        assert_eq!(order_rx.recv_timeout(Duration::from_secs(5)).unwrap(), "slow");
+        slow.join().unwrap();
+        fast.join().unwrap();
+    }
+
+    #[test]
+    fn starvation_bound_limits_bypasses() {
+        // max_bypass = 2: after two cheap queries overtake it, the
+        // expensive waiter becomes a barrier and dispatches next even
+        // though cheaper work is queued behind it.
+        let slots = Arc::new(Slots::new(&slots_cfg(1, 1, 2)));
+        let hold = slots.acquire(1, false, 0.0);
+        let order = Arc::new(Mutex::new(Vec::<String>::new()));
+        let mut handles = Vec::new();
+        // The starving expensive waiter arrives first.
+        {
+            let (slots, order) = (slots.clone(), order.clone());
+            handles.push(std::thread::spawn(move || {
+                let g = slots.acquire(1, false, 1000.0);
+                order.lock().unwrap().push("slow".into());
+                drop(g);
+            }));
+        }
+        while slots.snapshot().queued < 1 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Cheap queries arrive one at a time; each dispatch bypasses the
+        // expensive waiter until the bound trips.
+        for i in 0..4 {
+            let (slots_t, order_t) = (slots.clone(), order.clone());
+            handles.push(std::thread::spawn(move || {
+                let g = slots_t.acquire(1, false, 0.1);
+                order_t.lock().unwrap().push(format!("fast{i}"));
+                std::thread::sleep(Duration::from_millis(10));
+                drop(g);
+            }));
+            while slots.snapshot().queued < 2 + i {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        drop(hold);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let order = order.lock().unwrap();
+        let slow_pos = order.iter().position(|s| s == "slow").unwrap();
+        assert!(
+            slow_pos <= 2,
+            "starved waiter dispatched after {slow_pos} bypasses (bound is 2): {order:?}"
+        );
     }
 }

@@ -562,6 +562,69 @@ impl CompiledProjection {
     }
 }
 
+/// Compiled aggregate argument lanes for **in-scan folding**: one
+/// numeric program per aggregate (or none for `COUNT(*)`), evaluated
+/// batch-at-a-time so scan workers can fold `COUNT`/`SUM`/`MIN`/`MAX`
+/// partials directly instead of shipping hidden `__agg_i` columns
+/// through the channel fabric.
+#[derive(Debug, Clone)]
+pub struct CompiledAggInputs {
+    programs: Vec<Option<Program>>,
+}
+
+/// Compile the aggregate argument expressions; `None` falls back to the
+/// channel path (project `__agg_i` columns, fold in the Aggregate node).
+pub fn compile_agg_inputs(args: &[Option<&Expr>]) -> Option<CompiledAggInputs> {
+    let programs = args
+        .iter()
+        .map(|arg| match arg {
+            None => Some(None),
+            Some(e) => {
+                let mut c = Compiler::default();
+                let out = c.compile_num(e)?;
+                Some(Some(c.finish(out)))
+            }
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(CompiledAggInputs { programs })
+}
+
+impl CompiledAggInputs {
+    pub fn width(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Fold the selected rows of one batch: calls `f(agg_index, value)`
+    /// for every selected row of every aggregate, with exactly the value
+    /// the channel path's `__agg_i` column would have carried (`None`
+    /// only for argument-less `COUNT(*)`). Lanes compute hinted by the
+    /// selection, so unselected rows cost nothing.
+    pub fn fold(
+        &self,
+        batch: &ColumnBatch<'_>,
+        sel: &SelectionMask,
+        scratch: &mut BatchScratch,
+        mut f: impl FnMut(usize, Option<f64>),
+    ) {
+        for (i, prog) in self.programs.iter().enumerate() {
+            match prog {
+                Some(prog) => {
+                    prog.run(batch, scratch, Some(sel));
+                    let lane = &scratch.num[prog.out as usize];
+                    for r in sel.iter_set() {
+                        f(i, Some(lane[r]));
+                    }
+                }
+                None => {
+                    for _ in sel.iter_set() {
+                        f(i, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Compile a residual predicate; `None` falls back to the interpreter.
 pub fn compile_predicate(expr: &Expr) -> Option<CompiledPredicate> {
     let mut c = Compiler::default();

@@ -24,15 +24,21 @@
 //! and cooperative cancellation through the shared [`TicketCore`].
 
 use crate::ast::{AggFn, Value};
-use crate::compile::{compile_predicate, compile_projection, BatchScratch};
+use crate::compile::{
+    compile_agg_inputs, compile_predicate, compile_projection, BatchScratch, CompiledAggInputs,
+    CompiledPredicate, CompiledProjection,
+};
 use crate::ops::{eval, AttrSource};
-use crate::plan::{PlanNode, ScanSpec, ScanTarget};
+use crate::plan::{AggSpec, PlanNode, ScanSpec, ScanTarget};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use sdss_catalog::ObjClass;
-use sdss_storage::{sample_hash_keep, ObjectStore, RegionScan, TagStore};
+use sdss_storage::{
+    sample_hash_keep, ColumnBatch, MorselQueue, ObjectStore, RegionScan, SelectionMask,
+    TagScanPlan, TagStore,
+};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One output row.
 pub type Row = Vec<Value>;
@@ -295,9 +301,25 @@ pub struct TicketCore {
     exact_tests: AtomicU64,
     cover_hits: AtomicU64,
     cover_misses: AtomicU64,
+    /// One entry per scan worker that ran (parallel workers, the serial
+    /// columnar driver, and the row fallback each register here).
+    worker_scans: Mutex<Vec<WorkerScan>>,
     /// First node-thread panic, surfaced instead of silently truncating
     /// the result (detached threads have no join to propagate through).
     failure: std::sync::Mutex<Option<String>>,
+}
+
+/// What one scan worker did — the per-worker accounting behind
+/// `QueryStats` (`workers_used`, per-worker bytes, morsel counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerScan {
+    /// Bytes this worker read.
+    pub bytes_scanned: u64,
+    /// Container morsels this worker claimed from the queue (0 on the
+    /// row-interpreted fallback, which has no morsel queue).
+    pub morsels: u64,
+    /// Rows that survived selection in this worker.
+    pub rows_selected: u64,
 }
 
 /// A snapshot of the scan-side counters (the totals behind
@@ -361,6 +383,50 @@ impl TicketCore {
         self.batches_emitted.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Scan-survivor rows that never ship as batches (in-scan aggregate
+    /// folding counts the rows it folded here).
+    fn note_rows(&self, rows: u64) {
+        self.rows_scanned.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    fn note_emitted(&self) {
+        self.batches_emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the plan-time cover lookup of a morsel-driven scan (the
+    /// per-morsel stats deliberately carry no cover counters).
+    fn note_cover(&self, hit: bool) {
+        if hit {
+            self.cover_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cover_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn note_worker(&self, ws: WorkerScan) {
+        self.worker_scans.lock().unwrap().push(ws);
+    }
+
+    /// Scan workers that ran so far (final once the stream drains).
+    pub fn workers_used(&self) -> usize {
+        self.worker_scans.lock().unwrap().len()
+    }
+
+    /// Per-worker scan accounting, in completion order.
+    pub fn worker_scans(&self) -> Vec<WorkerScan> {
+        self.worker_scans.lock().unwrap().clone()
+    }
+
+    /// Container morsels dispatched across all workers.
+    pub fn morsels_dispatched(&self) -> u64 {
+        self.worker_scans
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|w| w.morsels)
+            .sum()
+    }
+
     fn absorb_scan(&self, s: &RegionScan) {
         self.bytes_scanned
             .fetch_add(s.bytes_scanned as u64, Ordering::Relaxed);
@@ -395,6 +461,10 @@ pub struct ExecEnv {
     /// Cover level override for scans.
     pub cover_level: Option<u8>,
     pub mode: ExecMode,
+    /// Scan workers each columnar scan leaf may use (≥ 1). The caller
+    /// holds this many admission slots per leaf — see `dataflow::pool`'s
+    /// module docs for the slot-accounting contract.
+    pub workers: usize,
 }
 
 /// A handle to a running (sub)tree: the receiving end of its output.
@@ -521,40 +591,19 @@ fn spawn_node(env: &ExecEnv, node: PlanNode, ticket: &Arc<TicketCore>) -> BatchH
             BatchHandle { columns, rx }
         }
         PlanNode::Aggregate { child, aggs } => {
-            let child_handle = spawn_node(env, *child, ticket);
-            let (tx, rx) = bounded::<ResultBatch>(CHANNEL_DEPTH);
-            let columns = Arc::new(aggs.iter().map(|a| a.name.clone()).collect::<Vec<_>>());
-            // Resolve each aggregate's hidden `__agg_i` column up front
-            // instead of re-formatting the name per row.
-            let child_cols = child_handle.columns.clone();
-            let arg_idx: Vec<Option<usize>> = aggs
-                .iter()
-                .enumerate()
-                .map(|(i, a)| {
-                    a.arg.as_ref().map(|_| {
-                        child_cols
-                            .iter()
-                            .position(|c| c == &format!("__agg_{i}"))
-                            .expect("lowering appended the agg column")
-                    })
-                })
-                .collect();
-            spawn_guarded(ticket.clone(), move || {
-                let mut acc: Vec<AggAcc> = aggs.iter().map(|a| AggAcc::new(a.func)).collect();
-                for batch in child_handle.rx.iter() {
-                    // Accumulate straight off the batch — columnar lanes
-                    // fold without materializing rows.
-                    for r in 0..batch.len() {
-                        for (i, idx) in arg_idx.iter().enumerate() {
-                            let v = idx.and_then(|idx| batch.num_at(idx, r));
-                            acc[i].update(v);
-                        }
+            // In-scan folding fast path: an aggregate directly over a
+            // compilable tag scan folds inside the scan workers — no
+            // `__agg_i` columns, no per-row channel traffic.
+            let child = *child;
+            if let PlanNode::Scan(spec) = child {
+                return match compile_agg_scan(&spec, &aggs, env.tags.is_some(), env.mode) {
+                    Some((pred, inputs)) => {
+                        spawn_agg_scan(env, spec, aggs, pred, inputs, ticket)
                     }
-                }
-                let row: Row = acc.into_iter().map(AggAcc::finish).collect();
-                let _ = tx.send(ResultBatch::Rows(vec![row]));
-            });
-            BatchHandle { columns, rx }
+                    None => spawn_aggregate_over(env, PlanNode::Scan(spec), aggs, ticket),
+                };
+            }
+            spawn_aggregate_over(env, child, aggs, ticket)
         }
         PlanNode::Set { op, left, right } => {
             let lh = spawn_node(env, *left, ticket);
@@ -629,6 +678,52 @@ fn spawn_node(env: &ExecEnv, node: PlanNode, ticket: &Arc<TicketCore>) -> BatchH
     }
 }
 
+/// The channel-path Aggregate node: drain the child's batches (which
+/// carry hidden `__agg_i` columns) and fold them into one row. The fused
+/// in-scan path ([`spawn_agg_scan`]) replaces this whenever the child is
+/// a compilable tag scan.
+fn spawn_aggregate_over(
+    env: &ExecEnv,
+    child: PlanNode,
+    aggs: Vec<AggSpec>,
+    ticket: &Arc<TicketCore>,
+) -> BatchHandle {
+    let child_handle = spawn_node(env, child, ticket);
+    let (tx, rx) = bounded::<ResultBatch>(CHANNEL_DEPTH);
+    let columns = Arc::new(aggs.iter().map(|a| a.name.clone()).collect::<Vec<_>>());
+    // Resolve each aggregate's hidden `__agg_i` column up front
+    // instead of re-formatting the name per row.
+    let child_cols = child_handle.columns.clone();
+    let arg_idx: Vec<Option<usize>> = aggs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            a.arg.as_ref().map(|_| {
+                child_cols
+                    .iter()
+                    .position(|c| c == &format!("__agg_{i}"))
+                    .expect("lowering appended the agg column")
+            })
+        })
+        .collect();
+    spawn_guarded(ticket.clone(), move || {
+        let mut acc: Vec<AggAcc> = aggs.iter().map(|a| AggAcc::new(a.func)).collect();
+        for batch in child_handle.rx.iter() {
+            // Accumulate straight off the batch — columnar lanes
+            // fold without materializing rows.
+            for r in 0..batch.len() {
+                for (i, idx) in arg_idx.iter().enumerate() {
+                    let v = idx.and_then(|idx| batch.num_at(idx, r));
+                    acc[i].update(v);
+                }
+            }
+        }
+        let row: Row = acc.into_iter().map(AggAcc::finish).collect();
+        let _ = tx.send(ResultBatch::Rows(vec![row]));
+    });
+    BatchHandle { columns, rx }
+}
+
 /// Lower a scan: project columns (plus hidden aggregate argument columns,
 /// handled by the planner caller) and stream matching batches. Tag scans
 /// take the columnar compiled path when the predicate and projection
@@ -643,72 +738,42 @@ fn spawn_scan(env: &ExecEnv, spec: ScanSpec, ticket: &Arc<TicketCore>) -> BatchH
     // --- columnar fast path -------------------------------------------
     // `compile_scan` is the same gate `plan_uses_columnar` reports
     // through `QueryStats.columnar`; the programs compile exactly once.
+    // The scan is morsel-driven: the touched-container list becomes a
+    // byte-balanced work queue and `env.workers` worker threads drain it
+    // in parallel, each streaming into the same output channel (the
+    // channel is the per-worker stream merge).
     if let Some((pred, proj)) = compile_scan(&spec, env.tags.is_some(), env.mode) {
         let tag_store = env.tags.clone().expect("compile_scan checked tags");
+        let workers = env.workers.max(1);
         spawn_guarded(ticket.clone(), move || {
-            let mut scratch = BatchScratch::new();
-            let mut keep_scratch: Vec<usize> = Vec::new();
-            // Coalesced output: selective predicates keep few rows per
-            // input chunk; accumulating up to COALESCE_ROWS before a
-            // send amortizes the channel round-trip. The FIRST non-empty
-            // batch flushes immediately — coalescing must not hold back
-            // the ASAP time-to-first-row property.
-            let mut pending: Option<ColumnarBatch> = None;
-            let mut sent_any = false;
-            let result = tag_store.scan_batches(
-                spec.domain.as_ref(),
-                cover_level,
-                |batch, sel| {
-                    if ticket.is_cancelled() {
-                        return false;
-                    }
-                    let mut keep = sel.clone();
-                    if let Some(pred) = &pred {
-                        // The cover mask is the hint: rows it
-                        // rejected are dropped by the AND below
-                        // regardless of the predicate lanes.
-                        keep.and_with(pred.eval_hinted(
-                            batch,
-                            &mut scratch,
-                            Some(sel),
-                        ));
-                    }
-                    if let Some(f) = spec.sample {
-                        keep_scratch.clear();
-                        keep_scratch.extend(
-                            keep.iter_set()
-                                .filter(|&i| !sample_hash_keep(batch.obj_id[i], f)),
-                        );
-                        for &i in &keep_scratch {
-                            keep.clear(i);
-                        }
-                    }
-                    if keep.any() {
-                        let out = proj.eval_batch(batch, &keep, &mut scratch);
-                        match &mut pending {
-                            None => pending = Some(out),
-                            Some(p) => p.append(out),
-                        }
-                        let threshold = if sent_any { COALESCE_ROWS } else { 1 };
-                        if pending.as_ref().is_some_and(|p| p.len() >= threshold) {
-                            let out = pending.take().expect("checked above");
-                            ticket.note_batch(out.len());
-                            sent_any = true;
-                            if tx.send(ResultBatch::Columnar(out)).is_err() {
-                                return false; // consumer hung up
-                            }
-                        }
-                    }
-                    true
-                },
-            );
-            if let Some(out) = pending {
-                ticket.note_batch(out.len());
-                let _ = tx.send(ResultBatch::Columnar(out));
+            let plan = match tag_store.plan_batch_scan(spec.domain.as_ref(), cover_level) {
+                Ok(plan) => Arc::new(plan),
+                Err(e) => {
+                    ticket.record_failure(format!("scan planning failed: {e}"));
+                    return;
+                }
+            };
+            if let Some(hit) = plan.cover_cache_hit() {
+                ticket.note_cover(hit);
             }
-            if let Ok(stats) = result {
-                ticket.absorb_scan(&stats);
+            let n_workers = workers.min(plan.morsels().len()).max(1);
+            let job = Arc::new(ColumnarScanJob {
+                pred,
+                proj,
+                sample: spec.sample,
+                tag_store,
+                queue: MorselQueue::build(&plan.morsel_bytes(), n_workers),
+                plan,
+                ticket: ticket.clone(),
+                tx,
+            });
+            for w in 1..n_workers {
+                let job = job.clone();
+                spawn_guarded(ticket.clone(), move || job.run_worker(w));
             }
+            // The coordinator doubles as worker 0; the channel closes
+            // once the last worker drops its `job` clone.
+            job.run_worker(0);
         });
         return BatchHandle { columns, rx };
     }
@@ -719,6 +784,8 @@ fn spawn_scan(env: &ExecEnv, spec: ScanSpec, ticket: &Arc<TicketCore>) -> BatchH
     spawn_guarded(ticket.clone(), move || {
         let mut out: Vec<Row> = Vec::with_capacity(BATCH);
         let mut alive = true;
+        let mut kept: u64 = 0;
+        let mut worker_bytes: u64 = 0;
 
         // The row pipeline, generic over record type.
         let mut emit = |src: &dyn AttrSource, tx: &Sender<ResultBatch>| -> bool {
@@ -746,6 +813,7 @@ fn spawn_scan(env: &ExecEnv, spec: ScanSpec, ticket: &Arc<TicketCore>) -> BatchH
                 }
             }
             out.push(row);
+            kept += 1;
             if out.len() >= BATCH {
                 ticket.note_batch(out.len());
                 if tx.send(ResultBatch::Rows(std::mem::take(&mut out))).is_err() {
@@ -764,6 +832,7 @@ fn spawn_scan(env: &ExecEnv, spec: ScanSpec, ticket: &Arc<TicketCore>) -> BatchH
                             alive
                         })
                     {
+                        worker_bytes = stats.bytes_scanned as u64;
                         ticket.absorb_scan(&stats);
                     }
                 }
@@ -774,6 +843,7 @@ fn spawn_scan(env: &ExecEnv, spec: ScanSpec, ticket: &Arc<TicketCore>) -> BatchH
                         alive = emit(t, &tx);
                         alive
                     });
+                    worker_bytes = bytes as u64;
                     ticket.absorb_sweep(bytes, containers);
                 }
             },
@@ -783,6 +853,7 @@ fn spawn_scan(env: &ExecEnv, spec: ScanSpec, ticket: &Arc<TicketCore>) -> BatchH
                         alive = emit(o, &tx);
                         alive
                     }) {
+                        worker_bytes = stats.bytes_scanned as u64;
                         ticket.absorb_scan(&stats);
                     }
                 }
@@ -791,6 +862,7 @@ fn spawn_scan(env: &ExecEnv, spec: ScanSpec, ticket: &Arc<TicketCore>) -> BatchH
                         alive = emit(o, &tx);
                         alive
                     });
+                    worker_bytes = bytes as u64;
                     ticket.absorb_sweep(bytes, containers);
                 }
             },
@@ -799,6 +871,260 @@ fn spawn_scan(env: &ExecEnv, spec: ScanSpec, ticket: &Arc<TicketCore>) -> BatchH
             ticket.note_batch(out.len());
             let _ = tx.send(ResultBatch::Rows(out));
         }
+        // The interpreted scan is a single serial worker; register it so
+        // `workers_used` is truthful on every path.
+        ticket.note_worker(WorkerScan {
+            bytes_scanned: worker_bytes,
+            morsels: 0,
+            rows_selected: kept,
+        });
+    });
+    BatchHandle { columns, rx }
+}
+
+/// The morsel workers' shared per-batch row selection: the cover mask
+/// ANDed with the compiled predicate (cover-rejected rows hinted away),
+/// then the deterministic sample filter. One rule for the projection
+/// and the aggregate paths — their equivalence is what the parallel
+/// tests assert.
+fn select_rows(
+    pred: &Option<CompiledPredicate>,
+    sample: Option<f64>,
+    batch: &ColumnBatch<'_>,
+    sel: &SelectionMask,
+    scratch: &mut BatchScratch,
+    keep_scratch: &mut Vec<usize>,
+) -> SelectionMask {
+    let mut keep = sel.clone();
+    if let Some(pred) = pred {
+        keep.and_with(pred.eval_hinted(batch, scratch, Some(sel)));
+    }
+    if let Some(f) = sample {
+        keep_scratch.clear();
+        keep_scratch.extend(
+            keep.iter_set()
+                .filter(|&i| !sample_hash_keep(batch.obj_id[i], f)),
+        );
+        for &i in keep_scratch.iter() {
+            keep.clear(i);
+        }
+    }
+    keep
+}
+
+/// One parallel columnar scan: compiled programs + the resolved morsel
+/// plan, shared by every worker through an `Arc`. Workers claim morsels
+/// from the byte-balanced queue, evaluate the predicate, and push
+/// projected [`ColumnarBatch`]es into the shared channel — the channel
+/// fabric merges the per-worker streams.
+struct ColumnarScanJob {
+    pred: Option<CompiledPredicate>,
+    proj: CompiledProjection,
+    sample: Option<f64>,
+    tag_store: Arc<TagStore>,
+    plan: Arc<TagScanPlan>,
+    queue: MorselQueue,
+    ticket: Arc<TicketCore>,
+    tx: Sender<ResultBatch>,
+}
+
+impl ColumnarScanJob {
+    fn run_worker(&self, w: usize) {
+        let mut scratch = BatchScratch::new();
+        let mut keep_scratch: Vec<usize> = Vec::new();
+        // Coalesced output: selective predicates keep few rows per input
+        // chunk; accumulating up to COALESCE_ROWS before a send
+        // amortizes the channel round-trip. Each worker's FIRST
+        // non-empty batch flushes immediately — coalescing must not hold
+        // back the ASAP time-to-first-row property.
+        let mut pending: Option<ColumnarBatch> = None;
+        let mut sent_any = false;
+        let mut local = RegionScan::default();
+        let mut morsels = 0u64;
+        let mut selected = 0u64;
+        let mut alive = true;
+        while alive && !self.ticket.is_cancelled() {
+            let Some(m) = self.queue.next(w) else { break };
+            morsels += 1;
+            let (stats, _) = self.tag_store.scan_morsel(&self.plan, m, |batch, sel| {
+                if self.ticket.is_cancelled() {
+                    return false;
+                }
+                let keep =
+                    select_rows(&self.pred, self.sample, batch, sel, &mut scratch, &mut keep_scratch);
+                if keep.any() {
+                    selected += keep.count() as u64;
+                    let out = self.proj.eval_batch(batch, &keep, &mut scratch);
+                    match &mut pending {
+                        None => pending = Some(out),
+                        Some(p) => p.append(out),
+                    }
+                    let threshold = if sent_any { COALESCE_ROWS } else { 1 };
+                    if pending.as_ref().is_some_and(|p| p.len() >= threshold) {
+                        let out = pending.take().expect("checked above");
+                        self.ticket.note_batch(out.len());
+                        sent_any = true;
+                        if self.tx.send(ResultBatch::Columnar(out)).is_err() {
+                            alive = false;
+                            return false; // consumer hung up
+                        }
+                    }
+                }
+                true
+            });
+            local.merge(&stats);
+        }
+        if let Some(out) = pending {
+            self.ticket.note_batch(out.len());
+            let _ = self.tx.send(ResultBatch::Columnar(out));
+        }
+        self.ticket.note_worker(WorkerScan {
+            bytes_scanned: local.bytes_scanned as u64,
+            morsels,
+            rows_selected: selected,
+        });
+        self.ticket.absorb_scan(&local);
+    }
+}
+
+/// One parallel aggregate scan with **in-scan folding**: workers fold
+/// `COUNT`/`SUM`/`MIN`/`MAX`/`AVG` partials directly inside the morsel
+/// loop — no hidden `__agg_i` columns ever enter the channel fabric.
+/// The coordinator merges per-worker partial accumulators at the edge
+/// and emits the single result row.
+struct AggScanJob {
+    pred: Option<CompiledPredicate>,
+    inputs: CompiledAggInputs,
+    funcs: Vec<AggFn>,
+    sample: Option<f64>,
+    tag_store: Arc<TagStore>,
+    plan: Arc<TagScanPlan>,
+    queue: MorselQueue,
+    ticket: Arc<TicketCore>,
+}
+
+impl AggScanJob {
+    /// Drain morsels for worker `w`, returning its partial accumulators
+    /// (partial even when cancelled — the channel path emits a partial
+    /// aggregate on cancel too).
+    fn run_worker(&self, w: usize) -> Vec<AggAcc> {
+        let mut scratch = BatchScratch::new();
+        let mut keep_scratch: Vec<usize> = Vec::new();
+        let mut accs: Vec<AggAcc> = self.funcs.iter().map(|&f| AggAcc::new(f)).collect();
+        let mut local = RegionScan::default();
+        let mut morsels = 0u64;
+        let mut folded = 0u64;
+        while !self.ticket.is_cancelled() {
+            let Some(m) = self.queue.next(w) else { break };
+            morsels += 1;
+            let (stats, _) = self.tag_store.scan_morsel(&self.plan, m, |batch, sel| {
+                if self.ticket.is_cancelled() {
+                    return false;
+                }
+                let keep =
+                    select_rows(&self.pred, self.sample, batch, sel, &mut scratch, &mut keep_scratch);
+                if keep.any() {
+                    folded += keep.count() as u64;
+                    self.inputs
+                        .fold(batch, &keep, &mut scratch, |i, v| accs[i].update(v));
+                }
+                true
+            });
+            local.merge(&stats);
+        }
+        self.ticket.note_rows(folded);
+        self.ticket.note_worker(WorkerScan {
+            bytes_scanned: local.bytes_scanned as u64,
+            morsels,
+            rows_selected: folded,
+        });
+        self.ticket.absorb_scan(&local);
+        accs
+    }
+}
+
+/// Lower `Aggregate(Scan)` for in-scan folding: `Some` iff the scan
+/// itself compiles and every aggregate argument lowers to a numeric
+/// program. The fallback is the channel path (scan projects `__agg_i`
+/// columns, the Aggregate node folds them).
+fn compile_agg_scan(
+    spec: &ScanSpec,
+    aggs: &[AggSpec],
+    tags_available: bool,
+    mode: ExecMode,
+) -> Option<(Option<CompiledPredicate>, CompiledAggInputs)> {
+    if mode != ExecMode::Auto || !tags_available || spec.target != ScanTarget::Tag {
+        return None;
+    }
+    let pred = match &spec.predicate {
+        None => None,
+        Some(p) => Some(compile_predicate(p)?),
+    };
+    let args: Vec<Option<&crate::ast::Expr>> = aggs.iter().map(|a| a.arg.as_ref()).collect();
+    Some((pred, compile_agg_inputs(&args)?))
+}
+
+/// Spawn the fused aggregate scan: morsel workers fold partials, the
+/// coordinator merges them and emits one row.
+fn spawn_agg_scan(
+    env: &ExecEnv,
+    spec: ScanSpec,
+    aggs: Vec<AggSpec>,
+    pred: Option<CompiledPredicate>,
+    inputs: CompiledAggInputs,
+    ticket: &Arc<TicketCore>,
+) -> BatchHandle {
+    let (tx, rx) = bounded::<ResultBatch>(CHANNEL_DEPTH);
+    let columns = Arc::new(aggs.iter().map(|a| a.name.clone()).collect::<Vec<_>>());
+    let funcs: Vec<AggFn> = aggs.iter().map(|a| a.func).collect();
+    let tag_store = env.tags.clone().expect("compile_agg_scan checked tags");
+    let cover_level = env.cover_level;
+    let workers = env.workers.max(1);
+    let ticket = ticket.clone();
+    spawn_guarded(ticket.clone(), move || {
+        let plan = match tag_store.plan_batch_scan(spec.domain.as_ref(), cover_level) {
+            Ok(plan) => Arc::new(plan),
+            Err(e) => {
+                ticket.record_failure(format!("scan planning failed: {e}"));
+                return;
+            }
+        };
+        if let Some(hit) = plan.cover_cache_hit() {
+            ticket.note_cover(hit);
+        }
+        let n_workers = workers.min(plan.morsels().len()).max(1);
+        let job = Arc::new(AggScanJob {
+            pred,
+            inputs,
+            funcs: funcs.clone(),
+            sample: spec.sample,
+            tag_store,
+            queue: MorselQueue::build(&plan.morsel_bytes(), n_workers),
+            plan,
+            ticket: ticket.clone(),
+        });
+        let (ptx, prx) = bounded::<Vec<AggAcc>>(n_workers);
+        for w in 1..n_workers {
+            let job = job.clone();
+            let ptx = ptx.clone();
+            spawn_guarded(ticket.clone(), move || {
+                let _ = ptx.send(job.run_worker(w));
+            });
+        }
+        let _ = ptx.send(job.run_worker(0));
+        drop(ptx);
+        // Merge partials at the edge. A panicked worker drops its sender
+        // without a partial; its failure is already on the ticket and
+        // the merge proceeds over what arrived.
+        let mut acc: Vec<AggAcc> = funcs.iter().map(|&f| AggAcc::new(f)).collect();
+        for partial in prx.iter() {
+            for (a, p) in acc.iter_mut().zip(partial) {
+                a.merge(p);
+            }
+        }
+        let row: Row = acc.into_iter().map(AggAcc::finish).collect();
+        ticket.note_emitted();
+        let _ = tx.send(ResultBatch::Rows(vec![row]));
     });
     BatchHandle { columns, rx }
 }
@@ -868,6 +1194,16 @@ impl AggAcc {
                 }
             }
         }
+    }
+
+    /// Fold another partial accumulator of the same function into this
+    /// one — per-worker partials merging at the edge of a parallel
+    /// aggregate scan.
+    fn merge(&mut self, o: AggAcc) {
+        self.count += o.count;
+        self.sum += o.sum;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
     }
 
     fn finish(self) -> Value {

@@ -63,18 +63,24 @@
 //! * [`compile`] — predicate/projection compilation to register bytecode
 //!   evaluated over tag column batches (the E5 hot path)
 //! * [`exec`] — multithreaded ASAP-push execution over crossbeam
-//!   channels; batches stay columnar through the fabric
+//!   channels; batches stay columnar through the fabric, and compiled
+//!   tag scans run **morsel-parallel**: the touched-container list is a
+//!   byte-balanced work queue drained by a pool of scan workers, with
+//!   `COUNT`/`SUM`/`MIN`/`MAX` folding inside the scan loop
 //! * [`archive`] — the server API: shared handle, prepared queries,
-//!   batch streams, tickets, admission control
-//! * [`engine`] — the deprecated single-caller façade (a shim over
-//!   [`Archive`]; see its docs for the migration map)
+//!   batch streams, tickets, admission control (slots accounted in
+//!   worker threads, cost-ordered queue)
 //! * [`ops`] — the "special operators related to angular distances and
 //!   complex similarity tests" (the row-at-a-time fallback interpreter)
+//!
+//! The deprecated `Engine` façade of the pre-archive API was removed in
+//! this release; `Archive::new(store, tags)` + `archive.run(sql)` is the
+//! drop-in replacement (see the PR 2 notes in ROADMAP.md for the full
+//! migration map).
 
 pub mod archive;
 pub mod ast;
 pub mod compile;
-pub mod engine;
 pub mod exec;
 pub mod lexer;
 pub mod ops;
@@ -87,11 +93,12 @@ pub use archive::{
 };
 pub use ast::{BinOp, Expr, Query, SelectStmt, SetOp, Value};
 pub use compile::{
-    compile_predicate, compile_projection, BatchScratch, CompiledPredicate, CompiledProjection,
+    compile_agg_inputs, compile_predicate, compile_projection, BatchScratch, CompiledAggInputs,
+    CompiledPredicate, CompiledProjection,
 };
-#[allow(deprecated)]
-pub use engine::Engine;
-pub use exec::{ColumnData, ColumnarBatch, ExecMode, ResultBatch, Row, ScanTotals};
+pub use exec::{
+    ColumnData, ColumnarBatch, ExecMode, ResultBatch, Row, ScanTotals, WorkerScan,
+};
 pub use plan::{plans_built, PlanNode, QueryPlan};
 
 /// Errors produced by the query crate.

@@ -170,9 +170,11 @@ fn try_stream_refuses_instead_of_queueing() {
         None,
         ArchiveConfig {
             admission: AdmissionConfig {
-                max_concurrent: 1,
+                max_worker_slots: 1,
                 heavy_bytes: u64::MAX,
                 max_heavy: 1,
+                max_workers_per_query: 1,
+                max_bypass: 4,
             },
             ..ArchiveConfig::default()
         },
@@ -280,10 +282,15 @@ fn admission_bounds_concurrency_and_queues() {
         store,
         Some(Arc::new(tags)),
         ArchiveConfig {
+            // Two worker slots, one worker per query: at most two
+            // queries execute concurrently and the slot peak is a true
+            // bound on scan threads.
             admission: AdmissionConfig {
-                max_concurrent: 2,
+                max_worker_slots: 2,
                 heavy_bytes: u64::MAX,
                 max_heavy: 1,
+                max_workers_per_query: 1,
+                max_bypass: 4,
             },
             ..ArchiveConfig::default()
         },
@@ -334,9 +341,11 @@ fn heavy_queries_share_the_heavy_pool() {
     // default it is not.
     let cfg = ArchiveConfig {
         admission: AdmissionConfig {
-            max_concurrent: 4,
+            max_worker_slots: 4,
             heavy_bytes: 1,
             max_heavy: 1,
+            max_workers_per_query: 2,
+            max_bypass: 4,
         },
         ..ArchiveConfig::default()
     };

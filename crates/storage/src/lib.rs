@@ -25,6 +25,8 @@
 //! * [`sample`] — deterministic percentage samples ("a 1% sample ... to
 //!   quickly test and debug programs")
 //! * [`partition`] — spatial partitioning of containers over servers
+//! * [`morsel`] — byte-balanced, work-stealing morsel queues (the
+//!   single-node analog of striping one scan across the scan machine)
 //! * [`estimate`] — output volume / search time prediction from the
 //!   intersection volume
 
@@ -32,6 +34,7 @@ pub mod column;
 pub mod container;
 pub mod cover_cache;
 pub mod estimate;
+pub mod morsel;
 pub mod page;
 pub mod partition;
 pub mod sample;
@@ -42,11 +45,12 @@ pub use column::{ColumnBatch, ColumnChunk, SelectionMask, TagView, BATCH_ROWS};
 pub use container::{Container, ContainerStats};
 pub use cover_cache::CoverCache;
 pub use estimate::{CostModel, QueryEstimate};
+pub use morsel::MorselQueue;
 pub use page::{Page, PageIter, PAGE_SIZE};
 pub use partition::PartitionMap;
 pub use sample::sample_hash_keep;
 pub use store::{ObjectStore, RegionScan, StoreConfig, TouchCounters};
-pub use vertical::TagStore;
+pub use vertical::{TagMorsel, TagScanPlan, TagStore};
 
 /// Errors produced by the storage crate.
 #[derive(Debug, Clone, PartialEq)]

@@ -28,22 +28,38 @@ impl PartitionMap {
     /// walking containers in id order and always filling the emptiest-so-
     /// far prefix server (contiguous ranges, greedy balance).
     pub fn build(store: &ObjectStore, n_servers: usize) -> Result<PartitionMap, StorageError> {
+        Self::build_from_sizes(
+            store.containers().map(|c| (c.id().raw(), c.bytes())),
+            n_servers,
+        )
+    }
+
+    /// The generic core of [`PartitionMap::build`]: assign any id-ordered
+    /// `(id, bytes)` sequence to `n_servers` contiguous byte-balanced
+    /// ranges. The tag store's parallel scan uses this to shard its
+    /// touched-container list into per-worker morsel runs, so the
+    /// cluster partitioner and the intra-query sharder are one rule.
+    pub fn build_from_sizes(
+        items: impl IntoIterator<Item = (u64, usize)>,
+        n_servers: usize,
+    ) -> Result<PartitionMap, StorageError> {
         if n_servers == 0 {
             return Err(StorageError::InvalidConfig("zero servers".into()));
         }
-        let total_bytes: usize = store.bytes();
+        let items: Vec<(u64, usize)> = items.into_iter().collect();
+        let total_bytes: usize = items.iter().map(|&(_, b)| b).sum();
         let target = total_bytes as f64 / n_servers as f64;
-        let mut assignment = Vec::new();
+        let mut assignment = Vec::with_capacity(items.len());
         let mut server_bytes = vec![0usize; n_servers];
         let mut server = 0usize;
-        for c in store.containers() {
+        for (id, bytes) in items {
             // Move to the next server once this one reached its share —
             // but never run past the last server.
             if server + 1 < n_servers && (server_bytes[server] as f64) >= target {
                 server += 1;
             }
-            assignment.push((c.id().raw(), server));
-            server_bytes[server] += c.bytes();
+            assignment.push((id, server));
+            server_bytes[server] += bytes;
         }
         Ok(PartitionMap {
             n_servers,
@@ -76,6 +92,11 @@ impl PartitionMap {
     /// Bytes per server.
     pub fn server_bytes(&self) -> &[usize] {
         &self.server_bytes
+    }
+
+    /// Total bytes across every server (the whole assigned store).
+    pub fn total_bytes(&self) -> usize {
+        self.server_bytes.iter().sum()
     }
 
     /// Load imbalance: max server bytes / mean server bytes (1.0 = even).
@@ -176,6 +197,60 @@ mod tests {
     fn zero_servers_rejected() {
         let s = store(5);
         assert!(PartitionMap::build(&s, 0).is_err());
+    }
+
+    #[test]
+    fn repartition_preserves_total_bytes() {
+        let s = store(7);
+        let pm3 = PartitionMap::build(&s, 3).unwrap();
+        assert_eq!(pm3.total_bytes(), s.bytes());
+        for n in [1, 2, 5, 9] {
+            let pm = pm3.repartition(&s, n).unwrap();
+            assert_eq!(pm.total_bytes(), s.bytes(), "n_servers = {n}");
+            assert_eq!(
+                (0..n).map(|srv| pm.containers_of(srv).len()).sum::<usize>(),
+                s.num_containers()
+            );
+        }
+    }
+
+    #[test]
+    fn noop_repartition_moves_nothing() {
+        let s = store(8);
+        let pm = PartitionMap::build(&s, 4).unwrap();
+        let same = pm.repartition(&s, 4).unwrap();
+        // Identical inputs produce an identical greedy assignment: the
+        // minimal move set for a no-op repartition is empty.
+        assert_eq!(pm.moved_containers(&same), 0);
+        assert_eq!(same.moved_containers(&pm), 0);
+    }
+
+    #[test]
+    fn imbalance_bounded_on_skewed_sizes() {
+        // A synthetic skewed store: one dense strip holds most of the
+        // data in a few fat containers while a long tail of sparse
+        // containers carries the rest. No single container exceeds 1/4
+        // of the total, so a 4-way greedy split must stay within 2x of
+        // the mean.
+        let mut items: Vec<(u64, usize)> = Vec::new();
+        let mut total = 0usize;
+        for i in 0..64u64 {
+            let bytes = if i < 4 { 200_000 } else { 3_000 + (i as usize * 37) % 900 };
+            items.push((i, bytes));
+            total += bytes;
+        }
+        let fat = 200_000usize;
+        assert!(fat * 4 < total, "no container may dominate the total");
+        for n in [2usize, 4, 8] {
+            let pm = PartitionMap::build_from_sizes(items.iter().copied(), n).unwrap();
+            assert_eq!(pm.total_bytes(), total);
+            assert!(
+                pm.imbalance() < 2.0,
+                "{n} servers: imbalance {} with {:?}",
+                pm.imbalance(),
+                pm.server_bytes()
+            );
+        }
     }
 
     #[test]

@@ -89,6 +89,20 @@ pub struct RegionScan {
     pub cover_cache_misses: u64,
 }
 
+impl RegionScan {
+    /// Accumulate another scan's counters into this one (per-morsel
+    /// stats merging into per-worker and per-query totals).
+    pub fn merge(&mut self, other: &RegionScan) {
+        self.containers_full += other.containers_full;
+        self.containers_partial += other.containers_partial;
+        self.objects_yielded += other.objects_yielded;
+        self.objects_exact_tested += other.objects_exact_tested;
+        self.bytes_scanned += other.bytes_scanned;
+        self.cover_cache_hits += other.cover_cache_hits;
+        self.cover_cache_misses += other.cover_cache_misses;
+    }
+}
+
 /// The container-clustered photometric object store.
 #[derive(Debug)]
 pub struct ObjectStore {

@@ -35,6 +35,55 @@ struct CoverWalk {
     cache_hit: bool,
 }
 
+/// One unit of parallel scan work: a single touched container of a
+/// planned batch scan.
+#[derive(Debug, Clone, Copy)]
+pub struct TagMorsel {
+    /// Raw container id.
+    pub container: u64,
+    /// Wholly inside the cover: every row selected without geometry.
+    pub full: bool,
+    /// Serialized payload bytes — the byte-balancing weight for
+    /// [`crate::MorselQueue`] sharding.
+    pub bytes: usize,
+}
+
+/// A resolved columnar scan: the HTM cover decision made once, the
+/// touched containers listed as morsels. Shareable across scan workers
+/// (`Send + Sync`, typically behind an `Arc`).
+#[derive(Debug)]
+pub struct TagScanPlan {
+    morsels: Vec<TagMorsel>,
+    /// `None` for unrestricted sweeps (no geometry at all).
+    cover: Option<Arc<Cover>>,
+    domain: Option<Domain>,
+    /// Bit shift from level-20 ids down to the cover level.
+    shift: u64,
+    cache_hit: bool,
+}
+
+impl TagScanPlan {
+    /// The touched containers, in container-id (spatial) order.
+    pub fn morsels(&self) -> &[TagMorsel] {
+        &self.morsels
+    }
+
+    /// Byte weights per morsel (the [`crate::MorselQueue`] input).
+    pub fn morsel_bytes(&self) -> Vec<usize> {
+        self.morsels.iter().map(|m| m.bytes).collect()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.morsels.is_empty()
+    }
+
+    /// Whether the plan-time cover lookup hit the cache (`None` when the
+    /// scan is an unrestricted sweep and no cover was needed).
+    pub fn cover_cache_hit(&self) -> Option<bool> {
+        self.cover.as_ref().map(|_| self.cache_hit)
+    }
+}
+
 /// Vertical partition holding tag objects, clustered like the full store.
 #[derive(Debug)]
 pub struct TagStore {
@@ -200,29 +249,40 @@ impl TagStore {
         }
     }
 
-    /// Walk every touched container, classifying each as wholly inside
-    /// the full cover or bisected, with the common byte/container stats
-    /// accounting. `f` returns `false` to stop early.
+    /// Walk every touched container of a cover, classifying each as
+    /// wholly inside the full cover or bisected — the single
+    /// classification rule shared by the row scan, the batch scan plan,
+    /// and anything else that shards by container.
+    fn touched_containers<'a>(
+        &'a self,
+        walk: &'a CoverWalk,
+    ) -> impl Iterator<Item = (u64, &'a Container, bool)> + 'a {
+        let full = walk.cover.full_ranges();
+        walk.touched.ranges().iter().flat_map(move |&(lo, hi)| {
+            self.containers.range(lo..hi).map(move |(&raw, container)| {
+                let (clo, chi) = container.id().deep_range(walk.level);
+                (raw, container, full.contains_range(clo, chi))
+            })
+        })
+    }
+
+    /// [`TagStore::touched_containers`] plus the common byte/container
+    /// stats accounting. `f` returns `false` to stop early.
     fn for_each_touched_container(
         &self,
         walk: &CoverWalk,
         stats: &mut RegionScan,
         mut f: impl FnMut(&u64, &Container, bool, &mut RegionScan) -> bool,
     ) {
-        let full = walk.cover.full_ranges();
-        for &(lo, hi) in walk.touched.ranges() {
-            for (raw, container) in self.containers.range(lo..hi) {
-                stats.bytes_scanned += container.bytes();
-                let (clo, chi) = container.id().deep_range(walk.level);
-                let container_full = full.contains_range(clo, chi);
-                if container_full {
-                    stats.containers_full += 1;
-                } else {
-                    stats.containers_partial += 1;
-                }
-                if !f(raw, container, container_full, stats) {
-                    return;
-                }
+        for (raw, container, container_full) in self.touched_containers(walk) {
+            stats.bytes_scanned += container.bytes();
+            if container_full {
+                stats.containers_full += 1;
+            } else {
+                stats.containers_partial += 1;
+            }
+            if !f(&raw, container, container_full, stats) {
+                return;
             }
         }
     }
@@ -300,11 +360,115 @@ impl TagStore {
         }
     }
 
+    /// Resolve a columnar scan into a [`TagScanPlan`]: the cover decided
+    /// exactly once, and every touched container listed as one morsel
+    /// with its classification (wholly inside the cover vs bisected) and
+    /// byte weight. The plan is `Send + Sync`; parallel scans share it
+    /// behind an `Arc` and workers drain morsels independently via
+    /// [`TagStore::scan_morsel`]. `domain = None` plans an unrestricted
+    /// sweep (every container, no geometry).
+    pub fn plan_batch_scan(
+        &self,
+        domain: Option<&Domain>,
+        cover_level: Option<u8>,
+    ) -> Result<TagScanPlan, StorageError> {
+        let Some(domain) = domain else {
+            let morsels = self
+                .containers
+                .iter()
+                .map(|(&raw, c)| TagMorsel {
+                    container: raw,
+                    full: true,
+                    bytes: c.bytes(),
+                })
+                .collect();
+            return Ok(TagScanPlan {
+                morsels,
+                cover: None,
+                domain: None,
+                shift: 0,
+                cache_hit: false,
+            });
+        };
+
+        let walk = self.cover_walk(domain, cover_level)?;
+        let morsels = self
+            .touched_containers(&walk)
+            .map(|(raw, container, full)| TagMorsel {
+                container: raw,
+                full,
+                bytes: container.bytes(),
+            })
+            .collect();
+        Ok(TagScanPlan {
+            morsels,
+            cover: Some(walk.cover),
+            domain: Some(domain.clone()),
+            shift: walk.shift,
+            cache_hit: walk.cache_hit,
+        })
+    }
+
+    /// Scan one morsel of a plan, streaming its [`ColumnBatch`]es with
+    /// selection masks exactly as [`TagStore::scan_batches`] does. The
+    /// callback may return `false` to stop. Returns this morsel's scan
+    /// accounting (cover-cache counters stay zero — the lookup happened
+    /// at plan time) and whether the morsel ran to completion.
+    pub fn scan_morsel(
+        &self,
+        plan: &TagScanPlan,
+        idx: usize,
+        mut f: impl FnMut(&ColumnBatch<'_>, &SelectionMask) -> bool,
+    ) -> (RegionScan, bool) {
+        let m = &plan.morsels[idx];
+        let mut stats = RegionScan::default();
+        let container = &self.containers[&m.container];
+        let chunk = &self.columns[&m.container];
+        stats.bytes_scanned += container.bytes();
+        if m.full {
+            stats.containers_full += 1;
+        } else {
+            stats.containers_partial += 1;
+        }
+        for batch in chunk.batches(BATCH_ROWS) {
+            let sel = if m.full {
+                stats.objects_yielded += batch.len();
+                SelectionMask::all_set(batch.len())
+            } else {
+                let cover = plan.cover.as_ref().expect("bisected morsels have a cover");
+                let domain = plan.domain.as_ref().expect("bisected morsels have a domain");
+                let (full, partial) = (cover.full_ranges(), cover.partial_ranges());
+                let mut sel = SelectionMask::none_set(batch.len());
+                for (i, &deep) in batch.htm20.iter().enumerate() {
+                    let deep_id = deep >> plan.shift;
+                    if full.contains(deep_id) {
+                        sel.set(i);
+                    } else if partial.contains(deep_id) {
+                        stats.objects_exact_tested += 1;
+                        if domain.contains(batch.unit_vec(i)) {
+                            sel.set(i);
+                        }
+                    }
+                }
+                stats.objects_yielded += sel.count();
+                sel
+            };
+            if !f(&batch, &sel) {
+                return (stats, false);
+            }
+        }
+        (stats, true)
+    }
+
     /// Columnar region scan: streams each container's [`ColumnBatch`]es
     /// with a [`SelectionMask`] already encoding the spatial decision —
     /// rows in fully-covered trixels are set without any geometry, rows
     /// in boundary trixels are exact-tested, everything else is cleared.
     /// `domain = None` scans the whole store with all bits set.
+    ///
+    /// This is the serial driver over [`TagStore::plan_batch_scan`] +
+    /// [`TagStore::scan_morsel`] — the query engine's parallel scan
+    /// drains the same morsels from a worker pool instead.
     ///
     /// The callback may return `false` to stop early. `objects_yielded`
     /// counts selected rows.
@@ -314,57 +478,22 @@ impl TagStore {
         cover_level: Option<u8>,
         mut f: impl FnMut(&ColumnBatch<'_>, &SelectionMask) -> bool,
     ) -> Result<RegionScan, StorageError> {
+        let plan = self.plan_batch_scan(domain, cover_level)?;
         let mut stats = RegionScan::default();
-
-        let Some(domain) = domain else {
-            // Unrestricted sweep: every batch, all bits set.
-            'all: for (raw, container) in &self.containers {
-                stats.bytes_scanned += container.bytes();
-                stats.containers_full += 1;
-                let chunk = &self.columns[raw];
-                for batch in chunk.batches(BATCH_ROWS) {
-                    let sel = SelectionMask::all_set(batch.len());
-                    stats.objects_yielded += batch.len();
-                    if !f(&batch, &sel) {
-                        break 'all;
-                    }
-                }
+        if let Some(hit) = plan.cover_cache_hit() {
+            if hit {
+                stats.cover_cache_hits += 1;
+            } else {
+                stats.cover_cache_misses += 1;
             }
-            return Ok(stats);
-        };
-
-        let walk = self.cover_walk(domain, cover_level)?;
-        let (full, partial) = (walk.cover.full_ranges(), walk.cover.partial_ranges());
-        Self::record_cover(&walk, &mut stats);
-
-        self.for_each_touched_container(&walk, &mut stats, |raw, _container, container_full, stats| {
-            let chunk = &self.columns[raw];
-            for batch in chunk.batches(BATCH_ROWS) {
-                let sel = if container_full {
-                    stats.objects_yielded += batch.len();
-                    SelectionMask::all_set(batch.len())
-                } else {
-                    let mut sel = SelectionMask::none_set(batch.len());
-                    for (i, &deep) in batch.htm20.iter().enumerate() {
-                        let deep_id = deep >> walk.shift;
-                        if full.contains(deep_id) {
-                            sel.set(i);
-                        } else if partial.contains(deep_id) {
-                            stats.objects_exact_tested += 1;
-                            if domain.contains(batch.unit_vec(i)) {
-                                sel.set(i);
-                            }
-                        }
-                    }
-                    stats.objects_yielded += sel.count();
-                    sel
-                };
-                if !f(&batch, &sel) {
-                    return false;
-                }
+        }
+        for idx in 0..plan.morsels().len() {
+            let (morsel_stats, completed) = self.scan_morsel(&plan, idx, &mut f);
+            stats.merge(&morsel_stats);
+            if !completed {
+                break;
             }
-            true
-        });
+        }
         Ok(stats)
     }
 
