@@ -30,11 +30,14 @@ use crate::exec::{
     launch, plan_uses_columnar, BatchHandle, ExecEnv, ExecMode, ResultBatch, Row, ScanTotals,
     TicketCore,
 };
-use crate::parser::parse;
-use crate::plan::{plan, PlanNode, QueryPlan, ScanTarget};
+use crate::parser::parse_statement;
+use crate::plan::{plan, PlanNode, QueryPlan, QuerySource};
+use crate::session::{Session, SessionConfig, SessionInfo, SessionShared};
 use crate::QueryError;
-use sdss_storage::{CostModel, ObjectStore, TagStore};
-use std::sync::{Arc, Condvar, Mutex};
+use sdss_storage::{CostModel, ObjectStore, ResultSet, TagStore};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};
 
 /// Which store the root scans of a query were routed to.
@@ -42,7 +45,8 @@ use std::time::{Duration, Instant};
 pub enum RouteChoice {
     /// At least one scan read full photometric objects.
     Full,
-    /// Every scan ran on the tag vertical partition.
+    /// No scan touched the full store: every leaf ran on the tag
+    /// vertical partition or a stored (tag-shaped) session set.
     TagOnly,
 }
 
@@ -63,6 +67,11 @@ pub struct QueryStats {
     pub total_time: Duration,
     /// Rows delivered to the consumer.
     pub rows: usize,
+    /// Rows the producers pushed into the channel fabric, counted at the
+    /// batch edge (per-worker safe — every scan worker bumps one shared
+    /// atomic on its own sends). Under LIMIT or cancellation this can
+    /// exceed `rows`; sessions accumulate it into `SessionStats`.
+    pub rows_emitted: u64,
     /// Batches delivered to the consumer.
     pub batches: usize,
     /// Worker-thread slots this execution held (= scan workers granted
@@ -371,6 +380,10 @@ struct ArchiveInner {
     tags: Option<Arc<TagStore>>,
     config: ArchiveConfig,
     slots: Arc<Slots>,
+    /// Session registry: weak handles to every live session workspace,
+    /// pruned on access (observability only — sessions own their sets).
+    sessions: Mutex<Vec<Weak<SessionShared>>>,
+    next_session_id: AtomicU64,
 }
 
 /// The shared archive handle: clone it freely, send it across threads;
@@ -398,8 +411,48 @@ impl Archive {
                 tags,
                 slots: Arc::new(Slots::new(&config.admission)),
                 config,
+                sessions: Mutex::new(Vec::new()),
+                next_session_id: AtomicU64::new(1),
             }),
         }
+    }
+
+    /// Open a session workspace with default quotas: a per-user
+    /// namespace of named server-side result sets that `INTO` / `FROM
+    /// <set>` queries compose over. Each call opens an isolated
+    /// namespace; clone the returned [`Session`] to share one workspace
+    /// across threads.
+    pub fn session(&self) -> Session {
+        self.session_with(SessionConfig::default())
+    }
+
+    /// Open a session workspace with explicit quotas.
+    pub fn session_with(&self, config: SessionConfig) -> Session {
+        Session::open(self.clone(), config)
+    }
+
+    /// Live session workspaces (id, set/row/byte/query counts), pruning
+    /// dropped sessions from the registry as a side effect.
+    pub fn sessions(&self) -> Vec<SessionInfo> {
+        let mut reg = self.inner.sessions.lock().unwrap();
+        reg.retain(|w| w.strong_count() > 0);
+        reg.iter()
+            .filter_map(|w| w.upgrade())
+            .map(|s| s.info())
+            .collect()
+    }
+
+    /// Allocate an archive-unique session id.
+    pub(crate) fn alloc_session_id(&self) -> u64 {
+        self.inner.next_session_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Register a new session in the observability registry, pruning
+    /// dead entries so churning sessions can't grow the vec unbounded.
+    pub(crate) fn register_session(&self, shared: &Arc<SessionShared>) {
+        let mut reg = self.inner.sessions.lock().unwrap();
+        reg.retain(|w| w.strong_count() > 0);
+        reg.push(Arc::downgrade(shared));
     }
 
     pub fn store(&self) -> &Arc<ObjectStore> {
@@ -419,28 +472,72 @@ impl Archive {
         self.inner.slots.snapshot()
     }
 
-    /// Parse and plan without executing (EXPLAIN).
+    /// Parse and plan without executing (EXPLAIN). Accepts the full
+    /// statement form, including a trailing `INTO <name>`.
     pub fn explain(&self, sql: &str) -> Result<QueryPlan, QueryError> {
-        plan(&parse(sql)?, self.inner.tags.is_some())
+        let (query, trailing_into) = parse_statement(sql)?;
+        let mut query_plan = plan(&query, self.inner.tags.is_some())?;
+        if let Some(name) = trailing_into {
+            query_plan.set_into(name)?;
+        }
+        Ok(query_plan)
     }
 
     /// Parse + plan + estimate once; the returned [`Prepared`] executes
     /// any number of times (concurrently, with fresh parameters) without
     /// repeating any of that work.
+    ///
+    /// Queries over stored sets (`FROM <set>`, `INTO <set>`) need a
+    /// session workspace to resolve the names against — prepare those
+    /// through [`Session::prepare`]; here they error.
     pub fn prepare(&self, sql: &str) -> Result<Prepared, QueryError> {
+        self.prepare_in(sql, Arc::new(HashMap::new()), None)
+    }
+
+    /// The shared prepare path: `sets` is the session's pinned stored-set
+    /// snapshot (empty for sessionless prepares) and `workspace` the
+    /// session the statement runs under (required for `INTO`).
+    pub(crate) fn prepare_in(
+        &self,
+        sql: &str,
+        sets: Arc<HashMap<String, Arc<ResultSet>>>,
+        workspace: Option<Arc<SessionShared>>,
+    ) -> Result<Prepared, QueryError> {
         let query_plan = self.explain(sql)?;
+        if query_plan.into.is_some() && workspace.is_none() {
+            return Err(QueryError::Exec(
+                "INTO requires a session workspace (use Archive::session)".to_string(),
+            ));
+        }
+        // Pin only the sets this statement actually scans — a long-lived
+        // Prepared must not keep the whole workspace's memory alive
+        // after sets it never references are dropped.
+        let referenced = query_plan.root.referenced_sets();
+        let sets: Arc<HashMap<String, Arc<ResultSet>>> = if referenced.is_empty() {
+            Arc::new(HashMap::new())
+        } else {
+            Arc::new(
+                referenced
+                    .iter()
+                    .filter_map(|n| sets.get(*n).map(|s| (n.to_string(), s.clone())))
+                    .collect(),
+            )
+        };
         let route = route_of(&query_plan.root);
         let columnar = plan_uses_columnar(
             &query_plan.root,
             self.inner.tags.is_some(),
             self.inner.config.mode,
         );
-        let estimate = self.estimate_plan(&query_plan.root)?;
+        let estimate = self.estimate_plan(&query_plan.root, &sets)?;
         let heavy = estimate.est_bytes >= self.inner.config.admission.heavy_bytes;
         Ok(Prepared {
             archive: self.clone(),
             columns: query_plan.root.columns(),
+            into: query_plan.into.clone(),
             plan: Arc::new(query_plan),
+            sets,
+            workspace,
             route,
             columnar,
             estimate,
@@ -453,24 +550,58 @@ impl Archive {
         self.prepare(sql)?.run()
     }
 
+    /// One-shot convenience: run and return the rows *and* the execution
+    /// statistics as a pair, so callers that only want timing / scan
+    /// counters don't hand-roll the stream loop. (The stats are the same
+    /// object as `output.stats`; the pair form just makes the common
+    /// `let (out, stats) = ...` destructure direct.)
+    pub fn run_with_stats(&self, sql: &str) -> Result<(QueryOutput, QueryStats), QueryError> {
+        let output = self.run(sql)?;
+        let stats = output.stats.clone();
+        Ok((output, stats))
+    }
+
     /// Sum per-scan-leaf estimates from container statistics + the HTM
-    /// cover. Reads no object data; covers memoize in the stores' cover
-    /// caches, so repeated prepares of a hot region cost nothing.
-    fn estimate_plan(&self, node: &PlanNode) -> Result<CostEstimate, QueryError> {
+    /// cover (base stores) or materialized row/byte/chunk counts (stored
+    /// sets — exact, the set is resident). Reads no object data; covers
+    /// memoize in the stores' cover caches, so repeated prepares of a
+    /// hot region cost nothing.
+    fn estimate_plan(
+        &self,
+        node: &PlanNode,
+        sets: &HashMap<String, Arc<ResultSet>>,
+    ) -> Result<CostEstimate, QueryError> {
         let mut est = CostEstimate::default();
-        self.accumulate_estimate(node, &mut est)?;
+        self.accumulate_estimate(node, sets, &mut est)?;
         Ok(est)
     }
 
     fn accumulate_estimate(
         &self,
         node: &PlanNode,
+        sets: &HashMap<String, Arc<ResultSet>>,
         est: &mut CostEstimate,
     ) -> Result<(), QueryError> {
         match node {
             PlanNode::Scan(s) => {
                 let model = &self.inner.config.cost_model;
-                let tag_route = s.target == ScanTarget::Tag && self.inner.tags.is_some();
+                if let QuerySource::Set(name) = &s.source {
+                    // Stored-set stats are exact: the set is resident and
+                    // scans read it whole (chunks are the containers).
+                    let set = sets.get(name).ok_or_else(|| {
+                        QueryError::Unknown(format!(
+                            "stored set {name} (prepare through a session workspace \
+                             that holds it)"
+                        ))
+                    })?;
+                    est.est_rows += set.rows() as f64;
+                    est.est_bytes += set.bytes() as u64;
+                    est.est_seconds += set.bytes() as f64 / model.scan_bandwidth_bps;
+                    est.containers_full += set.n_chunks();
+                    return Ok(());
+                }
+                let tag_route =
+                    s.source == QuerySource::Tag && self.inner.tags.is_some();
                 let leaf = match (&s.domain, tag_route) {
                     (Some(domain), true) => {
                         let tags = self.inner.tags.as_ref().expect("tag_route checked");
@@ -495,10 +626,12 @@ impl Archive {
             }
             PlanNode::Sort { child, .. }
             | PlanNode::Limit { child, .. }
-            | PlanNode::Aggregate { child, .. } => self.accumulate_estimate(child, est)?,
+            | PlanNode::Aggregate { child, .. } => {
+                self.accumulate_estimate(child, sets, est)?
+            }
             PlanNode::Set { left, right, .. } => {
-                self.accumulate_estimate(left, est)?;
-                self.accumulate_estimate(right, est)?;
+                self.accumulate_estimate(left, sets, est)?;
+                self.accumulate_estimate(right, sets, est)?;
             }
         }
         Ok(())
@@ -521,7 +654,7 @@ fn count_scan_leaves(node: &PlanNode) -> usize {
 fn route_of(node: &PlanNode) -> RouteChoice {
     fn any_full(node: &PlanNode) -> bool {
         match node {
-            PlanNode::Scan(s) => s.target == ScanTarget::Full,
+            PlanNode::Scan(s) => s.source == QuerySource::Full,
             PlanNode::Sort { child, .. } | PlanNode::Limit { child, .. } => any_full(child),
             PlanNode::Aggregate { child, .. } => any_full(child),
             PlanNode::Set { left, right, .. } => any_full(left) || any_full(right),
@@ -535,12 +668,23 @@ fn route_of(node: &PlanNode) -> RouteChoice {
 }
 
 /// A parsed + planned + estimated query, ready to execute any number of
-/// times. Cheap to clone; clones share the plan.
+/// times. Cheap to clone; clones share the plan (and, for
+/// session-prepared statements, the pinned stored-set snapshot).
 #[derive(Debug, Clone)]
 pub struct Prepared {
     archive: Archive,
     plan: Arc<QueryPlan>,
     columns: Vec<String>,
+    /// Stored sets pinned at prepare time: `FROM <set>` leaves read
+    /// these snapshots even if the session later drops or replaces the
+    /// name (the `Arc` keeps the data alive).
+    sets: Arc<HashMap<String, Arc<ResultSet>>>,
+    /// `INTO <name>` target, when this statement materializes a set.
+    into: Option<String>,
+    /// The session workspace this statement runs under (set when
+    /// prepared via [`Session::prepare`]; executions report their stats
+    /// into its `SessionStats`).
+    workspace: Option<Arc<SessionShared>>,
     route: RouteChoice,
     columnar: bool,
     estimate: CostEstimate,
@@ -553,9 +697,42 @@ impl Prepared {
         &self.plan
     }
 
-    /// EXPLAIN-style rendering of the plan.
+    /// EXPLAIN-style rendering: the plan-time cost estimate (the same
+    /// numbers the admission queue orders on), then the QET. The
+    /// estimate line carries `est_rows` / `est_bytes` / `containers` /
+    /// `est_seconds` / `planned_workers` / `route` so EXPLAIN and the
+    /// admission decision tell one story.
     pub fn explain(&self) -> String {
-        self.plan.explain()
+        let est = &self.estimate;
+        format!(
+            "Estimate: est_rows={:.0} est_bytes={} containers={}+{} \
+             est_seconds={:.4} planned_workers={} route={:?} heavy={} \
+             columnar={} full_sweep={}\n{}",
+            est.est_rows,
+            est.est_bytes,
+            est.containers_full,
+            est.containers_partial,
+            est.est_seconds,
+            self.planned_workers(),
+            self.route,
+            self.heavy,
+            self.columnar,
+            est.full_sweep,
+            self.plan.explain(),
+        )
+    }
+
+    /// The materialization target (`INTO <name>`), if any.
+    pub fn into_set(&self) -> Option<&str> {
+        self.into.as_deref()
+    }
+
+    pub(crate) fn archive(&self) -> &Archive {
+        &self.archive
+    }
+
+    pub(crate) fn workspace(&self) -> Option<&Arc<SessionShared>> {
+        self.workspace.as_ref()
     }
 
     /// The plan-time cost prediction (rows / bytes / containers).
@@ -629,6 +806,25 @@ impl Prepared {
     /// queries over open streams with [`Prepared::try_stream_with`]
     /// instead.
     pub fn stream_with(&self, params: &[f64]) -> Result<ResultStream, QueryError> {
+        self.reject_into_stream()?;
+        self.stream_raw(params)
+    }
+
+    /// `INTO` statements materialize server-side: the archive drives the
+    /// stream into the session's writer sink, so handing the pull end to
+    /// a caller would be two consumers fighting over one stream.
+    fn reject_into_stream(&self) -> Result<(), QueryError> {
+        match &self.into {
+            Some(name) => Err(QueryError::Exec(format!(
+                "INTO {name} materializes server-side; execute it with run()/run_with()"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// The admission + launch path, with no `INTO` guard — the session
+    /// writer sink uses this to drive the materializing stream itself.
+    pub(crate) fn stream_raw(&self, params: &[f64]) -> Result<ResultStream, QueryError> {
         let root = self.bind_root(params)?;
         let queued_at = Instant::now();
         let slot = self.archive.inner.slots.acquire(
@@ -650,6 +846,7 @@ impl Prepared {
     /// instead of queueing, so callers that hold open streams can issue
     /// nested queries without risking self-deadlock.
     pub fn try_stream_with(&self, params: &[f64]) -> Result<ResultStream, QueryError> {
+        self.reject_into_stream()?;
         let root = self.bind_root(params)?;
         let slot = self
             .archive
@@ -704,6 +901,7 @@ impl Prepared {
         let env = ExecEnv {
             store: inner.store.clone(),
             tags: inner.tags.clone(),
+            sets: self.sets.clone(),
             cover_level: inner.config.cover_level,
             mode: inner.config.mode,
             workers: (workers_granted / leaves).max(1),
@@ -722,17 +920,24 @@ impl Prepared {
             batches: 0,
             workers_granted,
             finished: false,
+            workspace: self.workspace.clone(),
             _slot: slot,
         }
     }
 
-    /// Execute with no parameters and collect every row.
+    /// Execute with no parameters and collect every row (or, for `INTO`
+    /// statements, materialize the named set server-side and return the
+    /// empty-rows output carrying the execution stats).
     pub fn run(&self) -> Result<QueryOutput, QueryError> {
         self.run_with(&[])
     }
 
-    /// Execute with parameters and collect every row.
+    /// Execute with parameters and collect every row. `INTO` statements
+    /// fold the result into their session set instead of returning rows.
     pub fn run_with(&self, params: &[f64]) -> Result<QueryOutput, QueryError> {
+        if self.into.is_some() {
+            return crate::session::run_into(self, params);
+        }
         self.stream_with(params)?.collect_output()
     }
 }
@@ -787,6 +992,9 @@ pub struct ResultStream {
     batches: usize,
     workers_granted: usize,
     finished: bool,
+    /// Session this execution runs under: [`ResultStream::finish`]
+    /// reports the final stats into its accumulated `SessionStats`.
+    workspace: Option<Arc<SessionShared>>,
     _slot: SlotGuard,
 }
 
@@ -827,20 +1035,25 @@ impl ResultStream {
     /// cancelled and wound down).
     pub fn finish(self) -> QueryStats {
         let worker_scans = self.ticket.core.worker_scans();
-        QueryStats {
+        let stats = QueryStats {
             route: self.route,
             columnar: self.columnar,
             queue_time: self.queue_time,
             time_to_first_row: self.first,
             total_time: self.started.elapsed(),
             rows: self.rows,
+            rows_emitted: self.ticket.core.rows_emitted(),
             batches: self.batches,
             workers_granted: self.workers_granted,
             workers_used: worker_scans.len(),
             worker_bytes: worker_scans.iter().map(|w| w.bytes_scanned).collect(),
             morsels: worker_scans.iter().map(|w| w.morsels).sum(),
             scan: self.ticket.core.totals(),
+        };
+        if let Some(ws) = &self.workspace {
+            ws.note_query(&stats);
         }
+        stats
     }
 
     /// The first execution-thread failure, if any. Meaningful once the

@@ -288,7 +288,13 @@ pub enum SelectItem {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {
     pub items: Vec<SelectItem>,
-    /// Only `photoobj` exists today; kept for future catalogs.
+    /// `SELECT ... INTO <name> FROM ...` — materialize the result as a
+    /// named server-side set in the caller's session workspace instead
+    /// of streaming it back. Names are case-insensitive (stored
+    /// lower-case). Only valid on a top-level SELECT.
+    pub into: Option<String>,
+    /// `photoobj`, `tag`, or the (lower-cased) name of a stored result
+    /// set in the caller's session workspace.
     pub table: String,
     pub predicate: Option<Expr>,
     /// ORDER BY column name, descending?
@@ -384,6 +390,7 @@ mod tests {
     fn selects_walks_set_trees() {
         let s = SelectStmt {
             items: vec![SelectItem::Star],
+            into: None,
             table: "photoobj".into(),
             predicate: None,
             order_by: None,

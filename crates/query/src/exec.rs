@@ -29,14 +29,14 @@ use crate::compile::{
     CompiledPredicate, CompiledProjection,
 };
 use crate::ops::{eval, AttrSource};
-use crate::plan::{AggSpec, PlanNode, ScanSpec, ScanTarget};
+use crate::plan::{AggSpec, PlanNode, QuerySource, ScanSpec};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use sdss_catalog::ObjClass;
 use sdss_storage::{
-    sample_hash_keep, ColumnBatch, MorselQueue, ObjectStore, RegionScan, SelectionMask,
-    TagScanPlan, TagStore,
+    sample_hash_keep, ColumnBatch, MorselQueue, ObjectStore, RegionScan, ResultSet,
+    SelectionMask, TagScanPlan, TagStore,
 };
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -294,6 +294,12 @@ impl ResultBatch {
 pub struct TicketCore {
     cancelled: AtomicBool,
     rows_scanned: AtomicU64,
+    /// Rows pushed into the channel fabric by producers (scan workers
+    /// and the fused aggregate's result row), counted at the batch edge.
+    /// Per-worker safe: every worker bumps the same atomic on its own
+    /// sends. Differs from the consumer-side row count under LIMIT or
+    /// cancellation (producers may emit more than is delivered).
+    rows_emitted: AtomicU64,
     batches_emitted: AtomicU64,
     bytes_scanned: AtomicU64,
     containers_full: AtomicU64,
@@ -380,6 +386,7 @@ impl TicketCore {
 
     fn note_batch(&self, rows: usize) {
         self.rows_scanned.fetch_add(rows as u64, Ordering::Relaxed);
+        self.rows_emitted.fetch_add(rows as u64, Ordering::Relaxed);
         self.batches_emitted.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -389,8 +396,15 @@ impl TicketCore {
         self.rows_scanned.fetch_add(rows, Ordering::Relaxed);
     }
 
+    /// The fused aggregate's single result row entering the fabric.
     fn note_emitted(&self) {
+        self.rows_emitted.fetch_add(1, Ordering::Relaxed);
         self.batches_emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rows producers pushed into the fabric so far (batch-edge count).
+    pub fn rows_emitted(&self) -> u64 {
+        self.rows_emitted.load(Ordering::Relaxed)
     }
 
     /// Record the plan-time cover lookup of a morsel-driven scan (the
@@ -458,6 +472,9 @@ impl TicketCore {
 pub struct ExecEnv {
     pub store: Arc<ObjectStore>,
     pub tags: Option<Arc<TagStore>>,
+    /// Stored result sets pinned at prepare time (session workspaces):
+    /// `QuerySource::Set` leaves resolve their snapshot here by name.
+    pub sets: Arc<HashMap<String, Arc<ResultSet>>>,
     /// Cover level override for scans.
     pub cover_level: Option<u8>,
     pub mode: ExecMode,
@@ -474,17 +491,29 @@ pub struct BatchHandle {
     pub rx: Receiver<ResultBatch>,
 }
 
+/// Is this scan's source columnar-capable? Tag scans need the tag store
+/// present; stored sets are columnar by construction (the workspace
+/// materialized them into SoA chunks); the full store has no SoA image.
+fn columnar_source(spec: &ScanSpec, tags_available: bool) -> bool {
+    match &spec.source {
+        QuerySource::Tag => tags_available,
+        QuerySource::Set(_) => true,
+        QuerySource::Full => false,
+    }
+}
+
 /// Lower a scan for the columnar path: `Some` iff the mode allows it,
-/// the scan targets the tag store, and the predicate (when present) and
-/// projection both compile. The single decision point — the stats flag
-/// (`plan_uses_columnar`) and the executor both go through here, so the
-/// gate and the execution path cannot drift.
+/// the source is columnar-capable (tag store or stored set), and the
+/// predicate (when present) and projection both compile. The single
+/// decision point — the stats flag (`plan_uses_columnar`) and the
+/// executor both go through here, so the gate and the execution path
+/// cannot drift.
 fn compile_scan(
     spec: &ScanSpec,
     tags_available: bool,
     mode: ExecMode,
 ) -> Option<(Option<crate::compile::CompiledPredicate>, crate::compile::CompiledProjection)> {
-    if mode != ExecMode::Auto || !tags_available || spec.target != ScanTarget::Tag {
+    if mode != ExecMode::Auto || !columnar_source(spec, tags_available) {
         return None;
     }
     let pred = match &spec.predicate {
@@ -743,27 +772,24 @@ fn spawn_scan(env: &ExecEnv, spec: ScanSpec, ticket: &Arc<TicketCore>) -> BatchH
     // in parallel, each streaming into the same output channel (the
     // channel is the per-worker stream merge).
     if let Some((pred, proj)) = compile_scan(&spec, env.tags.is_some(), env.mode) {
-        let tag_store = env.tags.clone().expect("compile_scan checked tags");
+        let tags = env.tags.clone();
+        let sets = env.sets.clone();
         let workers = env.workers.max(1);
         spawn_guarded(ticket.clone(), move || {
-            let plan = match tag_store.plan_batch_scan(spec.domain.as_ref(), cover_level) {
-                Ok(plan) => Arc::new(plan),
-                Err(e) => {
-                    ticket.record_failure(format!("scan planning failed: {e}"));
-                    return;
-                }
+            let Some(source) = ScanSource::resolve(tags, &sets, &spec, cover_level, &ticket)
+            else {
+                return;
             };
-            if let Some(hit) = plan.cover_cache_hit() {
+            if let Some(hit) = source.cover_cache_hit() {
                 ticket.note_cover(hit);
             }
-            let n_workers = workers.min(plan.morsels().len()).max(1);
+            let n_workers = workers.min(source.n_morsels()).max(1);
             let job = Arc::new(ColumnarScanJob {
                 pred,
                 proj,
                 sample: spec.sample,
-                tag_store,
-                queue: MorselQueue::build(&plan.morsel_bytes(), n_workers),
-                plan,
+                queue: MorselQueue::build(&source.morsel_bytes(), n_workers),
+                source,
                 ticket: ticket.clone(),
                 tx,
             });
@@ -781,6 +807,7 @@ fn spawn_scan(env: &ExecEnv, spec: ScanSpec, ticket: &Arc<TicketCore>) -> BatchH
     // --- row-at-a-time fallback ---------------------------------------
     let store = env.store.clone();
     let tags = env.tags.clone();
+    let sets = env.sets.clone();
     spawn_guarded(ticket.clone(), move || {
         let mut out: Vec<Row> = Vec::with_capacity(BATCH);
         let mut alive = true;
@@ -823,8 +850,33 @@ fn spawn_scan(env: &ExecEnv, spec: ScanSpec, ticket: &Arc<TicketCore>) -> BatchH
             true
         };
 
-        match (spec.target, &tags) {
-            (ScanTarget::Tag, Some(tag_store)) => match &spec.domain {
+        match (&spec.source, &tags) {
+            // Stored sets interpret row-wise by rebuilding each chunk
+            // row as a `TagObject` (sets are tag-shaped; the planner
+            // kept any spatial factor in the predicate, so geometry
+            // evaluates per row here).
+            (QuerySource::Set(name), _) => match sets.get(name) {
+                Some(set) => {
+                    let mut bytes = 0usize;
+                    let mut containers = 0usize;
+                    'chunks: for chunk in set.chunks() {
+                        bytes += chunk.bytes();
+                        containers += 1;
+                        for i in 0..chunk.len() {
+                            if !emit(&chunk.row(i), &tx) {
+                                alive = false;
+                                break 'chunks;
+                            }
+                        }
+                    }
+                    worker_bytes = bytes as u64;
+                    ticket.absorb_sweep(bytes, containers);
+                }
+                None => ticket.record_failure(format!(
+                    "stored set `{name}` was not pinned at prepare time"
+                )),
+            },
+            (QuerySource::Tag, Some(tag_store)) => match &spec.domain {
                 Some(domain) => {
                     if let Ok(stats) =
                         tag_store.scan_region_until(domain, cover_level, |t| {
@@ -912,17 +964,105 @@ fn select_rows(
     keep
 }
 
+/// Where a columnar scan's morsels come from — the substrate the worker
+/// pool drains. Tag scans resolve an HTM cover into a [`TagScanPlan`]
+/// (one morsel per touched container); stored sets expose their SoA
+/// chunks directly (one morsel per chunk, every row pre-selected). The
+/// compiled predicate/projection machinery is identical above this seam,
+/// which is exactly what makes `FROM <set>` ride the same
+/// morsel-parallel compiled path as a tag scan.
+enum ScanSource {
+    Tag {
+        store: Arc<TagStore>,
+        plan: Arc<TagScanPlan>,
+    },
+    Set(Arc<ResultSet>),
+}
+
+impl ScanSource {
+    /// Resolve a compiled scan's source. Records the failure on the
+    /// ticket and returns `None` when resolution fails (scan planning
+    /// error, or a stored set missing from the pinned snapshot — the
+    /// latter indicates a prepare-time bug, since sessions pin sets).
+    fn resolve(
+        tags: Option<Arc<TagStore>>,
+        sets: &HashMap<String, Arc<ResultSet>>,
+        spec: &ScanSpec,
+        cover_level: Option<u8>,
+        ticket: &TicketCore,
+    ) -> Option<ScanSource> {
+        match &spec.source {
+            QuerySource::Set(name) => match sets.get(name) {
+                Some(set) => Some(ScanSource::Set(set.clone())),
+                None => {
+                    ticket.record_failure(format!(
+                        "stored set `{name}` was not pinned at prepare time"
+                    ));
+                    None
+                }
+            },
+            _ => {
+                let store = tags.expect("columnar gate checked the tag store");
+                match store.plan_batch_scan(spec.domain.as_ref(), cover_level) {
+                    Ok(plan) => Some(ScanSource::Tag {
+                        store,
+                        plan: Arc::new(plan),
+                    }),
+                    Err(e) => {
+                        ticket.record_failure(format!("scan planning failed: {e}"));
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Byte weight per morsel — the [`MorselQueue`] sharding input.
+    fn morsel_bytes(&self) -> Vec<usize> {
+        match self {
+            ScanSource::Tag { plan, .. } => plan.morsel_bytes(),
+            ScanSource::Set(set) => set.chunk_bytes(),
+        }
+    }
+
+    fn n_morsels(&self) -> usize {
+        match self {
+            ScanSource::Tag { plan, .. } => plan.morsels().len(),
+            ScanSource::Set(set) => set.n_chunks(),
+        }
+    }
+
+    /// Plan-time cover lookup outcome (`None` for sweeps and sets).
+    fn cover_cache_hit(&self) -> Option<bool> {
+        match self {
+            ScanSource::Tag { plan, .. } => plan.cover_cache_hit(),
+            ScanSource::Set(_) => None,
+        }
+    }
+
+    /// Scan one morsel, streaming `(ColumnBatch, SelectionMask)` pairs.
+    fn scan_morsel(
+        &self,
+        idx: usize,
+        f: impl FnMut(&ColumnBatch<'_>, &SelectionMask) -> bool,
+    ) -> (RegionScan, bool) {
+        match self {
+            ScanSource::Tag { store, plan } => store.scan_morsel(plan, idx, f),
+            ScanSource::Set(set) => set.scan_chunk(idx, f),
+        }
+    }
+}
+
 /// One parallel columnar scan: compiled programs + the resolved morsel
-/// plan, shared by every worker through an `Arc`. Workers claim morsels
-/// from the byte-balanced queue, evaluate the predicate, and push
-/// projected [`ColumnarBatch`]es into the shared channel — the channel
-/// fabric merges the per-worker streams.
+/// source, shared by every worker through an `Arc`. Workers claim
+/// morsels from the byte-balanced queue, evaluate the predicate, and
+/// push projected [`ColumnarBatch`]es into the shared channel — the
+/// channel fabric merges the per-worker streams.
 struct ColumnarScanJob {
     pred: Option<CompiledPredicate>,
     proj: CompiledProjection,
     sample: Option<f64>,
-    tag_store: Arc<TagStore>,
-    plan: Arc<TagScanPlan>,
+    source: ScanSource,
     queue: MorselQueue,
     ticket: Arc<TicketCore>,
     tx: Sender<ResultBatch>,
@@ -946,7 +1086,7 @@ impl ColumnarScanJob {
         while alive && !self.ticket.is_cancelled() {
             let Some(m) = self.queue.next(w) else { break };
             morsels += 1;
-            let (stats, _) = self.tag_store.scan_morsel(&self.plan, m, |batch, sel| {
+            let (stats, _) = self.source.scan_morsel(m, |batch, sel| {
                 if self.ticket.is_cancelled() {
                     return false;
                 }
@@ -997,8 +1137,7 @@ struct AggScanJob {
     inputs: CompiledAggInputs,
     funcs: Vec<AggFn>,
     sample: Option<f64>,
-    tag_store: Arc<TagStore>,
-    plan: Arc<TagScanPlan>,
+    source: ScanSource,
     queue: MorselQueue,
     ticket: Arc<TicketCore>,
 }
@@ -1017,7 +1156,7 @@ impl AggScanJob {
         while !self.ticket.is_cancelled() {
             let Some(m) = self.queue.next(w) else { break };
             morsels += 1;
-            let (stats, _) = self.tag_store.scan_morsel(&self.plan, m, |batch, sel| {
+            let (stats, _) = self.source.scan_morsel(m, |batch, sel| {
                 if self.ticket.is_cancelled() {
                     return false;
                 }
@@ -1053,7 +1192,7 @@ fn compile_agg_scan(
     tags_available: bool,
     mode: ExecMode,
 ) -> Option<(Option<CompiledPredicate>, CompiledAggInputs)> {
-    if mode != ExecMode::Auto || !tags_available || spec.target != ScanTarget::Tag {
+    if mode != ExecMode::Auto || !columnar_source(spec, tags_available) {
         return None;
     }
     let pred = match &spec.predicate {
@@ -1077,30 +1216,27 @@ fn spawn_agg_scan(
     let (tx, rx) = bounded::<ResultBatch>(CHANNEL_DEPTH);
     let columns = Arc::new(aggs.iter().map(|a| a.name.clone()).collect::<Vec<_>>());
     let funcs: Vec<AggFn> = aggs.iter().map(|a| a.func).collect();
-    let tag_store = env.tags.clone().expect("compile_agg_scan checked tags");
+    let tags = env.tags.clone();
+    let sets = env.sets.clone();
     let cover_level = env.cover_level;
     let workers = env.workers.max(1);
     let ticket = ticket.clone();
     spawn_guarded(ticket.clone(), move || {
-        let plan = match tag_store.plan_batch_scan(spec.domain.as_ref(), cover_level) {
-            Ok(plan) => Arc::new(plan),
-            Err(e) => {
-                ticket.record_failure(format!("scan planning failed: {e}"));
-                return;
-            }
+        let Some(source) = ScanSource::resolve(tags, &sets, &spec, cover_level, &ticket)
+        else {
+            return;
         };
-        if let Some(hit) = plan.cover_cache_hit() {
+        if let Some(hit) = source.cover_cache_hit() {
             ticket.note_cover(hit);
         }
-        let n_workers = workers.min(plan.morsels().len()).max(1);
+        let n_workers = workers.min(source.n_morsels()).max(1);
         let job = Arc::new(AggScanJob {
             pred,
             inputs,
             funcs: funcs.clone(),
             sample: spec.sample,
-            tag_store,
-            queue: MorselQueue::build(&plan.morsel_bytes(), n_workers),
-            plan,
+            queue: MorselQueue::build(&source.morsel_bytes(), n_workers),
+            source,
             ticket: ticket.clone(),
         });
         let (ptx, prx) = bounded::<Vec<AggAcc>>(n_workers);

@@ -12,26 +12,43 @@
 //! > that even in the case of a query that takes a very long time to
 //! > complete, the user starts seeing results almost immediately."
 //!
-//! The public surface is the **archive server API** in [`archive`]:
+//! The public surface is the **archive server API** in [`archive`] plus
+//! the **session workspaces** in [`session`]:
 //!
 //! * [`Archive`] — an owned, cloneable, `Send + Sync` handle over
 //!   `Arc`'d stores; any number of threads submit queries concurrently.
-//! * [`Archive::prepare`] → [`Prepared`] — parse/plan split from
-//!   execution: inspect the plan, read the plan-time [`CostEstimate`]
-//!   (rows / bytes / containers, from container statistics + the HTM
-//!   cover), then execute repeatedly with `$1`-style numeric parameters
-//!   re-bound per run — no re-parse, no re-plan.
+//! * [`Archive::session`] → [`Session`] — a per-user workspace of named
+//!   **server-side result sets**. `SELECT objid, ... INTO s FROM ...`
+//!   materializes the matching objects columnar under the session's
+//!   quotas; `FROM s` then treats the stored set as a first-class query
+//!   source — refine, aggregate, set-operate, cross-compose — scanning
+//!   it through the *same* compiled-predicate + morsel-parallel worker
+//!   path as a tag scan (one morsel per materialized chunk). Sessions
+//!   are isolated namespaces with byte/set quotas and accumulated
+//!   [`SessionStats`].
+//! * [`Archive::prepare`] / [`Session::prepare`] → [`Prepared`] —
+//!   parse/plan split from execution: inspect the plan, read the
+//!   plan-time [`CostEstimate`] (rows / bytes / containers — exact for
+//!   stored sets, cover-derived for the base stores), then execute
+//!   repeatedly with `$1`-style numeric parameters re-bound per run — no
+//!   re-parse, no re-plan. Session prepares pin a snapshot of the sets
+//!   they reference. [`Prepared::explain`] leads with the estimate line
+//!   the admission queue orders on.
 //! * [`Prepared::stream`] → [`ResultStream`] — pull-based
-//!   [`ResultBatch`]es; the compiled tag-scan path ships struct-of-arrays
+//!   [`ResultBatch`]es; the compiled scan path ships struct-of-arrays
 //!   [`ColumnarBatch`]es through the whole channel fabric and rows
 //!   materialize only at the edge ([`ResultBatch::rows`]).
 //! * [`QueryTicket`] — per-execution cancellation + live progress;
-//!   [`QueryStats`] closes the loop with timing, routing, scan-byte and
-//!   cover-cache counters.
+//!   [`QueryStats`] closes the loop with timing, routing, scan-byte,
+//!   worker and cover-cache counters (including `rows_emitted`, the
+//!   batch-edge producer count). [`Archive::run_with_stats`] pairs the
+//!   rows and stats for one-shot callers.
 //! * Admission control — a semaphore-bounded slot pool
 //!   ([`AdmissionConfig`]) queues executions rather than oversubscribing,
 //!   with a separate bound on *heavy* (over-estimate) queries — the
 //!   behavior the paper's query agents gave the multi-user archive.
+//!   `INTO` materializations hold their slots while the writer sink
+//!   folds batches into the set.
 //!
 //! ```
 //! use sdss_query::Archive;
@@ -50,6 +67,15 @@
 //! let bright = stmt.run_with(&[20.0])?; // binds $1 — no re-parse/re-plan
 //! let faint = stmt.run_with(&[22.0])?;
 //! assert!(bright.rows.len() <= faint.rows.len());
+//!
+//! // The multi-step scenario: select a candidate set once, then
+//! // compose over it without re-scanning the sky.
+//! let session = archive.session();
+//! session.run("SELECT objid INTO cand FROM photoobj WHERE r < 21")?;
+//! let refined = session.run("SELECT objid, gr FROM cand WHERE gr > 0.6")?;
+//! let stats = session.run("SELECT COUNT(*), AVG(r) FROM cand")?;
+//! assert_eq!(stats.rows.len(), 1);
+//! assert!(refined.rows.len() <= session.set_info("cand").unwrap().rows);
 //! # Ok::<(), sdss_query::QueryError>(())
 //! ```
 //!
@@ -57,26 +83,31 @@
 //!
 //! * [`ast`] / [`lexer`] / [`parser`] — a small SQL-ish surface language
 //!   with spatial predicates (`CIRCLE`, `RECT`, `BAND`), set operators
-//!   (`UNION` / `INTERSECT` / `EXCEPT`), and `$N` parameters
-//! * [`plan`] — the QET itself, built from the AST; spatial predicates
-//!   are compiled to HTM covers; parameters bind per execution
+//!   (`UNION` / `INTERSECT` / `EXCEPT`), `$N` parameters, and `INTO` /
+//!   stored-set `FROM` sources
+//! * [`plan`] — the QET itself, built from the AST; [`QuerySource`]
+//!   routes each scan leaf (full store / tag partition / stored set);
+//!   spatial predicates compile to HTM covers for the base stores and
+//!   stay row-wise for sets; parameters bind per execution
 //! * [`compile`] — predicate/projection compilation to register bytecode
-//!   evaluated over tag column batches (the E5 hot path)
+//!   evaluated over column batches (the E5 hot path, shared by tag
+//!   containers and stored-set chunks)
 //! * [`exec`] — multithreaded ASAP-push execution over crossbeam
 //!   channels; batches stay columnar through the fabric, and compiled
-//!   tag scans run **morsel-parallel**: the touched-container list is a
-//!   byte-balanced work queue drained by a pool of scan workers, with
-//!   `COUNT`/`SUM`/`MIN`/`MAX` folding inside the scan loop
+//!   scans run **morsel-parallel**: the touched-container (or set-chunk)
+//!   list is a byte-balanced work queue drained by a pool of scan
+//!   workers, with `COUNT`/`SUM`/`MIN`/`MAX` folding inside the scan loop
 //! * [`archive`] — the server API: shared handle, prepared queries,
 //!   batch streams, tickets, admission control (slots accounted in
-//!   worker threads, cost-ordered queue)
+//!   worker threads, cost-ordered queue), session registry
+//! * [`session`] — session workspaces: stored-set lifecycle (`INTO`
+//!   writer sink, listing, drop), quotas, per-session stats
 //! * [`ops`] — the "special operators related to angular distances and
 //!   complex similarity tests" (the row-at-a-time fallback interpreter)
 //!
-//! The deprecated `Engine` façade of the pre-archive API was removed in
-//! this release; `Archive::new(store, tags)` + `archive.run(sql)` is the
-//! drop-in replacement (see the PR 2 notes in ROADMAP.md for the full
-//! migration map).
+//! Migration: `Archive::prepare` / `run` / `stream` are **unchanged** —
+//! sessions are purely additive. Code that never says `INTO` or queries
+//! a stored set needs no edits.
 
 pub mod archive;
 pub mod ast;
@@ -86,6 +117,7 @@ pub mod lexer;
 pub mod ops;
 pub mod parser;
 pub mod plan;
+pub mod session;
 
 pub use archive::{
     AdmissionConfig, AdmissionSnapshot, Archive, ArchiveConfig, CostEstimate, Prepared,
@@ -99,7 +131,8 @@ pub use compile::{
 pub use exec::{
     ColumnData, ColumnarBatch, ExecMode, ResultBatch, Row, ScanTotals, WorkerScan,
 };
-pub use plan::{plans_built, PlanNode, QueryPlan};
+pub use plan::{plans_built, PlanNode, QueryPlan, QuerySource};
+pub use session::{Session, SessionConfig, SessionInfo, SessionStats, StoredSetInfo};
 
 /// Errors produced by the query crate.
 #[derive(Debug, Clone, PartialEq)]

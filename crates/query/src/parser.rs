@@ -3,8 +3,9 @@
 //! Grammar (keywords case-insensitive):
 //!
 //! ```text
+//! statement  := query [INTO ident]                             -- parse_statement
 //! query      := select ( (UNION|INTERSECT|EXCEPT) select )*   -- left assoc
-//! select     := SELECT items FROM ident [WHERE expr]
+//! select     := SELECT items [INTO ident] FROM ident [WHERE expr]
 //!               [ORDER BY ident [ASC|DESC]] [LIMIT num] [SAMPLE num]
 //!             | '(' query ')'
 //! items      := '*' | item (',' item)*
@@ -24,13 +25,32 @@ use crate::ast::{AggFn, BinOp, Expr, Query, SelectItem, SelectStmt, SetOp, Spati
 use crate::lexer::{lex, Spanned, Tok};
 use crate::QueryError;
 
-/// Parse a full query string.
+/// Parse a full query string (no trailing `INTO` — use
+/// [`parse_statement`] for the session-workspace statement form).
 pub fn parse(input: &str) -> Result<Query, QueryError> {
     let toks = lex(input)?;
     let mut p = Parser { toks, at: 0 };
     let q = p.query()?;
     p.expect_eof()?;
     Ok(q)
+}
+
+/// Parse a statement: a query plus an optional **trailing** `INTO
+/// <name>` (the only way to materialize a set-operation composition,
+/// since the select-level `SELECT ... INTO s FROM ...` clause lives
+/// inside one select). Returns the query and the trailing set name, if
+/// any; select-level `INTO` stays on the [`crate::ast::SelectStmt`].
+pub fn parse_statement(input: &str) -> Result<(Query, Option<String>), QueryError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, at: 0 };
+    let q = p.query()?;
+    let into = if p.eat_kw("INTO") {
+        Some(p.ident()?.to_ascii_lowercase())
+    } else {
+        None
+    };
+    p.expect_eof()?;
+    Ok((q, into))
 }
 
 struct Parser {
@@ -162,6 +182,13 @@ impl Parser {
     fn select(&mut self) -> Result<SelectStmt, QueryError> {
         self.expect_kw("SELECT")?;
         let items = self.select_items()?;
+        // SQL-Server-style `SELECT cols INTO set FROM ...` — materialize
+        // into a named session set instead of streaming back.
+        let into = if self.eat_kw("INTO") {
+            Some(self.ident()?.to_ascii_lowercase())
+        } else {
+            None
+        };
         self.expect_kw("FROM")?;
         let table = self.ident()?.to_ascii_lowercase();
         let predicate = if self.eat_kw("WHERE") {
@@ -202,6 +229,7 @@ impl Parser {
         };
         Ok(SelectStmt {
             items,
+            into,
             table,
             predicate,
             order_by,
@@ -659,6 +687,37 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn into_clause_both_positions() {
+        // SQL-Server position: between the items and FROM.
+        let q = parse("SELECT objid, r INTO Bright FROM photoobj WHERE r < 20").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        assert_eq!(s.into.as_deref(), Some("bright"), "names lower-cased");
+        assert_eq!(s.table, "photoobj");
+
+        // Trailing position (statement level) — works for set ops too.
+        let (q, into) = parse_statement(
+            "(SELECT objid FROM photoobj) UNION (SELECT objid FROM photoobj) INTO merged",
+        )
+        .unwrap();
+        assert!(matches!(q, Query::SetOp(SetOp::Union, _, _)));
+        assert_eq!(into.as_deref(), Some("merged"));
+
+        // Plain parse() rejects the trailing form (strict query syntax).
+        assert!(parse("SELECT objid FROM photoobj INTO s").is_err());
+        // A bare INTO with no name is an error in both positions.
+        assert!(parse_statement("SELECT objid FROM photoobj INTO").is_err());
+        assert!(parse("SELECT objid INTO FROM photoobj").is_err());
+    }
+
+    #[test]
+    fn stored_set_sources_parse_as_tables() {
+        let q = parse("SELECT objid, r FROM MySet WHERE r < 20").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        assert_eq!(s.table, "myset");
+        assert!(s.into.is_none());
     }
 
     #[test]

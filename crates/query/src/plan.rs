@@ -28,20 +28,39 @@ pub fn plans_built() -> u64 {
     PLANS_BUILT.load(Ordering::Relaxed)
 }
 
-/// Which store a scan reads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ScanTarget {
+/// Where a scan leaf reads its rows from. Replaces the old implicit
+/// tags-vs-full-store routing flag: a query source is now first-class,
+/// and stored session sets sit beside the base stores as equal citizens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuerySource {
     /// The ~1.2 KB full photometric objects.
     Full,
     /// The 64-byte tag vertical partition.
     Tag,
+    /// A named server-side result set in the caller's session workspace
+    /// (resolved to a pinned snapshot at prepare time). Tag-shaped:
+    /// exposes exactly the tag attributes, scans columnar.
+    Set(String),
+}
+
+impl QuerySource {
+    /// Short label for EXPLAIN output.
+    pub fn label(&self) -> String {
+        match self {
+            QuerySource::Full => "full".to_string(),
+            QuerySource::Tag => "tag".to_string(),
+            QuerySource::Set(name) => format!("set:{name}"),
+        }
+    }
 }
 
 /// One scan leaf of the QET.
 #[derive(Debug, Clone)]
 pub struct ScanSpec {
-    pub target: ScanTarget,
-    /// Spatial restriction (None = whole stored sky).
+    pub source: QuerySource,
+    /// Spatial restriction (None = whole stored sky). Always `None` for
+    /// stored-set sources: sets carry no HTM clustering, so spatial
+    /// factors stay in the residual predicate and evaluate row-wise.
     pub domain: Option<Domain>,
     /// Residual predicate after spatial extraction.
     pub predicate: Option<Expr>,
@@ -121,7 +140,7 @@ impl PlanNode {
     pub fn bind_params(&self, params: &[f64]) -> Result<PlanNode, QueryError> {
         Ok(match self {
             PlanNode::Scan(s) => PlanNode::Scan(ScanSpec {
-                target: s.target,
+                source: s.source.clone(),
                 domain: s.domain.clone(),
                 predicate: s
                     .predicate
@@ -165,6 +184,32 @@ impl PlanNode {
         })
     }
 
+    /// Names of every stored set this tree scans (deduplicated) — what
+    /// a session prepare needs to pin, and nothing more.
+    pub fn referenced_sets(&self) -> Vec<&str> {
+        fn walk<'a>(node: &'a PlanNode, out: &mut Vec<&'a str>) {
+            match node {
+                PlanNode::Scan(s) => {
+                    if let QuerySource::Set(name) = &s.source {
+                        if !out.contains(&name.as_str()) {
+                            out.push(name);
+                        }
+                    }
+                }
+                PlanNode::Sort { child, .. }
+                | PlanNode::Limit { child, .. }
+                | PlanNode::Aggregate { child, .. } => walk(child, out),
+                PlanNode::Set { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
     /// Number of nodes (for tests / EXPLAIN).
     pub fn size(&self) -> usize {
         match self {
@@ -182,10 +227,7 @@ impl PlanNode {
             PlanNode::Scan(s) => {
                 out.push_str(&format!(
                     "{pad}Scan[{}] domain={} predicate={} cols={} sample={:?}\n",
-                    match s.target {
-                        ScanTarget::Full => "full",
-                        ScanTarget::Tag => "tag",
-                    },
+                    s.source.label(),
                     s.domain.is_some(),
                     s.predicate.is_some(),
                     s.columns.len(),
@@ -219,14 +261,52 @@ pub struct QueryPlan {
     pub root: PlanNode,
     /// Number of `$N` parameters the plan expects per execution.
     pub n_params: usize,
+    /// Materialization target: `Some(name)` when the statement ends in
+    /// `INTO <name>` — execution folds the result into a named session
+    /// set instead of streaming it back.
+    pub into: Option<String>,
 }
 
 impl QueryPlan {
     pub fn explain(&self) -> String {
         let mut s = String::new();
+        if let Some(name) = &self.into {
+            s.push_str(&format!("Into[{name}]\n"));
+        }
         self.root.explain(0, &mut s);
         s
     }
+
+    /// Attach a statement-level (trailing) `INTO` target, validating it
+    /// the same way a select-level one is validated at plan time.
+    pub fn set_into(&mut self, name: String) -> Result<(), QueryError> {
+        if self.into.is_some() {
+            return Err(QueryError::Type(
+                "INTO given twice (select-level and statement-level)".to_string(),
+            ));
+        }
+        validate_into(&name, &self.root)?;
+        self.into = Some(name);
+        Ok(())
+    }
+}
+
+/// INTO targets must be legal set names and the materialized rows must
+/// carry the object pointer (a stored set is a bag of tagged objects).
+fn validate_into(name: &str, root: &PlanNode) -> Result<(), QueryError> {
+    if name == "photoobj" || name == "tag" {
+        return Err(QueryError::Type(format!(
+            "INTO {name}: the base catalog names are reserved"
+        )));
+    }
+    if !root.columns().iter().any(|c| c == "objid") {
+        return Err(QueryError::Type(
+            "INTO requires objid in the select list (stored sets are \
+             bags of object pointers)"
+                .to_string(),
+        ));
+    }
+    Ok(())
 }
 
 /// Compile a parsed query into a QET.
@@ -235,9 +315,32 @@ impl QueryPlan {
 /// to the full store.
 pub fn plan(query: &Query, tags_available: bool) -> Result<QueryPlan, QueryError> {
     PLANS_BUILT.fetch_add(1, Ordering::Relaxed);
+    // Select-level INTO is only meaningful on a top-level plain SELECT;
+    // inside a set-operation branch it would be ambiguous about which
+    // rows materialize (use the trailing statement form for those).
+    let into = match query {
+        Query::Select(s) => s.into.clone(),
+        Query::SetOp(..) => {
+            if query.selects().iter().any(|s| s.into.is_some()) {
+                return Err(QueryError::Type(
+                    "INTO inside a set-operation branch; put it at the end \
+                     of the statement: (..) UNION (..) INTO name"
+                        .to_string(),
+                ));
+            }
+            None
+        }
+    };
     let root = plan_query(query, tags_available)?;
+    if let Some(name) = &into {
+        validate_into(name, &root)?;
+    }
     let n_params = root.max_param();
-    Ok(QueryPlan { root, n_params })
+    Ok(QueryPlan {
+        root,
+        n_params,
+        into,
+    })
 }
 
 fn plan_query(query: &Query, tags_available: bool) -> Result<PlanNode, QueryError> {
@@ -269,13 +372,18 @@ fn plan_query(query: &Query, tags_available: bool) -> Result<PlanNode, QueryErro
 }
 
 fn plan_select(s: &SelectStmt, tags_available: bool) -> Result<PlanNode, QueryError> {
-    if s.table != "photoobj" && s.table != "tag" {
-        return Err(QueryError::Unknown(format!("table {}", s.table)));
-    }
+    // Any table name other than the two base catalogs is a stored-set
+    // reference, resolved against the session workspace at prepare time.
+    let set_source = s.table != "photoobj" && s.table != "tag";
 
     // --- split the predicate into spatial conjuncts and the residual ---
+    // Stored sets have no HTM container clustering to cover, so their
+    // spatial factors stay in the residual predicate and evaluate
+    // row-wise (compiled `SpatialMask` on the columnar path, geometry in
+    // the interpreter otherwise).
     let (domain, residual) = match &s.predicate {
-        Some(p) => extract_spatial(p)?,
+        Some(p) if !set_source => extract_spatial(p)?,
+        Some(p) => (None, Some(p.clone())),
         None => (None, None),
     };
     let residual = residual.map(|mut e| {
@@ -344,15 +452,18 @@ fn plan_select(s: &SelectStmt, tags_available: bool) -> Result<PlanNode, QueryEr
 
     let force_tag = s.table == "tag";
     let tag_ok = attrs.iter().all(|a| TAG_ATTRS.contains(a));
-    if force_tag && !tag_ok {
-        return Err(QueryError::Type(
-            "query against `tag` uses attributes outside the tag partition".to_string(),
-        ));
+    if (force_tag || set_source) && !tag_ok {
+        return Err(QueryError::Type(format!(
+            "query against `{}` uses attributes outside the tag record",
+            s.table
+        )));
     }
-    let target = if (force_tag || tag_ok) && tags_available {
-        ScanTarget::Tag
+    let source = if set_source {
+        QuerySource::Set(s.table.clone())
+    } else if (force_tag || tag_ok) && tags_available {
+        QuerySource::Tag
     } else {
-        ScanTarget::Full
+        QuerySource::Full
     };
 
     // Aggregates: the scan emits hidden `__agg_i` columns carrying each
@@ -368,7 +479,7 @@ fn plan_select(s: &SelectStmt, tags_available: bool) -> Result<PlanNode, QueryEr
     };
 
     let mut node = PlanNode::Scan(ScanSpec {
-        target,
+        source,
         domain,
         predicate: residual,
         columns: scan_columns,
@@ -524,7 +635,7 @@ mod tests {
     fn tag_routing_for_popular_attributes() {
         let p = plan_sql("SELECT ra, dec, r FROM photoobj WHERE r < 20").unwrap();
         match &p.root {
-            PlanNode::Scan(s) => assert_eq!(s.target, ScanTarget::Tag),
+            PlanNode::Scan(s) => assert_eq!(s.source, QuerySource::Tag),
             other => panic!("{other:?}"),
         }
     }
@@ -533,13 +644,13 @@ mod tests {
     fn full_routing_when_rare_attribute_used() {
         let p = plan_sql("SELECT ra, psf_r FROM photoobj WHERE r < 20").unwrap();
         match &p.root {
-            PlanNode::Scan(s) => assert_eq!(s.target, ScanTarget::Full),
+            PlanNode::Scan(s) => assert_eq!(s.source, QuerySource::Full),
             other => panic!("{other:?}"),
         }
         // ... even if only the predicate needs it.
         let p = plan_sql("SELECT ra FROM photoobj WHERE mjd > 51000").unwrap();
         match &p.root {
-            PlanNode::Scan(s) => assert_eq!(s.target, ScanTarget::Full),
+            PlanNode::Scan(s) => assert_eq!(s.source, QuerySource::Full),
             other => panic!("{other:?}"),
         }
     }
@@ -548,9 +659,72 @@ mod tests {
     fn no_tag_store_forces_full(){
         let p = plan(&parse("SELECT ra FROM photoobj").unwrap(), false).unwrap();
         match &p.root {
-            PlanNode::Scan(s) => assert_eq!(s.target, ScanTarget::Full),
+            PlanNode::Scan(s) => assert_eq!(s.source, QuerySource::Full),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn stored_set_sources_resolve_and_keep_spatial_rowwise() {
+        // An unknown table name is a stored-set reference; its spatial
+        // factors stay in the residual (sets have no cover to extract).
+        let p = plan_sql("SELECT objid, r FROM bright WHERE CIRCLE(185, 15, 1) AND r < 20")
+            .unwrap();
+        match &p.root {
+            PlanNode::Scan(s) => {
+                assert_eq!(s.source, QuerySource::Set("bright".to_string()));
+                assert!(s.domain.is_none(), "sets never get a cover domain");
+                let pred = s.predicate.as_ref().expect("whole predicate kept");
+                let mut spatial = false;
+                fn walk(e: &Expr, found: &mut bool) {
+                    match e {
+                        Expr::Spatial(_) => *found = true,
+                        Expr::Bin(_, a, b) => {
+                            walk(a, found);
+                            walk(b, found);
+                        }
+                        _ => {}
+                    }
+                }
+                walk(pred, &mut spatial);
+                assert!(spatial, "spatial factor must stay in the residual");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Sets are tag-shaped: full-object attributes are rejected.
+        assert!(matches!(
+            plan_sql("SELECT psf_r FROM bright"),
+            Err(QueryError::Type(_))
+        ));
+        assert!(p.explain().contains("set:bright"));
+    }
+
+    #[test]
+    fn into_validation() {
+        // Select-level INTO needs objid.
+        assert!(matches!(
+            plan_sql("SELECT ra INTO s FROM photoobj"),
+            Err(QueryError::Type(_))
+        ));
+        let p = plan_sql("SELECT objid, ra INTO s FROM photoobj").unwrap();
+        assert_eq!(p.into.as_deref(), Some("s"));
+        assert!(p.explain().contains("Into[s]"));
+        // Reserved names are rejected.
+        assert!(plan_sql("SELECT objid INTO photoobj FROM tag").is_err());
+        // INTO buried in a set-op branch is rejected with a pointer to
+        // the trailing statement form.
+        assert!(plan_sql(
+            "(SELECT objid INTO s FROM photoobj) UNION (SELECT objid FROM photoobj)"
+        )
+        .is_err());
+        // The trailing form attaches via set_into, once.
+        let mut p = plan_sql(
+            "(SELECT objid FROM photoobj) UNION (SELECT objid FROM photoobj)",
+        )
+        .unwrap();
+        p.set_into("merged".to_string()).unwrap();
+        assert_eq!(p.into.as_deref(), Some("merged"));
+        assert!(p.set_into("again".to_string()).is_err());
     }
 
     #[test]
@@ -644,10 +818,10 @@ mod tests {
             plan_sql("SELECT DIST(1) FROM photoobj"),
             Err(QueryError::Type(_))
         ));
-        assert!(matches!(
-            plan_sql("SELECT ra FROM spectra"),
-            Err(QueryError::Unknown(_))
-        ));
+        // A non-catalog table name is now a stored-set reference: it
+        // plans fine (tag-shaped) and resolution happens at prepare
+        // time against the session workspace.
+        assert!(plan_sql("SELECT ra FROM spectra").is_ok());
         assert!(matches!(
             plan_sql("SELECT ra FROM photoobj ORDER BY qqq"),
             Err(QueryError::Unknown(_))

@@ -22,6 +22,9 @@
 //!   scan path's memory-bandwidth substrate)
 //! * [`cover_cache`] — memoized HTM covers keyed by
 //!   `(domain fingerprint, level)` for repeated region queries
+//! * [`resultset`] — server-side result sets (session workspaces):
+//!   query results materialized into the same SoA chunk layout so
+//!   `FROM <set>` scans ride the compiled morsel-parallel path
 //! * [`sample`] — deterministic percentage samples ("a 1% sample ... to
 //!   quickly test and debug programs")
 //! * [`partition`] — spatial partitioning of containers over servers
@@ -37,6 +40,7 @@ pub mod estimate;
 pub mod morsel;
 pub mod page;
 pub mod partition;
+pub mod resultset;
 pub mod sample;
 pub mod store;
 pub mod vertical;
@@ -48,6 +52,7 @@ pub use estimate::{CostModel, QueryEstimate};
 pub use morsel::MorselQueue;
 pub use page::{Page, PageIter, PAGE_SIZE};
 pub use partition::PartitionMap;
+pub use resultset::{ResultSet, ResultSetBuilder, RESULT_SET_CHUNK_ROWS};
 pub use sample::sample_hash_keep;
 pub use store::{ObjectStore, RegionScan, StoreConfig, TouchCounters};
 pub use vertical::{TagMorsel, TagScanPlan, TagStore};
