@@ -78,10 +78,7 @@ impl DataPump {
             .sum();
         // The shared pass must still read the union of coverages; the
         // pump reads everything once (sweeps "touch most of the data").
-        let max_cov = served
-            .iter()
-            .map(|r| r.coverage)
-            .fold(0.0f64, f64::max);
+        let max_cov = served.iter().map(|r| r.coverage).fold(0.0f64, f64::max);
         Some(SweepReport {
             round: self.rounds,
             queries_served: served.len(),

@@ -99,25 +99,45 @@ impl ArchiveNetwork {
         ];
         let mut edges = vec![
             // Tapes to FNAL and reduction into the OA: ~1 day.
-            Edge { from: 0, to: 1, delay_days: 1.0 },
+            Edge {
+                from: 0,
+                to: 1,
+                delay_days: 1.0,
+            },
             // "Within two weeks the calibrated data is published to the
             // Science Archive."
-            Edge { from: 1, to: 2, delay_days: 14.0 },
+            Edge {
+                from: 1,
+                to: 2,
+                delay_days: 14.0,
+            },
             // "The data gets into the public archives after approximately
             // 1-2 years of science verification."
-            Edge { from: 2, to: 3, delay_days: 548.0 },
+            Edge {
+                from: 2,
+                to: 3,
+                delay_days: 548.0,
+            },
         ];
         for i in 0..n_local {
             let idx = sites.len();
             sites.push(ArchiveSite::new(SiteKind::Local, &format!("LA-{i}")));
             // "Science archive data is replicated to Local Archives within
             // another two weeks."
-            edges.push(Edge { from: 2, to: idx, delay_days: 14.0 });
+            edges.push(Edge {
+                from: 2,
+                to: idx,
+                delay_days: 14.0,
+            });
         }
         for i in 0..n_public {
             let idx = sites.len();
             sites.push(ArchiveSite::new(SiteKind::Public, &format!("PA-{i}")));
-            edges.push(Edge { from: 3, to: idx, delay_days: 30.0 });
+            edges.push(Edge {
+                from: 3,
+                to: idx,
+                delay_days: 30.0,
+            });
         }
         ArchiveNetwork { sites, edges }
     }
@@ -154,7 +174,13 @@ impl ArchiveNetwork {
                 day: event.time,
             });
             for edge in self.edges.iter().filter(|e| e.from == site) {
-                q.schedule_in(edge.delay_days, Arrival { chunk, site: edge.to });
+                q.schedule_in(
+                    edge.delay_days,
+                    Arrival {
+                        chunk,
+                        site: edge.to,
+                    },
+                );
             }
         }
         log
@@ -211,7 +237,11 @@ mod tests {
         let pa = net.latency_days("PA-0", 0).unwrap().unwrap();
         assert!(pa > mpa, "mirror lags the master");
         // "after approximately 1-2 years"
-        assert!(pa / 365.25 > 1.0 && pa / 365.25 < 2.0, "{} years", pa / 365.25);
+        assert!(
+            pa / 365.25 > 1.0 && pa / 365.25 < 2.0,
+            "{} years",
+            pa / 365.25
+        );
     }
 
     #[test]

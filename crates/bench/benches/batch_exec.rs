@@ -142,8 +142,7 @@ fn emit_json() {
             "{name:<24} interpreted {rps_int:>12.0} rows/s   compiled {rps_col:>12.0} rows/s   {speedup:>5.2}x"
         );
     }
-    let geomean =
-        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
     println!("geomean speedup {geomean:.2}x   headline (galaxy_color_cut) {headline:.2}x");
     let json = format!(
         "{{\n  \"bench\": \"batch_exec\",\n  \"objects\": {N_OBJECTS},\n  \

@@ -42,9 +42,7 @@ fn run_clients(archive: &Archive, threads: usize) -> f64 {
             std::thread::spawn(move || {
                 for i in 0..QUERIES_PER_THREAD {
                     let q = (t + i) % prepared.len();
-                    let out = prepared[q]
-                        .run_with(&[PARAMS[q]])
-                        .expect("query runs");
+                    let out = prepared[q].run_with(&[PARAMS[q]]).expect("query runs");
                     black_box(out.rows.len());
                 }
             })
@@ -58,7 +56,12 @@ fn run_clients(archive: &Archive, threads: usize) -> f64 {
 }
 
 fn main() {
-    println!("concurrent query throughput ({N_OBJECTS} objects, shared Archive)\n");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "concurrent query throughput ({N_OBJECTS} objects, {cores} core(s), shared Archive)\n"
+    );
     let objs = standard_sky(N_OBJECTS, 2027);
     let (store, tags) = build_stores(&objs, 6);
     let archive = Archive::new(store, Some(Arc::new(tags)));
@@ -92,8 +95,12 @@ fn main() {
         ));
     }
 
+    // `cores` gates the thread-scaling ratios in bench_check: a 1-core
+    // run caps scaling at ~1.0, so cross-machine comparisons of
+    // scaling_vs_1 are only meaningful when both runs had parallelism.
     let json = format!(
         "{{\n  \"bench\": \"concurrent_queries\",\n  \"objects\": {N_OBJECTS},\n  \
+         \"cores\": {cores},\n  \
          \"queries_per_thread\": {QUERIES_PER_THREAD},\n  \"runs\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );

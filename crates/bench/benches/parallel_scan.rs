@@ -30,14 +30,9 @@ const WORKER_COUNTS: &[usize] = &[1, 2, 4, 8];
 const REPS: usize = 5;
 
 const SWEEP_SQL: &str = "SELECT objid, ra, dec, r FROM photoobj WHERE r < 30";
-const AGG_SQL: &str =
-    "SELECT COUNT(*), AVG(r), MIN(r), MAX(r) FROM photoobj WHERE gr > 0.1";
+const AGG_SQL: &str = "SELECT COUNT(*), AVG(r), MIN(r), MAX(r) FROM photoobj WHERE gr > 0.1";
 
-fn archive_with_workers(
-    store: &Arc<ObjectStore>,
-    tags: &Arc<TagStore>,
-    workers: usize,
-) -> Archive {
+fn archive_with_workers(store: &Arc<ObjectStore>, tags: &Arc<TagStore>, workers: usize) -> Archive {
     Archive::with_config(
         store.clone(),
         Some(tags.clone()),
@@ -78,9 +73,7 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    println!(
-        "parallel scan throughput ({N_OBJECTS} objects, {cores} core(s), best of {REPS})\n"
-    );
+    println!("parallel scan throughput ({N_OBJECTS} objects, {cores} core(s), best of {REPS})\n");
     let objs = standard_sky(N_OBJECTS, 2028);
     let (store, tags) = build_stores(&objs, 6);
     let (store, tags) = (Arc::new(store), Arc::new(tags));

@@ -1,13 +1,19 @@
 //! Session-workspace throughput — the measurements the compositional
 //! query surface exists for:
 //!
-//! * **INTO materialization** — `SELECT objid INTO s FROM photoobj ...`:
-//!   rows/s folded through the writer sink (scan + dedup + tag-record
-//!   fetch + columnar chunk build) into a named server-side set.
+//! * **INTO materialization, fast vs fetch** — `SELECT objid INTO s FROM
+//!   photoobj ...` through the **direct columnar fast path** (tag-routed
+//!   scans project whole tag records straight from the column lanes into
+//!   the set builder) vs the stream-and-fetch path (stacking a no-op
+//!   `LIMIT` over the same scan forces the per-objid full-store fetch
+//!   route — the identical scan, the PR 4 materialization mechanics).
 //! * **stored-set scan vs base scan** — the same compiled predicate run
 //!   `FROM s` (morsels = set chunks) and against the base tag partition;
 //!   the ratio shows stored sets ride the same memory-bandwidth path,
 //!   with the set scan reading only the candidate subset.
+//! * **cross-match pair throughput** — `MATCH(cand, cand, r)` pair rows
+//!   per second through the morsel-parallel zone-index join, plus the
+//!   in-scan-folded `COUNT(*)` pair-count rate.
 //!
 //! Emits `BENCH_workspace.json`. Scans run at 1 and 4 workers per query;
 //! judge wall-clock speedups against the recorded `cores` (a single-core
@@ -27,16 +33,18 @@ const REPS: usize = 5;
 
 /// The candidate cut: keeps a substantial fraction of the sky.
 const INTO_SQL: &str = "SELECT objid INTO cand FROM photoobj WHERE r < 22";
+/// The same cut with a no-op LIMIT stacked on top: the plan shape
+/// disqualifies the direct columnar fast path, so this measures the
+/// stream-and-fetch materialization route over the identical scan.
+const INTO_FETCH_SQL: &str = "SELECT objid INTO cand FROM photoobj WHERE r < 22 LIMIT 1000000000";
+/// The cross-match workload: candidate-vs-candidate pairs at 30".
+const MATCH_SQL: &str = "SELECT a.objid, b.objid, sep_arcsec FROM MATCH(cand, cand, 30)";
+const MATCH_COUNT_SQL: &str = "SELECT COUNT(*) FROM MATCH(cand, cand, 30)";
 /// The refinement predicate run over the set and over the base archive.
 const SET_SCAN_SQL: &str = "SELECT objid, r, gr FROM cand WHERE gr > 0.2";
-const BASE_SCAN_SQL: &str =
-    "SELECT objid, r, gr FROM photoobj WHERE r < 22 AND gr > 0.2";
+const BASE_SCAN_SQL: &str = "SELECT objid, r, gr FROM photoobj WHERE r < 22 AND gr > 0.2";
 
-fn archive_with_workers(
-    store: &Arc<ObjectStore>,
-    tags: &Arc<TagStore>,
-    workers: usize,
-) -> Archive {
+fn archive_with_workers(store: &Arc<ObjectStore>, tags: &Arc<TagStore>, workers: usize) -> Archive {
     Archive::with_config(
         store.clone(),
         Some(tags.clone()),
@@ -81,9 +89,7 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    println!(
-        "workspace queries ({N_OBJECTS} objects, {cores} core(s), best of {REPS})\n"
-    );
+    println!("workspace queries ({N_OBJECTS} objects, {cores} core(s), best of {REPS})\n");
     let objs = standard_sky(N_OBJECTS, 2029);
     let (store, tags) = build_stores(&objs, 6);
     let (store, tags) = (Arc::new(store), Arc::new(tags));
@@ -100,11 +106,57 @@ fn main() {
     }
     let info = session.set_info("cand").expect("set landed");
     let into_rps = info.rows as f64 / best_into;
+
+    // The fetch route over the identical scan: the PR 4 baseline
+    // mechanics (stream batches, dedup objids, per-objid full-store
+    // fetch, rebuild the tag record).
+    let mut best_fetch = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        session.run(INTO_FETCH_SQL).expect("fetch INTO runs");
+        best_fetch = best_fetch.min(t0.elapsed().as_secs_f64());
+    }
+    let fetch_info = session.set_info("cand").expect("set landed");
+    assert_eq!(fetch_info.rows, info.rows, "both INTO routes agree");
+    let into_fetch_rps = info.rows as f64 / best_fetch;
+    let into_fast_speedup = into_rps / into_fetch_rps;
     println!(
-        "INTO materialization: {} rows -> {} chunks ({:.1} MB) at {into_rps:.0} rows/s\n",
+        "INTO materialization: {} rows -> {} chunks ({:.1} MB)\n  \
+         direct columnar path: {into_rps:.0} rows/s\n  \
+         stream-and-fetch path: {into_fetch_rps:.0} rows/s\n  \
+         fast-path speedup: {into_fast_speedup:.1}x\n",
         info.rows,
         info.chunks,
         info.bytes as f64 / 1e6
+    );
+
+    // --- cross-match pair throughput over the candidate set -----------
+    let match_archive = archive_with_workers(&store, &tags, 4);
+    let match_session = session_for(&match_archive);
+    match_session.run(INTO_SQL).expect("materialize for MATCH");
+    let match_prepared = match_session.prepare(MATCH_SQL).expect("MATCH prepares");
+    let mut best_match = f64::INFINITY;
+    let mut match_pairs = 0usize;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let out = match_prepared.run().expect("MATCH runs");
+        best_match = best_match.min(t0.elapsed().as_secs_f64());
+        match_pairs = out.rows.len();
+        black_box(out.rows.len());
+    }
+    let match_rps = match_pairs as f64 / best_match;
+    let count_prepared = match_session.prepare(MATCH_COUNT_SQL).expect("prepares");
+    let mut best_count = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let out = count_prepared.run().expect("COUNT MATCH runs");
+        best_count = best_count.min(t0.elapsed().as_secs_f64());
+        black_box(out.rows.len());
+    }
+    let match_count_rps = match_pairs as f64 / best_count;
+    println!(
+        "cross-match MATCH(cand, cand, 30\"): {match_pairs} pairs at \
+         {match_rps:.0} pairs/s (COUNT folds in-scan at {match_count_rps:.0} pairs/s)\n"
     );
 
     // --- stored-set scan vs equivalent base-archive scan --------------
@@ -144,7 +196,12 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"workspace_queries\",\n  \"objects\": {N_OBJECTS},\n  \
          \"cores\": {cores},\n  \"set_rows\": {},\n  \"set_chunks\": {},\n  \
-         \"into_rows_per_sec\": {into_rps:.0},\n  \"runs\": [\n{}\n  ]\n}}\n",
+         \"into_rows_per_sec\": {into_rps:.0},\n  \
+         \"into_fetch_rows_per_sec\": {into_fetch_rps:.0},\n  \
+         \"into_fast_speedup\": {into_fast_speedup:.2},\n  \
+         \"match_pairs\": {match_pairs},\n  \
+         \"match_pairs_per_sec\": {match_rps:.0},\n  \
+         \"match_count_pairs_per_sec\": {match_count_rps:.0},\n  \"runs\": [\n{}\n  ]\n}}\n",
         info.rows,
         info.chunks,
         entries.join(",\n")

@@ -1,0 +1,435 @@
+//! The CI bench-regression gate: compare freshly emitted `BENCH_*.json`
+//! reports against the committed baselines and fail the job when any
+//! gated headline metric regresses by more than the threshold.
+//!
+//! Usage: `bench_check <baseline_dir> [current_dir]` (current defaults
+//! to `.`). CI copies the committed `BENCH_*.json` files aside *before*
+//! the bench steps overwrite them in place, then runs this binary over
+//! the pair of directories.
+//!
+//! Gate rules:
+//!
+//! * **Gated metrics** are throughput fields (key ends in `_per_sec`)
+//!   and ratio fields (key contains `speedup`, `efficiency` or
+//!   `scaling`). Everything else — row counts, object counts, pair
+//!   counts — is configuration, not performance.
+//! * A gated metric **fails** when `current < (1 - THRESHOLD) * baseline`.
+//!   Improvements and sub-threshold noise pass.
+//! * **Wall-clock parallelism fields** (`speedup` / `efficiency` /
+//!   `scaling`) are *skipped* when either run records `"cores": 1` at
+//!   the top level of that report — a single-core runner physically caps
+//!   parallel speedup at ~1.0, so comparing it against a multi-core
+//!   baseline (or vice versa) measures the machine, not the code.
+//!   Throughput-vs-interpretation ratios in reports without a `cores`
+//!   field (e.g. compiled-vs-interpreted speedups) stay gated: they are
+//!   same-machine ratios.
+//! * A gated metric present in the baseline but missing from the fresh
+//!   report fails the gate (removing a headline metric must be an
+//!   explicit baseline update, not an accident). New metrics (no
+//!   baseline) are reported and pass.
+//! * A baseline file that doesn't exist skips its report entirely (a
+//!   brand-new bench has nothing to regress against).
+//!
+//! Caveat the threshold bakes in: absolute `*_per_sec` baselines carry
+//! the machine they were committed from. The 25% band absorbs normal
+//! runner-class variance, but when the enforcing runner class changes
+//! materially (or a hard-red run shows *every* metric shifted by a
+//! similar factor), regenerate the committed `BENCH_*.json` on the new
+//! class rather than chasing individual metrics — the same-machine
+//! ratio fields (`speedup` etc.) are the machine-independent signal.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Allowed relative regression before the gate trips.
+const THRESHOLD: f64 = 0.25;
+
+/// The reports under the gate.
+const REPORTS: &[&str] = &[
+    "BENCH_batch_exec.json",
+    "BENCH_concurrent.json",
+    "BENCH_parallel_scan.json",
+    "BENCH_workspace.json",
+];
+
+// ---------------------------------------------------------------------
+// A minimal JSON reader (the workspace builds offline — no serde): the
+// bench reports are machine-written, so this only has to handle the
+// shapes they emit (objects, arrays, numbers, strings, literals).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = JsonParser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.at));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.at))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.at) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.at))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.at += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.at])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.at) {
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // The reports never escape anything beyond quotes
+                    // and backslashes; pass the next byte through.
+                    self.at += 1;
+                    if let Some(&b) = self.bytes.get(self.at) {
+                        out.push(b as char);
+                        self.at += 1;
+                    }
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.at += 1;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.at) {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.at) {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.at)),
+            }
+        }
+    }
+}
+
+/// Flatten a report into `path -> number` (arrays indexed; only numeric
+/// leaves matter to the gate).
+fn flatten(v: &Json, prefix: &str, out: &mut BTreeMap<String, f64>) {
+    match v {
+        Json::Num(n) => {
+            out.insert(prefix.to_string(), *n);
+        }
+        Json::Obj(fields) => {
+            for (k, child) in fields {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(child, &path, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                flatten(child, &format!("{prefix}[{i}]"), out);
+            }
+        }
+        Json::Str(_) | Json::Bool(_) | Json::Null => {}
+    }
+}
+
+/// Ratio fields that compare two code paths on the *same machine in the
+/// same run* (compiled vs interpreted, direct INTO vs fetch INTO).
+/// These stay gated even on a 1-core runner — unlike wall-clock
+/// parallelism ratios, the machine cancels out of them.
+const SAME_MACHINE_RATIOS: &[&str] = &[
+    "speedup", // batch_exec per-query compiled/interpreted ratio
+    "geomean_speedup",
+    "headline_popular_attribute_speedup",
+    "into_fast_speedup",
+];
+
+/// Is this flattened path a gated metric, and is it a wall-clock
+/// parallelism field (skippable on 1-core runs)?
+fn classify(path: &str) -> (bool, bool) {
+    let key = path.rsplit('.').next().unwrap_or(path);
+    let throughput = key.ends_with("_per_sec");
+    let ratio = key.contains("speedup") || key.contains("efficiency") || key.contains("scaling");
+    let parallel_ratio = ratio && !SAME_MACHINE_RATIOS.contains(&key);
+    (throughput || ratio, parallel_ratio)
+}
+
+struct Outcome {
+    failures: usize,
+    checked: usize,
+}
+
+fn check_report(name: &str, baseline_dir: &Path, current_dir: &Path) -> Result<Outcome, String> {
+    let baseline_path = baseline_dir.join(name);
+    let current_path = current_dir.join(name);
+    if !baseline_path.exists() {
+        println!("{name}: no committed baseline — skipping (new bench)");
+        return Ok(Outcome {
+            failures: 0,
+            checked: 0,
+        });
+    }
+    let read = |p: &Path| -> Result<BTreeMap<String, f64>, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        let json = JsonParser::parse(&text).map_err(|e| format!("{}: {e}", p.display()))?;
+        let mut flat = BTreeMap::new();
+        flatten(&json, "", &mut flat);
+        Ok(flat)
+    };
+    let baseline = read(&baseline_path)?;
+    let current = read(&current_path)?;
+
+    // Wall-clock parallelism ratios only compare when both runs had
+    // real parallelism to measure.
+    let one_core =
+        baseline.get("cores").copied() == Some(1.0) || current.get("cores").copied() == Some(1.0);
+
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    println!("{name}:");
+    // Metrics inside runs[] are compared positionally, so the run
+    // configurations must line up: a sweep-list change (new worker or
+    // thread count) would otherwise compare unrelated configurations.
+    for (path, &base) in &baseline {
+        let key = path.rsplit('.').next().unwrap_or(path);
+        if key == "workers" || key == "threads" {
+            match current.get(path) {
+                Some(&cur) if cur == base => {}
+                other => {
+                    println!(
+                        "  FAIL  {path:<44} run configuration changed \
+                         ({base} -> {other:?}); regenerate the committed baselines"
+                    );
+                    failures += 1;
+                }
+            }
+        }
+    }
+    for (path, &base) in &baseline {
+        let (gated, parallel_ratio) = classify(path);
+        if !gated {
+            continue;
+        }
+        if parallel_ratio && one_core {
+            println!("  skip  {path:<44} (1-core run: wall-clock ratio not comparable)");
+            continue;
+        }
+        let Some(&cur) = current.get(path) else {
+            println!("  FAIL  {path:<44} gated metric missing from the fresh report");
+            failures += 1;
+            continue;
+        };
+        checked += 1;
+        let floor = base * (1.0 - THRESHOLD);
+        let delta = if base != 0.0 {
+            (cur - base) / base * 100.0
+        } else {
+            0.0
+        };
+        if cur < floor {
+            println!("  FAIL  {path:<44} {base:>14.2} -> {cur:>14.2}  ({delta:+.1}%)");
+            failures += 1;
+        } else {
+            println!("  ok    {path:<44} {base:>14.2} -> {cur:>14.2}  ({delta:+.1}%)");
+        }
+    }
+    for path in current.keys() {
+        let (gated, _) = classify(path);
+        if gated && !baseline.contains_key(path) {
+            println!("  new   {path:<44} (no baseline yet)");
+        }
+    }
+    Ok(Outcome { failures, checked })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(baseline_dir) = args.get(1).map(Path::new) else {
+        eprintln!("usage: bench_check <baseline_dir> [current_dir]");
+        return ExitCode::from(2);
+    };
+    let current_dir = args.get(2).map(Path::new).unwrap_or(Path::new("."));
+
+    println!(
+        "bench regression gate: baseline {} vs current {} \
+         (fail on >{:.0}% throughput regression)\n",
+        baseline_dir.display(),
+        current_dir.display(),
+        THRESHOLD * 100.0
+    );
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    for name in REPORTS {
+        match check_report(name, baseline_dir, current_dir) {
+            Ok(outcome) => {
+                failures += outcome.failures;
+                checked += outcome.checked;
+            }
+            Err(e) => {
+                println!("{name}: FAIL — {e}");
+                failures += 1;
+            }
+        }
+        println!();
+    }
+    if failures > 0 {
+        eprintln!("bench gate FAILED: {failures} regression(s) across {checked} gated metrics");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench gate passed: {checked} gated metrics within {:.0}%",
+        THRESHOLD * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_flattens_a_report_shape() {
+        let text = r#"{"bench": "x", "cores": 1, "a_per_sec": 100.5,
+                       "runs": [{"workers": 1, "sweep_rows_per_sec": 5, "sweep_speedup": 1.0}]}"#;
+        let json = JsonParser::parse(text).unwrap();
+        let mut flat = BTreeMap::new();
+        flatten(&json, "", &mut flat);
+        assert_eq!(flat.get("a_per_sec"), Some(&100.5));
+        assert_eq!(flat.get("runs[0].sweep_rows_per_sec"), Some(&5.0));
+        assert_eq!(flat.get("cores"), Some(&1.0));
+        assert!(!flat.contains_key("bench"), "strings are not metrics");
+    }
+
+    #[test]
+    fn classify_gates_throughput_and_ratios() {
+        assert_eq!(classify("into_rows_per_sec"), (true, false));
+        assert_eq!(classify("runs[2].queries_per_sec"), (true, false));
+        assert_eq!(classify("runs[1].sweep_efficiency"), (true, true));
+        assert_eq!(classify("runs[0].scaling_vs_1"), (true, true));
+        assert_eq!(classify("runs[1].set_speedup"), (true, true));
+        assert_eq!(classify("sweep_speedup_4w"), (true, true));
+        assert_eq!(classify("objects"), (false, false));
+        assert_eq!(classify("set_rows"), (false, false));
+        assert_eq!(classify("match_pairs"), (false, false));
+        // Same-machine code-path ratios stay gated even at cores: 1 —
+        // the PR's headline fast-path speedup must never be skipped.
+        assert_eq!(classify("into_fast_speedup"), (true, false));
+        assert_eq!(classify("geomean_speedup"), (true, false));
+        assert_eq!(classify("queries[3].speedup"), (true, false));
+    }
+}

@@ -6,7 +6,10 @@ use sdss_loader::DriftScanCamera;
 fn main() {
     println!("E16 / Figure 1: the SDSS photometric camera as a data source\n");
     let cam = DriftScanCamera::default();
-    println!("imaging CCDs:      {} x {}x{}", cam.n_imaging_ccds, cam.ccd_width, cam.ccd_height);
+    println!(
+        "imaging CCDs:      {} x {}x{}",
+        cam.n_imaging_ccds, cam.ccd_width, cam.ccd_height
+    );
     println!("astrometric CCDs:  {}", cam.n_astrometric_ccds);
     println!("focus CCDs:        {}", cam.n_focus_ccds);
     println!(
@@ -17,9 +20,15 @@ fn main() {
         "data rate:         {:.1} MB/s (paper: '8 Megabytes per second')",
         cam.data_rate_bps() / 1e6
     );
-    println!("effective exposure: {} s (paper: '55 sec')\n", cam.exposure_s);
+    println!(
+        "effective exposure: {} s (paper: '55 sec')\n",
+        cam.exposure_s
+    );
 
-    println!("{:>12} {:>14} {:>18}", "night (h)", "raw bytes", "5-yr extrapolation");
+    println!(
+        "{:>12} {:>14} {:>18}",
+        "night (h)", "raw bytes", "5-yr extrapolation"
+    );
     println!("{}", "-".repeat(50));
     // "The cameras can only be used under ideal conditions": roughly 30
     // photometric nights a year reach the imaging survey.

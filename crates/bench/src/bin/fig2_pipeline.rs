@@ -12,7 +12,10 @@ fn main() {
     net.run(n_chunks);
 
     println!("latency from telescope (chunk 0):");
-    println!("{:<12} {:>12} {:>14}   paper annotation", "site", "days", "readable");
+    println!(
+        "{:<12} {:>12} {:>14}   paper annotation",
+        "site", "days", "readable"
+    );
     println!("{}", "-".repeat(64));
     let annotations = [
         ("APO telescope", "T"),

@@ -4,8 +4,8 @@
 //! paper's "approximately equal areas" uniformity ratio, and the angular
 //! resolution of the mesh.
 
-use sdss_htm::stats::{level_stats, sampled_level_stats};
 use sdss_htm::name::id_to_name;
+use sdss_htm::stats::{level_stats, sampled_level_stats};
 use sdss_htm::{lookup_id, HtmId};
 use sdss_skycoords::SkyPos;
 
@@ -48,6 +48,10 @@ fn main() {
         );
     }
     let deep = lookup_id(p, 20).unwrap();
-    println!("  level 20: {} — {} bits", deep.raw(), 64 - deep.raw().leading_zeros());
+    println!(
+        "  level 20: {} — {} bits",
+        deep.raw(),
+        64 - deep.raw().leading_zeros()
+    );
     let _: HtmId = deep;
 }

@@ -24,8 +24,7 @@ fn main() {
         let cover = Cover::compute(&query, level).unwrap();
         let s = cover.stats();
         let total = 8u64 << (2 * level as u64);
-        let full_frac =
-            cover.full_ranges().count() as f64 / total as f64;
+        let full_frac = cover.full_ranges().count() as f64 / total as f64;
         println!(
             "{:>5} {:>10} {:>10} {:>10} {:>10} {:>11.4}%",
             level,

@@ -8,8 +8,8 @@
 //! time can be computed from the intersection volume."
 
 use sdss_bench::{build_stores, standard_sky};
-use sdss_storage::CostModel;
 use sdss_htm::Region;
+use sdss_storage::CostModel;
 use std::time::Instant;
 
 fn main() {

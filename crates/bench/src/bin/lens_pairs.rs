@@ -21,12 +21,16 @@ fn main() {
         (
             5.0,
             Arc::new(|a: &TagObject, b: &TagObject| {
-                let (q, g) = if a.class == ObjClass::Quasar { (a, b) } else { (b, a) };
+                let (q, g) = if a.class == ObjClass::Quasar {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
                 q.class == ObjClass::Quasar
                     && q.mag(2) < 22.0
                     && g.class == ObjClass::Galaxy
                     && g.mag(2) > q.mag(2) + 1.0 // fainter companion
-                    && g.color_gr() < 0.6        // blue
+                    && g.color_gr() < 0.6 // blue
             }),
         )
     } else {

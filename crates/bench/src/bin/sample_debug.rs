@@ -5,8 +5,8 @@
 //! byte reductions to the paper's 2 TB archive.
 
 use sdss_bench::{build_stores, fmt_bytes, standard_sky};
-use sdss_storage::sample::{build_sample, build_sample_tags};
 use sdss_htm::Region;
+use sdss_storage::sample::{build_sample, build_sample_tags};
 use std::time::Instant;
 
 fn main() {
@@ -78,8 +78,14 @@ fn main() {
     );
 
     println!("\npaper scaling: a 2 TB archive shrinks to:");
-    println!("  tags only:        {}", fmt_bytes(2e12 / (full_bytes / tags.bytes() as f64)));
-    println!("  1% of tags:       {}  (paper: 'converts a 2 TB data set into 2 gigabytes')", fmt_bytes(2e12 / combined));
+    println!(
+        "  tags only:        {}",
+        fmt_bytes(2e12 / (full_bytes / tags.bytes() as f64))
+    );
+    println!(
+        "  1% of tags:       {}  (paper: 'converts a 2 TB data set into 2 gigabytes')",
+        fmt_bytes(2e12 / combined)
+    );
     // Sanity for the printed claim.
     let sampled_fraction = rows_s.len() as f64 / rows_full.len().max(1) as f64;
     println!(

@@ -16,7 +16,9 @@ pub const FIELD_RADIUS: f64 = 5.0;
 /// 25% stars, 5% quasars — roughly the paper's catalog mix).
 pub fn standard_sky(n: usize, seed: u64) -> Vec<PhotoObj> {
     let model = sky_model(n, seed);
-    model.generate().expect("standard model parameters are valid")
+    model
+        .generate()
+        .expect("standard model parameters are valid")
 }
 
 /// The corresponding model, for callers that need spectro data too.

@@ -43,8 +43,8 @@ impl FindingChart {
                 "chart width {width_deg} outside (0, 90] degrees"
             )));
         }
-        let center = SkyPos::new(ra_deg, dec_deg)
-            .map_err(|e| CatalogError::InvalidParam(e.to_string()))?;
+        let center =
+            SkyPos::new(ra_deg, dec_deg).map_err(|e| CatalogError::InvalidParam(e.to_string()))?;
         Ok(FindingChart {
             center,
             half_width_deg: width_deg / 2.0,
@@ -149,10 +149,10 @@ impl FindingChart {
     pub fn render_pgm(&self, size: usize) -> Vec<u8> {
         let mut pixels = vec![0u8; size * size];
         for obj in &self.objects {
-            let cx = (self.half_width_deg - obj.xi) / (2.0 * self.half_width_deg)
-                * (size - 1) as f64;
-            let cy = (self.half_width_deg - obj.eta) / (2.0 * self.half_width_deg)
-                * (size - 1) as f64;
+            let cx =
+                (self.half_width_deg - obj.xi) / (2.0 * self.half_width_deg) * (size - 1) as f64;
+            let cy =
+                (self.half_width_deg - obj.eta) / (2.0 * self.half_width_deg) * (size - 1) as f64;
             // Radius: 1 px at mag 22, ~6 px at mag 14.
             let radius = ((22.0 - obj.mag as f64) * 0.6).clamp(1.0, 8.0);
             let value = match obj.class {

@@ -329,7 +329,10 @@ pub fn read_packets(data: &[u8]) -> Result<Vec<FitsTable>, CatalogError> {
     while at < data.len() {
         let (cards, header_end) = read_header(data, at)?;
         let get = |k: &str| -> Option<String> {
-            cards.iter().find(|(key, _)| key == k).map(|(_, v)| v.clone())
+            cards
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
         };
         if get("SIMPLE").is_some() {
             // Primary HDU with NAXIS=0 → no data, move on.
@@ -441,16 +444,56 @@ fn read_header(data: &[u8], start: usize) -> Result<(Vec<(String, String)>, usiz
 /// Standard column set for exporting tag rows.
 pub fn tag_columns() -> Vec<Column> {
     vec![
-        Column { name: "OBJID".into(), ty: ColType::I64, unit: String::new() },
-        Column { name: "RA".into(), ty: ColType::F64, unit: "deg".into() },
-        Column { name: "DEC".into(), ty: ColType::F64, unit: "deg".into() },
-        Column { name: "MAG_U".into(), ty: ColType::F32, unit: "mag".into() },
-        Column { name: "MAG_G".into(), ty: ColType::F32, unit: "mag".into() },
-        Column { name: "MAG_R".into(), ty: ColType::F32, unit: "mag".into() },
-        Column { name: "MAG_I".into(), ty: ColType::F32, unit: "mag".into() },
-        Column { name: "MAG_Z".into(), ty: ColType::F32, unit: "mag".into() },
-        Column { name: "SIZE".into(), ty: ColType::F32, unit: "arcsec".into() },
-        Column { name: "CLASS".into(), ty: ColType::I32, unit: String::new() },
+        Column {
+            name: "OBJID".into(),
+            ty: ColType::I64,
+            unit: String::new(),
+        },
+        Column {
+            name: "RA".into(),
+            ty: ColType::F64,
+            unit: "deg".into(),
+        },
+        Column {
+            name: "DEC".into(),
+            ty: ColType::F64,
+            unit: "deg".into(),
+        },
+        Column {
+            name: "MAG_U".into(),
+            ty: ColType::F32,
+            unit: "mag".into(),
+        },
+        Column {
+            name: "MAG_G".into(),
+            ty: ColType::F32,
+            unit: "mag".into(),
+        },
+        Column {
+            name: "MAG_R".into(),
+            ty: ColType::F32,
+            unit: "mag".into(),
+        },
+        Column {
+            name: "MAG_I".into(),
+            ty: ColType::F32,
+            unit: "mag".into(),
+        },
+        Column {
+            name: "MAG_Z".into(),
+            ty: ColType::F32,
+            unit: "mag".into(),
+        },
+        Column {
+            name: "SIZE".into(),
+            ty: ColType::F32,
+            unit: "arcsec".into(),
+        },
+        Column {
+            name: "CLASS".into(),
+            ty: ColType::I32,
+            unit: String::new(),
+        },
     ]
 }
 
@@ -477,8 +520,16 @@ mod tests {
 
     fn sample_table(rows: usize) -> FitsTable {
         let mut t = FitsTable::new(vec![
-            Column { name: "X".into(), ty: ColType::F64, unit: "deg".into() },
-            Column { name: "N".into(), ty: ColType::I32, unit: String::new() },
+            Column {
+                name: "X".into(),
+                ty: ColType::F64,
+                unit: "deg".into(),
+            },
+            Column {
+                name: "N".into(),
+                ty: ColType::I32,
+                unit: String::new(),
+            },
         ]);
         for i in 0..rows {
             t.push_row(vec![Cell::F64(i as f64 * 1.5), Cell::I32(i as i32)])

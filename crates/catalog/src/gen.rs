@@ -394,7 +394,11 @@ impl SkyModel {
             band.extinction = 0.05 + 0.02 * (b as f32);
             band.star_likelihood = if class == ObjClass::Galaxy { 0.05 } else { 0.9 };
             band.exp_likelihood = if class == ObjClass::Galaxy { 0.6 } else { 0.05 };
-            band.dev_likelihood = if class == ObjClass::Galaxy { 0.35 } else { 0.05 };
+            band.dev_likelihood = if class == ObjClass::Galaxy {
+                0.35
+            } else {
+                0.05
+            };
             // Exponential-ish radial profile.
             for (k, p) in band.profile.iter_mut().enumerate() {
                 *p = (10.0f32).powf(-0.4 * noisy) * (-(k as f32) / 3.0).exp();
@@ -446,8 +450,18 @@ impl SkyModel {
 fn standard_lines(z: f64, class: SpecClass) -> Vec<SpectralLine> {
     let rest: &[(f32, f32)] = match class {
         // (rest wavelength, equivalent width)
-        SpecClass::Galaxy => &[(6562.8, -20.0), (4861.3, -6.0), (3933.7, 4.0), (5175.0, 3.0)],
-        SpecClass::Quasar => &[(1215.7, -80.0), (1549.0, -40.0), (2798.0, -25.0), (4861.3, -15.0)],
+        SpecClass::Galaxy => &[
+            (6562.8, -20.0),
+            (4861.3, -6.0),
+            (3933.7, 4.0),
+            (5175.0, 3.0),
+        ],
+        SpecClass::Quasar => &[
+            (1215.7, -80.0),
+            (1549.0, -40.0),
+            (2798.0, -25.0),
+            (4861.3, -15.0),
+        ],
         _ => &[(6562.8, 2.0), (4861.3, 1.5)],
     };
     rest.iter()

@@ -490,7 +490,12 @@ mod tests {
 
     #[test]
     fn class_byte_roundtrip_and_rejects() {
-        for c in [ObjClass::Unknown, ObjClass::Star, ObjClass::Galaxy, ObjClass::Quasar] {
+        for c in [
+            ObjClass::Unknown,
+            ObjClass::Star,
+            ObjClass::Galaxy,
+            ObjClass::Quasar,
+        ] {
             assert_eq!(ObjClass::from_u8(c as u8).unwrap(), c);
             assert_eq!(ObjClass::parse(c.as_str()), Some(c));
         }

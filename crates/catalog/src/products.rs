@@ -191,10 +191,7 @@ mod tests {
         let rows = table1(&SurveyParams::default());
         let total = total_products_bytes(&rows);
         // The paper says the products are "about 3TB".
-        assert!(
-            (2.0 * TB..4.5 * TB).contains(&total),
-            "total {total:.3e}"
-        );
+        assert!((2.0 * TB..4.5 * TB).contains(&total), "total {total:.3e}");
     }
 
     #[test]
@@ -202,7 +199,11 @@ mod tests {
         let p = SurveyParams::default();
         let rows = table1(&p);
         let raw = &rows[0];
-        assert!(raw.bytes > 30.0 * TB && raw.bytes < 50.0 * TB, "{}", raw.bytes);
+        assert!(
+            raw.bytes > 30.0 * TB && raw.bytes < 50.0 * TB,
+            "{}",
+            raw.bytes
+        );
         // Scaling: halving the area halves the raw volume.
         let mut half = p;
         half.area_deg2 /= 2.0;

@@ -261,9 +261,12 @@ pub fn archive_schema() -> SchemaRegistry {
             ("l_exp", "", "exponential likelihood"),
             ("l_dev", "", "de Vaucouleurs likelihood"),
         ] {
-            photo
-                .attrs
-                .push(AttrDef::new(&format!("{field}_{band}"), AttrType::F32, unit, desc));
+            photo.attrs.push(AttrDef::new(
+                &format!("{field}_{band}"),
+                AttrType::F32,
+                unit,
+                desc,
+            ));
         }
         photo.attrs.push(
             AttrDef::new(
@@ -363,7 +366,10 @@ mod tests {
         let schema = archive_schema();
         let xml = schema.export_xml();
         assert!(xml.starts_with("<?xml"));
-        assert_eq!(xml.matches("<table").count(), xml.matches("</table>").count());
+        assert_eq!(
+            xml.matches("<table").count(),
+            xml.matches("</table>").count()
+        );
         assert_eq!(
             xml.matches("<attribute").count(),
             xml.matches("</attribute>").count()

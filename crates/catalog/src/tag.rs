@@ -46,13 +46,7 @@ impl TagObject {
             x: obj.x,
             y: obj.y,
             z: obj.z,
-            mags: [
-                obj.mag(0),
-                obj.mag(1),
-                obj.mag(2),
-                obj.mag(3),
-                obj.mag(4),
-            ],
+            mags: [obj.mag(0), obj.mag(1), obj.mag(2), obj.mag(3), obj.mag(4)],
             size: obj.size_arcsec(),
             class: obj.class,
         }

@@ -171,8 +171,11 @@ impl HashMachine {
                                 let (a, b) = (&tags[ia], &tags[ib]);
                                 // Emit from the smaller-id member's home
                                 // bucket only (exactly-once rule).
-                                let anchor_home =
-                                    if a.obj_id <= b.obj_id { homes[ia] } else { homes[ib] };
+                                let anchor_home = if a.obj_id <= b.obj_id {
+                                    homes[ia]
+                                } else {
+                                    homes[ib]
+                                };
                                 if anchor_home != *bucket_id {
                                     continue;
                                 }
@@ -216,7 +219,11 @@ fn count_comparisons(buckets: &[(u64, Vec<u32>)], homes: &[u64], tags: &[TagObje
             for j in (i + 1)..members.len() {
                 let (ia, ib) = (members[i] as usize, members[j] as usize);
                 let (a, b) = (&tags[ia], &tags[ib]);
-                let anchor_home = if a.obj_id <= b.obj_id { homes[ia] } else { homes[ib] };
+                let anchor_home = if a.obj_id <= b.obj_id {
+                    homes[ia]
+                } else {
+                    homes[ib]
+                };
                 if anchor_home == *bucket_id {
                     n += 1;
                 }

@@ -31,7 +31,9 @@ pub use cluster::{NodeStats, RecordKind, SimCluster};
 pub use hash::{brute_force_pairs, HashMachine, HashReport, PairPredicate, PairResult};
 pub use pool::{PoolReport, WorkerPool};
 pub use river::{RiverGraph, RiverReport, RiverStage};
-pub use scan::{ContinuousScan, ObjPredicate, ScanMachine, ScanReport, TagPredicate, TagScanMachine};
+pub use scan::{
+    ContinuousScan, ObjPredicate, ScanMachine, ScanReport, TagPredicate, TagScanMachine,
+};
 pub use sched::{BatchScheduler, JobClass, JobState};
 pub use sort::{parallel_sort_by_key, SortReport};
 pub use xmatch::{Match, XMatchReport, XMatcher};

@@ -200,7 +200,11 @@ mod tests {
         for h in handles {
             assert!(h.join().unwrap().completed);
         }
-        assert_eq!(pool.finished_jobs(), 2, "a job was stranded in the scheduler");
+        assert_eq!(
+            pool.finished_jobs(),
+            2,
+            "a job was stranded in the scheduler"
+        );
     }
 
     #[test]

@@ -221,10 +221,7 @@ impl<'a> TagScanMachine<'a> {
     /// `None` when the collector hung up.
     fn sweep(
         &self,
-        scan_container: impl Fn(
-                &crate::cluster::NodeContainer,
-                &dyn Fn(TagObject) -> bool,
-            ) -> Option<(usize, usize)>
+        scan_container: impl Fn(&crate::cluster::NodeContainer, &dyn Fn(TagObject) -> bool) -> Option<(usize, usize)>
             + Send
             + Sync,
         on_match: &mut impl FnMut(TagObject),
@@ -250,16 +247,22 @@ impl<'a> TagScanMachine<'a> {
             let scan_container = &scan_container;
             let drainer = scope.spawn(move || {
                 let send = |t: TagObject| tx.send(t).is_ok();
-                pool.run("tag-sweep", crate::sched::JobClass::Interactive, 0.0, queue, |_, m| {
-                    match scan_container(flat[m], &send) {
-                        Some((b, o)) => {
-                            bytes.fetch_add(b, Ordering::Relaxed);
-                            objects.fetch_add(o, Ordering::Relaxed);
-                            true
+                pool.run(
+                    "tag-sweep",
+                    crate::sched::JobClass::Interactive,
+                    0.0,
+                    queue,
+                    |_, m| {
+                        match scan_container(flat[m], &send) {
+                            Some((b, o)) => {
+                                bytes.fetch_add(b, Ordering::Relaxed);
+                                objects.fetch_add(o, Ordering::Relaxed);
+                                true
+                            }
+                            None => false, // collector hung up
                         }
-                        None => false, // collector hung up
-                    }
-                })
+                    },
+                )
             });
             for tag in rx.iter() {
                 matches += 1;
@@ -344,14 +347,12 @@ impl<'a> ContinuousScan<'a> {
                             }
                         }
                         for q in watching {
-                            let prev =
-                                q.remaining_per_node[node].fetch_sub(1, Ordering::AcqRel);
+                            let prev = q.remaining_per_node[node].fetch_sub(1, Ordering::AcqRel);
                             if prev == 1 {
                                 // This node is done with the query; the last
                                 // node to finish detaches it (closing its
                                 // channel once all Arcs drop).
-                                let nodes_left =
-                                    q.nodes_remaining.fetch_sub(1, Ordering::AcqRel);
+                                let nodes_left = q.nodes_remaining.fetch_sub(1, Ordering::AcqRel);
                                 if nodes_left == 1 {
                                     let mut qs = queries.lock();
                                     qs.retain(|other| !Arc::ptr_eq(other, q));
@@ -443,12 +444,10 @@ mod tests {
         let machine = ScanMachine::new(&cluster).unwrap();
         let pred: ObjPredicate = Arc::new(|o| o.class == ObjClass::Quasar && o.mag(2) < 21.0);
         let mut got = Vec::new();
-        let report = machine.run_query(pred.clone(), |o| got.push(o.obj_id)).unwrap();
-        let want: Vec<u64> = objs
-            .iter()
-            .filter(|o| pred(o))
-            .map(|o| o.obj_id)
-            .collect();
+        let report = machine
+            .run_query(pred.clone(), |o| got.push(o.obj_id))
+            .unwrap();
+        let want: Vec<u64> = objs.iter().filter(|o| pred(o)).map(|o| o.obj_id).collect();
         got.sort_unstable();
         let mut want = want;
         want.sort_unstable();
@@ -489,8 +488,7 @@ mod tests {
             .collect();
         want.sort_unstable();
 
-        let pred: TagPredicate =
-            Arc::new(|v| v.mag(2) < 20.0 && v.class() == ObjClass::Galaxy);
+        let pred: TagPredicate = Arc::new(|v| v.mag(2) < 20.0 && v.class() == ObjClass::Galaxy);
         let mut got_view = Vec::new();
         let report = machine
             .run_query(pred, |t| got_view.push(t.obj_id))
@@ -528,10 +526,7 @@ mod tests {
         // Attach two queries at different moments.
         let rx1 = scan.attach(Arc::new(|o: &PhotoObj| o.class == ObjClass::Galaxy));
         let got1: Vec<u64> = rx1.iter().map(|o| o.obj_id).collect(); // drains until detach
-        let want1 = objs
-            .iter()
-            .filter(|o| o.class == ObjClass::Galaxy)
-            .count();
+        let want1 = objs.iter().filter(|o| o.class == ObjClass::Galaxy).count();
         assert_eq!(got1.len(), want1);
 
         let rx2 = scan.attach(Arc::new(|o: &PhotoObj| o.mag(2) < 19.0));

@@ -143,7 +143,10 @@ mod tests {
             let (sorted, report) = parallel_sort_by_key(&ts, r_mag, workers).unwrap();
             assert_eq!(sorted.len(), ts.len());
             for w in sorted.windows(2) {
-                assert!(r_mag(&w[0]) <= r_mag(&w[1]), "not sorted ({workers} workers)");
+                assert!(
+                    r_mag(&w[0]) <= r_mag(&w[1]),
+                    "not sorted ({workers} workers)"
+                );
             }
             // Same multiset of keys as input.
             let mut got: Vec<f64> = sorted.iter().map(r_mag).collect();

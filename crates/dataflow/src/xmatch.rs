@@ -14,8 +14,10 @@
 
 use crate::DataflowError;
 use sdss_catalog::TagObject;
-use sdss_htm::{lookup_id, Cover, Region};
-use std::collections::HashMap;
+/// The zone-partitioned build side, shared with the query engine's
+/// `MATCH(a, b, radius)` pair join (it lives in `sdss_storage::zone`,
+/// beneath both consumers).
+pub use sdss_storage::ZoneIndex;
 
 /// One cross-match result.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,46 +74,26 @@ impl XMatcher {
                 "non-positive match radius".into(),
             ));
         }
-        let radius_deg = self.radius_arcsec / 3600.0;
-
-        // Index the reference: home-bucket only (probes expand by margin,
-        // referencing the hash machine's one-sided replication argument —
-        // expanding one side suffices for completeness).
-        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
-        for (i, r) in reference.iter().enumerate() {
-            let home = lookup_id(r.unit_vec(), self.bucket_level)
-                .map_err(|e| DataflowError::InvalidConfig(e.to_string()))?;
-            buckets.entry(home.raw()).or_default().push(i as u32);
-        }
+        // The zone-partitioned build side, shared with the query
+        // engine's MATCH join.
+        let index = ZoneIndex::build(reference, self.bucket_level)
+            .map_err(|e| DataflowError::InvalidConfig(e.to_string()))?;
 
         let mut matches = Vec::new();
         let mut unmatched = 0usize;
         let mut ambiguous = 0usize;
         let mut comparisons = 0usize;
         for (pi, p) in probe.iter().enumerate() {
-            // All reference buckets the match cap can intersect.
-            let cap = Region::circle_vec(p.unit_vec(), radius_deg)
-                .map_err(|e| DataflowError::InvalidConfig(e.to_string()))?;
-            let cover = Cover::compute(&cap, self.bucket_level)
-                .map_err(|e| DataflowError::InvalidConfig(e.to_string()))?;
             let mut best: Option<(u64, f64)> = None;
             let mut candidates = 0usize;
-            for bucket in cover.touched_ranges().iter_ids() {
-                let Some(members) = buckets.get(&bucket) else {
-                    continue;
-                };
-                for &ri in members {
-                    comparisons += 1;
-                    let r = &reference[ri as usize];
-                    let sep = p.unit_vec().separation_deg(r.unit_vec()) * 3600.0;
-                    if sep <= self.radius_arcsec {
-                        candidates += 1;
-                        if best.is_none_or(|(_, b)| sep < b) {
-                            best = Some((r.obj_id, sep));
-                        }
+            comparisons += index
+                .neighbors_within(reference, p.unit_vec(), self.radius_arcsec, |ri, sep| {
+                    candidates += 1;
+                    if best.is_none_or(|(_, b)| sep < b) {
+                        best = Some((reference[ri as usize].obj_id, sep));
                     }
-                }
-            }
+                })
+                .map_err(|e| DataflowError::InvalidConfig(e.to_string()))?;
             match best {
                 Some((ref_obj_id, sep_arcsec)) => {
                     if candidates > 1 {
@@ -277,6 +259,44 @@ mod tests {
                 (want, got) => panic!("probe {pi}: want {want:?}, got {got:?}"),
             }
         }
+    }
+
+    #[test]
+    fn zone_index_streams_all_pairs_within_radius() {
+        // neighbors_within is a pair join, not nearest-only: every
+        // reference inside the radius must be reported exactly once,
+        // including across zone boundaries (tiny level-12 buckets).
+        let refs = reference(6);
+        let probe = jittered_probe(&refs[..200], 2.0, 7);
+        let radius = 5.0;
+        let index = ZoneIndex::build(&refs, 12).unwrap();
+        for p in &probe {
+            let mut got: Vec<(u32, f64)> = Vec::new();
+            index
+                .neighbors_within(&refs, p.unit_vec(), radius, |ri, sep| got.push((ri, sep)))
+                .unwrap();
+            let mut want: Vec<u32> = refs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| p.unit_vec().separation_deg(r.unit_vec()) * 3600.0 <= radius)
+                .map(|(i, _)| i as u32)
+                .collect();
+            let mut got_idx: Vec<u32> = got.iter().map(|(i, _)| *i).collect();
+            got_idx.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got_idx, want);
+            for (ri, sep) in got {
+                let direct = p.unit_vec().separation_deg(refs[ri as usize].unit_vec()) * 3600.0;
+                assert!((sep - direct).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn level_for_radius_scales_with_cap_size() {
+        assert_eq!(ZoneIndex::level_for_radius(2.0), 10);
+        assert_eq!(ZoneIndex::level_for_radius(1000.0), 7);
+        assert_eq!(ZoneIndex::level_for_radius(10_000.0), 4);
     }
 
     #[test]

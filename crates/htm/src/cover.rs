@@ -111,8 +111,8 @@ impl Cover {
     /// `Inside` / `Outside` are definitive, `Partial` means "must test the
     /// region exactly".
     pub fn classify_point(&self, p: UnitVec3) -> Classification {
-        let id = crate::mesh::lookup_id(p, self.level)
-            .expect("cover level is valid by construction");
+        let id =
+            crate::mesh::lookup_id(p, self.level).expect("cover level is valid by construction");
         if self.full.contains(id.raw()) {
             Classification::Inside
         } else if self.partial.contains(id.raw()) {

@@ -71,7 +71,14 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        for bad in ["", "N", "X0", "N4", "N01x", "S0123456789012345678901234567890"] {
+        for bad in [
+            "",
+            "N",
+            "X0",
+            "N4",
+            "N01x",
+            "S0123456789012345678901234567890",
+        ] {
             assert!(name_to_id(bad).is_err(), "{bad:?} should be rejected");
         }
     }

@@ -53,7 +53,9 @@ pub fn vertex_neighbors(id: HtmId) -> Vec<HtmId> {
 
 fn neighbor_across(a: UnitVec3, b: UnitVec3, opposite: UnitVec3, id: HtmId) -> HtmId {
     let level = id.level();
-    let mid = a.midpoint(b).expect("trixel edge endpoints are not antipodal");
+    let mid = a
+        .midpoint(b)
+        .expect("trixel edge endpoints are not antipodal");
     // Tangent direction at `mid` pointing *into* the triangle (toward the
     // opposite corner); stepping along its negative leaves the triangle
     // through this edge.

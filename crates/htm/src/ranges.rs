@@ -55,9 +55,9 @@ impl HtmRangeSet {
     /// Membership test by binary search: O(log n).
     pub fn contains(&self, id: u64) -> bool {
         match self.ranges.binary_search_by(|&(lo, _)| lo.cmp(&id)) {
-            Ok(_) => true,                                  // id is some interval's lo
-            Err(0) => false,                                // before the first interval
-            Err(i) => id < self.ranges[i - 1].1,            // inside the previous interval?
+            Ok(_) => true,                       // id is some interval's lo
+            Err(0) => false,                     // before the first interval
+            Err(i) => id < self.ranges[i - 1].1, // inside the previous interval?
         }
     }
 

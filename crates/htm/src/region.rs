@@ -104,7 +104,9 @@ pub struct Convex {
 impl Convex {
     /// The whole sphere (no constraints).
     pub fn whole_sky() -> Convex {
-        Convex { halfspaces: Vec::new() }
+        Convex {
+            halfspaces: Vec::new(),
+        }
     }
 
     pub fn new(halfspaces: Vec<Halfspace>) -> Convex {

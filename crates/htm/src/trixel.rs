@@ -59,8 +59,8 @@ impl HtmId {
             return Err(HtmError::InvalidId(raw));
         }
         let msb = 63 - raw.leading_zeros() as u64; // position of highest set bit
-        // Valid ids have the highest bit at an odd position ≥ 3:
-        // 3, 5, 7, ... (level = (msb - 3) / 2).
+                                                   // Valid ids have the highest bit at an odd position ≥ 3:
+                                                   // 3, 5, 7, ... (level = (msb - 3) / 2).
         if msb < 3 || !(msb - 3).is_multiple_of(2) {
             return Err(HtmError::InvalidId(raw));
         }

@@ -68,8 +68,7 @@ pub fn chunks_from_catalog(
 
     // Stable assignment of each object to a stripe.
     let stripe_of = |o: &PhotoObj| -> u32 {
-        (((o.dec_deg - dec_min) / height).floor() as i64)
-            .clamp(0, n_nights as i64 - 1) as u32
+        (((o.dec_deg - dec_min) / height).floor() as i64).clamp(0, n_nights as i64 - 1) as u32
     };
     // Scan order within a stripe: by RA (the drift direction), then dec.
     objs.sort_by(|a, b| {
@@ -151,8 +150,7 @@ impl DriftScanCamera {
     /// how 120 Mpixel of imaging silicon produce the paper's 8 MB/s.
     pub fn data_rate_bps(&self) -> f64 {
         let rows_per_sec = self.ccd_height as f64 / self.exposure_s;
-        let all_ccds =
-            (self.n_imaging_ccds + self.n_astrometric_ccds + self.n_focus_ccds) as f64;
+        let all_ccds = (self.n_imaging_ccds + self.n_astrometric_ccds + self.n_focus_ccds) as f64;
         all_ccds * self.ccd_width as f64 * rows_per_sec * self.bytes_per_pixel as f64
     }
 

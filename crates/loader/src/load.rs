@@ -108,8 +108,7 @@ fn written(
     store: &ObjectStore,
     objects: &[sdss_catalog::PhotoObj],
 ) -> usize {
-    let mut set: std::collections::BTreeSet<u64> =
-        after.difference(before).copied().collect();
+    let mut set: std::collections::BTreeSet<u64> = after.difference(before).copied().collect();
     for o in objects {
         if let Ok(cid) = store.container_id_of(o) {
             if before.contains(&cid.raw()) {

@@ -27,14 +27,14 @@
 //!   a burst of full-sky sweeps cannot starve interactive cone searches.
 
 use crate::exec::{
-    launch, plan_uses_columnar, BatchHandle, ExecEnv, ExecMode, ResultBatch, Row, ScanTotals,
-    TicketCore,
+    compile_into_scan, drive_into_scan, launch, plan_uses_columnar, BatchHandle, ExecEnv, ExecMode,
+    ResultBatch, Row, ScanTotals, TicketCore,
 };
 use crate::parser::parse_statement;
-use crate::plan::{plan, PlanNode, QueryPlan, QuerySource};
+use crate::plan::{plan, MatchInput, PlanNode, QueryPlan, QuerySource};
 use crate::session::{Session, SessionConfig, SessionInfo, SessionShared};
 use crate::QueryError;
-use sdss_storage::{CostModel, ObjectStore, ResultSet, TagStore};
+use sdss_storage::{CostModel, ObjectStore, ResultSet, ResultSetBuilder, TagStore};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
@@ -115,6 +115,19 @@ pub struct CostEstimate {
     pub containers_partial: usize,
     /// At least one scan has no spatial restriction (whole-store sweep).
     pub full_sweep: bool,
+}
+
+/// Per-MATCH-leaf sizing accumulated alongside the cost estimate in the
+/// same plan walk (so the two can never drift): probe-side morsels (the
+/// join's actual parallelism surface — the build side is read once by
+/// the coordinator, not drained by workers) and the containers the MATCH
+/// leaves contributed to the estimate's totals, which `planned_workers`
+/// swaps back out so columnar leaves sharing a set-op plan keep their
+/// own surface.
+#[derive(Debug, Clone, Copy, Default)]
+struct MatchSurface {
+    probe_morsels: usize,
+    est_containers: usize,
 }
 
 /// Admission-control configuration: the slot pool bounding concurrent
@@ -233,11 +246,7 @@ impl Slots {
     fn chosen(st: &SlotState) -> Option<usize> {
         // A starved waiter is a barrier: it dispatches next or nothing
         // does (the pool drains until it fits).
-        if let Some(pos) = st
-            .waiters
-            .iter()
-            .position(|w| w.bypass >= st.max_bypass)
-        {
+        if let Some(pos) = st.waiters.iter().position(|w| w.bypass >= st.max_bypass) {
             return Self::fits(st, &st.waiters[pos]).then_some(pos);
         }
         // Cost order: cheapest eligible first; `min_by` keeps the first
@@ -529,8 +538,10 @@ impl Archive {
             self.inner.tags.is_some(),
             self.inner.config.mode,
         );
-        let estimate = self.estimate_plan(&query_plan.root, &sets)?;
+        let (estimate, match_surface) = self.estimate_plan(&query_plan.root, &sets)?;
         let heavy = estimate.est_bytes >= self.inner.config.admission.heavy_bytes;
+        let (match_probe_morsels, match_est_containers) =
+            (match_surface.probe_morsels, match_surface.est_containers);
         Ok(Prepared {
             archive: self.clone(),
             columns: query_plan.root.columns(),
@@ -542,6 +553,8 @@ impl Archive {
             columnar,
             estimate,
             heavy,
+            match_probe_morsels,
+            match_est_containers,
         })
     }
 
@@ -570,10 +583,11 @@ impl Archive {
         &self,
         node: &PlanNode,
         sets: &HashMap<String, Arc<ResultSet>>,
-    ) -> Result<CostEstimate, QueryError> {
+    ) -> Result<(CostEstimate, MatchSurface), QueryError> {
         let mut est = CostEstimate::default();
-        self.accumulate_estimate(node, sets, &mut est)?;
-        Ok(est)
+        let mut surface = MatchSurface::default();
+        self.accumulate_estimate(node, sets, &mut est, &mut surface)?;
+        Ok((est, surface))
     }
 
     fn accumulate_estimate(
@@ -581,10 +595,70 @@ impl Archive {
         node: &PlanNode,
         sets: &HashMap<String, Arc<ResultSet>>,
         est: &mut CostEstimate,
+        surface: &mut MatchSurface,
     ) -> Result<(), QueryError> {
         match node {
             PlanNode::Scan(s) => {
                 let model = &self.inner.config.cost_model;
+                if let QuerySource::Match(m) = &s.source {
+                    // Cost from both inputs' exact row counts: stored
+                    // sets are resident (exact); an archive input prices
+                    // a whole tag sweep. Pair multiplicity is
+                    // data-dependent, so est_rows carries the probe-side
+                    // row count (the scan driver), and est_seconds adds
+                    // a per-probe zone-lookup term on top of the byte
+                    // cost of reading both sides.
+                    let mut probe_rows = 0.0;
+                    for (input, is_probe) in [(&m.a, true), (&m.b, false)] {
+                        let (rows, bytes, full, partial) = match input {
+                            MatchInput::Set(name) => {
+                                let set = sets.get(name).ok_or_else(|| {
+                                    QueryError::Unknown(format!(
+                                        "stored set {name} (prepare through a session \
+                                         workspace that holds it)"
+                                    ))
+                                })?;
+                                (set.rows() as f64, set.bytes() as u64, set.n_chunks(), 0)
+                            }
+                            MatchInput::Archive => {
+                                est.full_sweep = true;
+                                let tags = self.inner.tags.as_ref().ok_or_else(|| {
+                                    QueryError::Type(
+                                        "MATCH against the archive requires the tag store"
+                                            .to_string(),
+                                    )
+                                })?;
+                                let leaf = model.estimate_sweep(tags.containers());
+                                (
+                                    leaf.est_rows,
+                                    leaf.est_bytes,
+                                    leaf.containers_full,
+                                    leaf.containers_partial,
+                                )
+                            }
+                        };
+                        if is_probe {
+                            probe_rows = rows;
+                            surface.probe_morsels += full + partial;
+                        }
+                        // The surface mirrors exactly what this arm adds
+                        // to the estimate, so `planned_workers`' swap-out
+                        // subtraction can never drift from the totals.
+                        surface.est_containers += full + partial;
+                        est.est_bytes += bytes;
+                        est.est_seconds += bytes as f64 / model.scan_bandwidth_bps;
+                        est.containers_full += full;
+                        est.containers_partial += partial;
+                    }
+                    est.est_rows += probe_rows;
+                    // Per-probe zone lookup (a small HTM cover per probe
+                    // row) dominates the join — see the ROADMAP's
+                    // cover-memoization open item; the queue orders on
+                    // est_seconds, so underpricing this would let heavy
+                    // joins jump interactive queries.
+                    est.est_seconds += probe_rows * model.match_probe_seconds;
+                    return Ok(());
+                }
                 if let QuerySource::Set(name) = &s.source {
                     // Stored-set stats are exact: the set is resident and
                     // scans read it whole (chunks are the containers).
@@ -600,8 +674,7 @@ impl Archive {
                     est.containers_full += set.n_chunks();
                     return Ok(());
                 }
-                let tag_route =
-                    s.source == QuerySource::Tag && self.inner.tags.is_some();
+                let tag_route = s.source == QuerySource::Tag && self.inner.tags.is_some();
                 let leaf = match (&s.domain, tag_route) {
                     (Some(domain), true) => {
                         let tags = self.inner.tags.as_ref().expect("tag_route checked");
@@ -627,11 +700,11 @@ impl Archive {
             PlanNode::Sort { child, .. }
             | PlanNode::Limit { child, .. }
             | PlanNode::Aggregate { child, .. } => {
-                self.accumulate_estimate(child, sets, est)?
+                self.accumulate_estimate(child, sets, est, surface)?
             }
             PlanNode::Set { left, right, .. } => {
-                self.accumulate_estimate(left, sets, est)?;
-                self.accumulate_estimate(right, sets, est)?;
+                self.accumulate_estimate(left, sets, est, surface)?;
+                self.accumulate_estimate(right, sets, est, surface)?;
             }
         }
         Ok(())
@@ -645,9 +718,20 @@ fn count_scan_leaves(node: &PlanNode) -> usize {
         PlanNode::Sort { child, .. }
         | PlanNode::Limit { child, .. }
         | PlanNode::Aggregate { child, .. } => count_scan_leaves(child),
-        PlanNode::Set { left, right, .. } => {
-            count_scan_leaves(left) + count_scan_leaves(right)
-        }
+        PlanNode::Set { left, right, .. } => count_scan_leaves(left) + count_scan_leaves(right),
+    }
+}
+
+/// Does any scan leaf run a MATCH join? Match joins parallelize over
+/// probe-side morsels even though they are not compiled-columnar scans,
+/// so the worker grant treats them like columnar plans.
+fn plan_has_match(node: &PlanNode) -> bool {
+    match node {
+        PlanNode::Scan(s) => matches!(s.source, QuerySource::Match(_)),
+        PlanNode::Sort { child, .. }
+        | PlanNode::Limit { child, .. }
+        | PlanNode::Aggregate { child, .. } => plan_has_match(child),
+        PlanNode::Set { left, right, .. } => plan_has_match(left) || plan_has_match(right),
     }
 }
 
@@ -689,6 +773,16 @@ pub struct Prepared {
     columnar: bool,
     estimate: CostEstimate,
     heavy: bool,
+    /// Probe-side morsel count summed over MATCH leaves (0 when the
+    /// plan has none). Worker grants for match leaves cap here rather
+    /// than at the estimate's container total, which also counts the
+    /// build side — slots granted past the probe morsel count could
+    /// never be used.
+    match_probe_morsels: usize,
+    /// Containers the MATCH leaves contributed to the cost estimate
+    /// (probe + build sides) — subtracted back out so co-existing
+    /// columnar leaves keep their own parallelism surface.
+    match_est_containers: usize,
 }
 
 impl Prepared {
@@ -775,10 +869,23 @@ impl Prepared {
     /// one-container cone search gains nothing from a second worker).
     pub fn planned_workers(&self) -> usize {
         let leaves = count_scan_leaves(&self.plan.root).max(1);
-        if !self.columnar {
+        let has_match = plan_has_match(&self.plan.root);
+        if !self.columnar && !has_match {
             return leaves;
         }
-        let containers = self.estimate.containers_full + self.estimate.containers_partial;
+        // The parallelism surface: touched containers for columnar
+        // scan leaves plus probe-side morsels for MATCH leaves. The
+        // estimate's container total counts MATCH build sides too,
+        // which workers never drain — granting past the probe morsels
+        // would hold slots the execution can never use — so the MATCH
+        // contribution is swapped out for the probe morsel count while
+        // any co-existing columnar leaves keep their own surface.
+        let est_containers = self.estimate.containers_full + self.estimate.containers_partial;
+        let containers = if has_match {
+            est_containers.saturating_sub(self.match_est_containers) + self.match_probe_morsels
+        } else {
+            est_containers
+        };
         let cfg = &self.archive.inner.config.admission;
         cfg.max_workers_per_query
             .max(1)
@@ -876,18 +983,12 @@ impl Prepared {
 
     /// The post-admission half of an execution: spawn the node threads
     /// and wrap the pull end.
-    fn launch_stream(
-        &self,
-        root: PlanNode,
-        slot: SlotGuard,
-        queue_time: Duration,
-    ) -> ResultStream {
+    fn launch_stream(&self, root: PlanNode, slot: SlotGuard, queue_time: Duration) -> ResultStream {
         let inner = &self.archive.inner;
         // The execution-truth flag: judged on the *bound* plan (binding
         // can only widen compilability — e.g. a parameter in a position
         // the static gate judged conservatively).
-        let columnar =
-            plan_uses_columnar(&root, inner.tags.is_some(), inner.config.mode);
+        let columnar = plan_uses_columnar(&root, inner.tags.is_some(), inner.config.mode);
         let ticket = Arc::new(TicketCore::default());
         // The granted slots split across the plan's scan leaves (set
         // operations run several concurrently): `leaves * per_leaf <=
@@ -939,6 +1040,90 @@ impl Prepared {
             return crate::session::run_into(self, params);
         }
         self.stream_with(params)?.collect_output()
+    }
+
+    /// The **direct columnar INTO fast path**: when the statement is a
+    /// bare tag- or set-routed scan with a compilable predicate, the
+    /// materialization projects whole tag records straight out of the
+    /// scan's [`sdss_storage::ColumnBatch`] lanes into the
+    /// [`ResultSetBuilder`] — no per-objid full-store fetch, no dedup
+    /// hash (tag containers and stored sets hold each object once), no
+    /// channel fabric. Returns `Ok(None)` when the plan shape is
+    /// ineligible (full-store route, set operations, sort/limit stacks,
+    /// non-compilable predicates) — the caller falls back to the
+    /// stream-and-fetch path, which handles every shape.
+    ///
+    /// The sink enforces `budget` live per pushed row, so a quota abort
+    /// stops the scan exactly like the slow path's mid-stream check.
+    pub(crate) fn run_into_columnar(
+        &self,
+        params: &[f64],
+        set_name: &str,
+        chunk_rows: usize,
+        budget: u64,
+    ) -> Result<Option<(ResultSet, QueryStats)>, QueryError> {
+        let inner = &self.archive.inner;
+        let root = self.bind_root(params)?;
+        let PlanNode::Scan(spec) = &root else {
+            return Ok(None);
+        };
+        let Some(pred) = compile_into_scan(spec, inner.tags.is_some(), inner.config.mode) else {
+            return Ok(None);
+        };
+        // The fold is one serial driver — hold one worker slot. (The
+        // scan runs at memory bandwidth; the builder push is the
+        // bottleneck, not scan parallelism.)
+        let queued_at = Instant::now();
+        let slot = inner
+            .slots
+            .acquire(1, self.heavy, self.estimate.est_seconds);
+        let queue_time = queued_at.elapsed();
+        let started = Instant::now();
+        let ticket = Arc::new(TicketCore::default());
+        let mut builder = ResultSetBuilder::new(chunk_rows);
+        let result = drive_into_scan(
+            inner.tags.clone(),
+            &self.sets,
+            spec,
+            pred,
+            inner.config.cover_level,
+            &ticket,
+            |tag, htm20| {
+                builder.push(tag, htm20);
+                if builder.bytes() as u64 > budget {
+                    return Err(QueryError::Exec(format!(
+                        "session byte quota exceeded materializing `{set_name}`: \
+                         {} bytes available, {} rows already folded",
+                        budget,
+                        builder.rows()
+                    )));
+                }
+                Ok(())
+            },
+        );
+        drop(slot);
+        result?;
+        let worker_scans = ticket.worker_scans();
+        let totals = ticket.totals();
+        let stats = QueryStats {
+            route: self.route,
+            columnar: true,
+            queue_time,
+            time_to_first_row: None,
+            total_time: started.elapsed(),
+            // The sink consumed every selected row — report it like the
+            // stream-and-fetch route does, so SessionStats.rows_delivered
+            // doesn't depend on which INTO route executed.
+            rows: totals.rows_scanned as usize,
+            rows_emitted: ticket.rows_emitted(),
+            batches: totals.batches_emitted as usize,
+            workers_granted: 1,
+            workers_used: worker_scans.len(),
+            worker_bytes: worker_scans.iter().map(|w| w.bytes_scanned).collect(),
+            morsels: worker_scans.iter().map(|w| w.morsels).sum(),
+            scan: totals,
+        };
+        Ok(Some((builder.finish(), stats)))
     }
 }
 
@@ -1034,6 +1219,14 @@ impl ResultStream {
     /// final once the stream has fully drained (or execution was
     /// cancelled and wound down).
     pub fn finish(self) -> QueryStats {
+        // The consumer is done: cancel so producers still scanning stop
+        // at their next morsel/batch check. On a fully drained plan this
+        // is a no-op (everything already exited); after a LIMIT cut the
+        // stream short, it keeps scan workers from burning CPU on
+        // morsels nobody will read — the slots return when `self` drops
+        // at the end of this call, and unaccounted background work is
+        // exactly what admission exists to prevent.
+        self.ticket.cancel();
         let worker_scans = self.ticket.core.worker_scans();
         let stats = QueryStats {
             route: self.route,
@@ -1133,18 +1326,17 @@ mod tests {
         assert_eq!(out.stats.route, RouteChoice::TagOnly);
         assert_eq!(out.columns, vec!["objid", "ra", "dec", "r"]);
         // ids agree
-        let mut got: Vec<u64> = out
-            .rows
-            .iter()
-            .map(|r| r[0].as_id().unwrap())
-            .collect();
+        let mut got: Vec<u64> = out.rows.iter().map(|r| r[0].as_id().unwrap()).collect();
         let mut exp: Vec<u64> = want.iter().map(|o| o.obj_id).collect();
         got.sort_unstable();
         exp.sort_unstable();
         assert_eq!(got, exp);
         // Scan accounting flowed through the ticket into the stats.
         assert!(out.stats.scan.bytes_scanned > 0);
-        assert_eq!(out.stats.scan.cover_cache_hits + out.stats.scan.cover_cache_misses, 1);
+        assert_eq!(
+            out.stats.scan.cover_cache_hits + out.stats.scan.cover_cache_misses,
+            1
+        );
     }
 
     #[test]
@@ -1248,8 +1440,12 @@ mod tests {
     fn sample_reduces_rows_deterministically() {
         let (archive, _) = setup(6);
         let all = archive.run("SELECT objid FROM photoobj").unwrap();
-        let s1 = archive.run("SELECT objid FROM photoobj SAMPLE 0.2").unwrap();
-        let s2 = archive.run("SELECT objid FROM photoobj SAMPLE 0.2").unwrap();
+        let s1 = archive
+            .run("SELECT objid FROM photoobj SAMPLE 0.2")
+            .unwrap();
+        let s2 = archive
+            .run("SELECT objid FROM photoobj SAMPLE 0.2")
+            .unwrap();
         assert_eq!(s1.rows.len(), s2.rows.len());
         assert!(s1.rows.len() < all.rows.len() / 2);
         assert!(!s1.rows.is_empty());
@@ -1429,7 +1625,11 @@ mod tests {
             let _one = slots2.acquire(1, false, 0.1);
         });
         std::thread::sleep(Duration::from_millis(30));
-        assert_eq!(slots.snapshot().queued, 1, "no room beside a full-width sweep");
+        assert_eq!(
+            slots.snapshot().queued,
+            1,
+            "no room beside a full-width sweep"
+        );
         drop(sweep);
         t.join().unwrap();
         assert_eq!(slots.snapshot().running, 0);
@@ -1475,8 +1675,14 @@ mod tests {
         }
         drop(hold);
         // The cheap query dispatches ahead of the earlier expensive one.
-        assert_eq!(order_rx.recv_timeout(Duration::from_secs(5)).unwrap(), "fast");
-        assert_eq!(order_rx.recv_timeout(Duration::from_secs(5)).unwrap(), "slow");
+        assert_eq!(
+            order_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            "fast"
+        );
+        assert_eq!(
+            order_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            "slow"
+        );
         slow.join().unwrap();
         fast.join().unwrap();
     }

@@ -187,9 +187,11 @@ impl Expr {
     pub fn bind_params(&self, params: &[f64]) -> Result<Expr, crate::QueryError> {
         Ok(match self {
             Expr::Param(i) => {
-                let v = params.get(i.checked_sub(1).ok_or_else(bad_param_zero)?).ok_or_else(
-                    || crate::QueryError::Exec(format!("parameter ${i} not supplied")),
-                )?;
+                let v = params
+                    .get(i.checked_sub(1).ok_or_else(bad_param_zero)?)
+                    .ok_or_else(|| {
+                        crate::QueryError::Exec(format!("parameter ${i} not supplied"))
+                    })?;
                 Expr::Lit(Value::Num(*v))
             }
             Expr::Attr(_) | Expr::Lit(_) | Expr::Spatial(_) => self.clone(),
@@ -269,6 +271,35 @@ impl AggFn {
     }
 }
 
+/// What the FROM clause names: a table (base catalog or stored set), or
+/// a `MATCH(a, b, radius_arcsec)` cross-match join source pairing two
+/// inputs by angular proximity. Match inputs are themselves table names
+/// (`photoobj` / `tag` for the archive, anything else for a stored set).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableSource {
+    /// `FROM <name>` — `photoobj`, `tag`, or a stored session set.
+    Named(String),
+    /// `FROM MATCH(a, b, radius_arcsec)` — every ordered pair `(a, b)`
+    /// within the radius (identity pairs `a.objid = b.objid` excluded).
+    /// Rows expose `a.<attr>` / `b.<attr>` for the tag attributes plus
+    /// the `sep_arcsec` pseudo-column.
+    Match {
+        a: String,
+        b: String,
+        radius_arcsec: f64,
+    },
+}
+
+impl TableSource {
+    /// The plain table name, if this is a named source.
+    pub fn named(&self) -> Option<&str> {
+        match self {
+            TableSource::Named(n) => Some(n),
+            TableSource::Match { .. } => None,
+        }
+    }
+}
+
 /// One item of the SELECT list.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SelectItem {
@@ -293,9 +324,10 @@ pub struct SelectStmt {
     /// of streaming it back. Names are case-insensitive (stored
     /// lower-case). Only valid on a top-level SELECT.
     pub into: Option<String>,
-    /// `photoobj`, `tag`, or the (lower-cased) name of a stored result
-    /// set in the caller's session workspace.
-    pub table: String,
+    /// `photoobj`, `tag`, the (lower-cased) name of a stored result set
+    /// in the caller's session workspace, or a `MATCH(a, b, radius)`
+    /// cross-match join source.
+    pub table: TableSource,
     pub predicate: Option<Expr>,
     /// ORDER BY column name, descending?
     pub order_by: Option<(String, bool)>,
@@ -391,7 +423,7 @@ mod tests {
         let s = SelectStmt {
             items: vec![SelectItem::Star],
             into: None,
-            table: "photoobj".into(),
+            table: TableSource::Named("photoobj".into()),
             predicate: None,
             order_by: None,
             limit: None,

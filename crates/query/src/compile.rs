@@ -57,29 +57,87 @@ enum NumSrc {
 /// register files of [`BatchScratch`].
 #[derive(Debug, Clone)]
 enum Inst {
-    Load { src: NumSrc, dst: u8 },
-    Arith { op: BinOp, a: u8, b: u8, dst: u8 },
-    Neg { a: u8, dst: u8 },
-    Abs { a: u8, dst: u8 },
-    Sqrt { a: u8, dst: u8 },
-    Log10 { a: u8, dst: u8 },
+    Load {
+        src: NumSrc,
+        dst: u8,
+    },
+    Arith {
+        op: BinOp,
+        a: u8,
+        b: u8,
+        dst: u8,
+    },
+    Neg {
+        a: u8,
+        dst: u8,
+    },
+    Abs {
+        a: u8,
+        dst: u8,
+    },
+    Sqrt {
+        a: u8,
+        dst: u8,
+    },
+    Log10 {
+        a: u8,
+        dst: u8,
+    },
     /// Angular distance (degrees) to a fixed target direction.
-    Dist { target: UnitVec3, dst: u8 },
+    Dist {
+        target: UnitVec3,
+        dst: u8,
+    },
     /// Latitude/longitude in a fixed rotated frame.
-    FrameCoord { rot: Rotation, lat: bool, dst: u8 },
+    FrameCoord {
+        rot: Rotation,
+        lat: bool,
+        dst: u8,
+    },
     /// Numeric comparison producing a tri-state mask: NaN on either side
     /// marks the row *errored* (the interpreter's comparison error).
-    Cmp { op: BinOp, a: u8, b: u8, dst: u8 },
+    Cmp {
+        op: BinOp,
+        a: u8,
+        b: u8,
+        dst: u8,
+    },
     /// `x BETWEEN lo AND hi` (inclusive).
-    Between { x: u8, lo: u8, hi: u8, dst: u8 },
+    Between {
+        x: u8,
+        lo: u8,
+        hi: u8,
+        dst: u8,
+    },
     /// `class = <literal>` as a byte compare (no string materialized).
-    ClassCmp { byte: u8, ne: bool, dst: u8 },
-    ConstMask { value: bool, dst: u8 },
-    AndMask { a: u8, b: u8, dst: u8 },
-    OrMask { a: u8, b: u8, dst: u8 },
-    NotMask { a: u8, dst: u8 },
+    ClassCmp {
+        byte: u8,
+        ne: bool,
+        dst: u8,
+    },
+    ConstMask {
+        value: bool,
+        dst: u8,
+    },
+    AndMask {
+        a: u8,
+        b: u8,
+        dst: u8,
+    },
+    OrMask {
+        a: u8,
+        b: u8,
+        dst: u8,
+    },
+    NotMask {
+        a: u8,
+        dst: u8,
+    },
     /// Row-wise geometric containment (spatial factors inside OR trees).
-    SpatialMask { domain: Domain, dst: u8 },
+    SpatialMask {
+        domain: Domain,
+        dst: u8,
+    },
 }
 
 /// A three-valued boolean lane: per row exactly one of
@@ -126,9 +184,8 @@ impl BatchScratch {
     }
 
     fn prepare(&mut self, n_num: usize, n_mask: usize, rows: usize) {
-        self.num.resize_with(n_num.max(self.num.len()), || {
-            Vec::with_capacity(BATCH_ROWS)
-        });
+        self.num
+            .resize_with(n_num.max(self.num.len()), || Vec::with_capacity(BATCH_ROWS));
         for lane in self.num.iter_mut().take(n_num) {
             lane.clear();
             lane.resize(rows, 0.0);
@@ -269,7 +326,10 @@ fn exec_inst(
                 scratch.num[*b as usize] = bv;
             }
         }
-        Inst::Neg { a, dst } | Inst::Abs { a, dst } | Inst::Sqrt { a, dst } | Inst::Log10 { a, dst } => {
+        Inst::Neg { a, dst }
+        | Inst::Abs { a, dst }
+        | Inst::Sqrt { a, dst }
+        | Inst::Log10 { a, dst } => {
             let av = std::mem::take(&mut scratch.num[*a as usize]);
             let lane = &mut scratch.num[*dst as usize];
             let pairs = lane.iter_mut().zip(av.iter().take(rows));
@@ -836,7 +896,11 @@ impl Compiler {
                 self.insts.push(Inst::OrMask { a, b, dst });
                 Some(dst)
             }
-            Expr::Bin(op @ (BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne), a, b) => {
+            Expr::Bin(
+                op @ (BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne),
+                a,
+                b,
+            ) => {
                 if let Some(mask) = self.try_class_cmp(*op, a, b) {
                     return mask;
                 }
@@ -988,12 +1052,7 @@ mod tests {
             let mask = compiled.eval(&batch, &mut scratch);
             for i in 0..batch.len() {
                 let want = matches!(eval(&pred, &tags[row + i]), Ok(Value::Bool(true)));
-                assert_eq!(
-                    mask.get(i),
-                    want,
-                    "{sql_where}: row {} disagrees",
-                    row + i
-                );
+                assert_eq!(mask.get(i), want, "{sql_where}: row {} disagrees", row + i);
             }
             row += batch.len();
         }
@@ -1079,10 +1138,9 @@ mod tests {
     #[test]
     fn uncompilable_shapes_fall_back() {
         // Full-object attribute.
-        assert!(compile_predicate(&predicate_of(
-            "SELECT ra FROM photoobj WHERE psf_r < 21"
-        ))
-        .is_none());
+        assert!(
+            compile_predicate(&predicate_of("SELECT ra FROM photoobj WHERE psf_r < 21")).is_none()
+        );
         // Per-row DIST target.
         assert!(compile_predicate(&predicate_of(
             "SELECT ra FROM photoobj WHERE DIST(ra, 15) < 1"
@@ -1129,11 +1187,8 @@ mod tests {
     #[test]
     fn selective_projection_only_emits_selected() {
         let (chunk, tags) = chunk_and_tags(1000, 5);
-        let proj = compile_projection(&[(
-            "objid".to_string(),
-            Expr::Attr("objid".to_string()),
-        )])
-        .unwrap();
+        let proj =
+            compile_projection(&[("objid".to_string(), Expr::Attr("objid".to_string()))]).unwrap();
         let mut scratch = BatchScratch::new();
         let mut out = Vec::new();
         for batch in chunk.batches(256) {

@@ -23,18 +23,19 @@
 //! Producers observe consumer disappearance through channel send errors
 //! and cooperative cancellation through the shared [`TicketCore`].
 
-use crate::ast::{AggFn, Value};
+use crate::ast::{AggFn, Expr, Value};
 use crate::compile::{
     compile_agg_inputs, compile_predicate, compile_projection, BatchScratch, CompiledAggInputs,
     CompiledPredicate, CompiledProjection,
 };
 use crate::ops::{eval, AttrSource};
-use crate::plan::{AggSpec, PlanNode, QuerySource, ScanSpec};
+use crate::plan::{AggSpec, MatchInput, MatchSpec, PlanNode, QuerySource, ScanSpec};
+use crate::QueryError;
 use crossbeam::channel::{bounded, Receiver, Sender};
-use sdss_catalog::ObjClass;
+use sdss_catalog::{ObjClass, TagObject};
 use sdss_storage::{
-    sample_hash_keep, ColumnBatch, MorselQueue, ObjectStore, RegionScan, ResultSet,
-    SelectionMask, TagScanPlan, TagStore,
+    sample_hash_keep, ColumnBatch, MorselQueue, ObjectStore, RegionScan, ResultSet, SelectionMask,
+    TagScanPlan, TagStore, ZoneIndex,
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -450,13 +451,15 @@ impl TicketCore {
             .fetch_add(s.containers_partial as u64, Ordering::Relaxed);
         self.exact_tests
             .fetch_add(s.objects_exact_tested as u64, Ordering::Relaxed);
-        self.cover_hits.fetch_add(s.cover_cache_hits, Ordering::Relaxed);
+        self.cover_hits
+            .fetch_add(s.cover_cache_hits, Ordering::Relaxed);
         self.cover_misses
             .fetch_add(s.cover_cache_misses, Ordering::Relaxed);
     }
 
     fn absorb_sweep(&self, bytes: usize, containers: usize) {
-        self.bytes_scanned.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_scanned
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         self.containers_full
             .fetch_add(containers as u64, Ordering::Relaxed);
     }
@@ -498,7 +501,9 @@ fn columnar_source(spec: &ScanSpec, tags_available: bool) -> bool {
     match &spec.source {
         QuerySource::Tag => tags_available,
         QuerySource::Set(_) => true,
-        QuerySource::Full => false,
+        // MATCH joins run their own morsel-parallel pair path (the
+        // probe side streams column batches, pairs evaluate row-wise).
+        QuerySource::Full | QuerySource::Match(_) => false,
     }
 }
 
@@ -512,7 +517,10 @@ fn compile_scan(
     spec: &ScanSpec,
     tags_available: bool,
     mode: ExecMode,
-) -> Option<(Option<crate::compile::CompiledPredicate>, crate::compile::CompiledProjection)> {
+) -> Option<(
+    Option<crate::compile::CompiledPredicate>,
+    crate::compile::CompiledProjection,
+)> {
     if mode != ExecMode::Auto || !columnar_source(spec, tags_available) {
         return None;
     }
@@ -625,10 +633,15 @@ fn spawn_node(env: &ExecEnv, node: PlanNode, ticket: &Arc<TicketCore>) -> BatchH
             // `__agg_i` columns, no per-row channel traffic.
             let child = *child;
             if let PlanNode::Scan(spec) = child {
+                // MATCH pair-counts fold in-scan too: probe workers
+                // accumulate per-worker partials over the pairs they
+                // emit, merged at the edge — COUNT over a cross-match
+                // ships one row, never the pair stream.
+                if let QuerySource::Match(m) = spec.source.clone() {
+                    return spawn_match_agg_scan(env, spec, m, aggs, ticket);
+                }
                 return match compile_agg_scan(&spec, &aggs, env.tags.is_some(), env.mode) {
-                    Some((pred, inputs)) => {
-                        spawn_agg_scan(env, spec, aggs, pred, inputs, ticket)
-                    }
+                    Some((pred, inputs)) => spawn_agg_scan(env, spec, aggs, pred, inputs, ticket),
                     None => spawn_aggregate_over(env, PlanNode::Scan(spec), aggs, ticket),
                 };
             }
@@ -675,9 +688,12 @@ fn spawn_node(env: &ExecEnv, node: PlanNode, ticket: &Arc<TicketCore>) -> BatchH
                             seen.insert(id);
                             out.push(row);
                             if out.len() >= BATCH
-                                && tx.send(ResultBatch::Rows(std::mem::take(&mut out))).is_err() {
-                                    return;
-                                }
+                                && tx
+                                    .send(ResultBatch::Rows(std::mem::take(&mut out)))
+                                    .is_err()
+                            {
+                                return;
+                            }
                         }
                     }
                 }
@@ -692,9 +708,12 @@ fn spawn_node(env: &ExecEnv, node: PlanNode, ticket: &Arc<TicketCore>) -> BatchH
                             row[objid_idx] = Value::Id(id);
                             out.push(row);
                             if out.len() >= BATCH
-                                && tx.send(ResultBatch::Rows(std::mem::take(&mut out))).is_err() {
-                                    return;
-                                }
+                                && tx
+                                    .send(ResultBatch::Rows(std::mem::take(&mut out)))
+                                    .is_err()
+                            {
+                                return;
+                            }
                         }
                     }
                 }
@@ -758,9 +777,12 @@ fn spawn_aggregate_over(
 /// take the columnar compiled path when the predicate and projection
 /// both lower to bytecode; everything else interprets row-at-a-time.
 fn spawn_scan(env: &ExecEnv, spec: ScanSpec, ticket: &Arc<TicketCore>) -> BatchHandle {
+    // MATCH joins have their own morsel-parallel pair path.
+    if let QuerySource::Match(m) = spec.source.clone() {
+        return spawn_match_scan(env, spec, m, ticket);
+    }
     let (tx, rx) = bounded::<ResultBatch>(CHANNEL_DEPTH);
-    let columns: Arc<Vec<String>> =
-        Arc::new(spec.columns.iter().map(|(n, _)| n.clone()).collect());
+    let columns: Arc<Vec<String>> = Arc::new(spec.columns.iter().map(|(n, _)| n.clone()).collect());
     let cover_level = env.cover_level;
     let ticket = ticket.clone();
 
@@ -776,8 +798,7 @@ fn spawn_scan(env: &ExecEnv, spec: ScanSpec, ticket: &Arc<TicketCore>) -> BatchH
         let sets = env.sets.clone();
         let workers = env.workers.max(1);
         spawn_guarded(ticket.clone(), move || {
-            let Some(source) = ScanSource::resolve(tags, &sets, &spec, cover_level, &ticket)
-            else {
+            let Some(source) = ScanSource::resolve(tags, &sets, &spec, cover_level, &ticket) else {
                 return;
             };
             if let Some(hit) = source.cover_cache_hit() {
@@ -843,7 +864,10 @@ fn spawn_scan(env: &ExecEnv, spec: ScanSpec, ticket: &Arc<TicketCore>) -> BatchH
             kept += 1;
             if out.len() >= BATCH {
                 ticket.note_batch(out.len());
-                if tx.send(ResultBatch::Rows(std::mem::take(&mut out))).is_err() {
+                if tx
+                    .send(ResultBatch::Rows(std::mem::take(&mut out)))
+                    .is_err()
+                {
                     return false;
                 }
             }
@@ -876,14 +900,15 @@ fn spawn_scan(env: &ExecEnv, spec: ScanSpec, ticket: &Arc<TicketCore>) -> BatchH
                     "stored set `{name}` was not pinned at prepare time"
                 )),
             },
+            (QuerySource::Match(_), _) => {
+                unreachable!("MATCH scans spawn their own join path")
+            }
             (QuerySource::Tag, Some(tag_store)) => match &spec.domain {
                 Some(domain) => {
-                    if let Ok(stats) =
-                        tag_store.scan_region_until(domain, cover_level, |t| {
-                            alive = emit(t, &tx);
-                            alive
-                        })
-                    {
+                    if let Ok(stats) = tag_store.scan_region_until(domain, cover_level, |t| {
+                        alive = emit(t, &tx);
+                        alive
+                    }) {
                         worker_bytes = stats.bytes_scanned as u64;
                         ticket.absorb_scan(&stats);
                     }
@@ -1090,8 +1115,14 @@ impl ColumnarScanJob {
                 if self.ticket.is_cancelled() {
                     return false;
                 }
-                let keep =
-                    select_rows(&self.pred, self.sample, batch, sel, &mut scratch, &mut keep_scratch);
+                let keep = select_rows(
+                    &self.pred,
+                    self.sample,
+                    batch,
+                    sel,
+                    &mut scratch,
+                    &mut keep_scratch,
+                );
                 if keep.any() {
                     selected += keep.count() as u64;
                     let out = self.proj.eval_batch(batch, &keep, &mut scratch);
@@ -1160,8 +1191,14 @@ impl AggScanJob {
                 if self.ticket.is_cancelled() {
                     return false;
                 }
-                let keep =
-                    select_rows(&self.pred, self.sample, batch, sel, &mut scratch, &mut keep_scratch);
+                let keep = select_rows(
+                    &self.pred,
+                    self.sample,
+                    batch,
+                    sel,
+                    &mut scratch,
+                    &mut keep_scratch,
+                );
                 if keep.any() {
                     folded += keep.count() as u64;
                     self.inputs
@@ -1179,6 +1216,480 @@ impl AggScanJob {
         });
         self.ticket.absorb_scan(&local);
         accs
+    }
+}
+
+// ---------------------------------------------------------------------
+// MATCH joins: morsel-parallel cross-match over a zone-partitioned
+// build side
+// ---------------------------------------------------------------------
+
+/// One pair of a MATCH join, presented to the row-wise evaluator:
+/// `a.<attr>` / `b.<attr>` resolve through the underlying tag records,
+/// `sep_arcsec` is the pair's angular separation. Positional functions
+/// see the probe (`a`) side.
+struct PairSource<'x> {
+    a: &'x TagObject,
+    b: &'x TagObject,
+    sep_arcsec: f64,
+}
+
+impl AttrSource for PairSource<'_> {
+    fn attr(&self, name: &str) -> Option<Value> {
+        if name == "sep_arcsec" {
+            return Some(Value::Num(self.sep_arcsec));
+        }
+        if let Some(base) = name.strip_prefix("a.") {
+            return self.a.attr(base);
+        }
+        if let Some(base) = name.strip_prefix("b.") {
+            return self.b.attr(base);
+        }
+        None
+    }
+
+    fn position(&self) -> sdss_skycoords::UnitVec3 {
+        self.a.unit_vec()
+    }
+}
+
+/// The shared core of one MATCH execution: the resolved probe source
+/// (one morsel per chunk/container, drained through the byte-balanced
+/// [`MorselQueue`] exactly like a columnar scan), the collected build
+/// rows with their [`ZoneIndex`], and the join parameters. Probe workers
+/// share it behind an `Arc`; the projection and aggregate variants both
+/// drain pairs through [`MatchJobCore::drain_worker`].
+struct MatchJobCore {
+    predicate: Option<Expr>,
+    sample: Option<f64>,
+    radius_arcsec: f64,
+    build: Vec<TagObject>,
+    index: ZoneIndex,
+    probe: ScanSource,
+    queue: MorselQueue,
+    ticket: Arc<TicketCore>,
+}
+
+impl MatchJobCore {
+    /// Resolve both join sides and build the zone index. Returns the
+    /// core plus the worker count (capped by probe morsels). Failures
+    /// are recorded on the ticket (the consumer sees a closed channel
+    /// plus the failure message, like every other resolution error).
+    fn prepare(
+        tags: &Option<Arc<TagStore>>,
+        sets: &HashMap<String, Arc<ResultSet>>,
+        spec: &ScanSpec,
+        m: MatchSpec,
+        workers: usize,
+        ticket: Arc<TicketCore>,
+    ) -> Option<(MatchJobCore, usize)> {
+        let probe = Self::resolve_input(&m.a, tags, sets, &ticket)?;
+        // Collect the build side once; its scan bytes are accounted to
+        // the execution totals (but not to any probe worker).
+        let (build, build_deep, build_bytes, build_chunks) =
+            Self::collect_build(&m.b, tags, sets, &ticket)?;
+        ticket.absorb_sweep(build_bytes, build_chunks);
+        // Bucket by the stored deep ids — integer shifts, no spherical
+        // lookups on the join's setup path.
+        let index =
+            ZoneIndex::build_from_deep(&build_deep, ZoneIndex::level_for_radius(m.radius_arcsec));
+        let n_workers = workers.min(probe.n_morsels()).max(1);
+        let queue = MorselQueue::build(&probe.morsel_bytes(), n_workers);
+        Some((
+            MatchJobCore {
+                predicate: spec.predicate.clone(),
+                sample: spec.sample,
+                radius_arcsec: m.radius_arcsec,
+                build,
+                index,
+                probe,
+                queue,
+                ticket,
+            },
+            n_workers,
+        ))
+    }
+
+    /// One join input as a morsel source, delegated to the scan path's
+    /// own resolver via a bare scan spec: stored sets expose their
+    /// chunks, the archive resolves to a whole-sky tag sweep plan
+    /// (`domain: None` — MATCH has no cover to restrict it; the join
+    /// radius is the restriction). The probe side drains it in
+    /// parallel; the build side drains it serially in `collect_build`.
+    fn resolve_input(
+        input: &MatchInput,
+        tags: &Option<Arc<TagStore>>,
+        sets: &HashMap<String, Arc<ResultSet>>,
+        ticket: &TicketCore,
+    ) -> Option<ScanSource> {
+        let source = match input {
+            MatchInput::Set(name) => QuerySource::Set(name.clone()),
+            MatchInput::Archive => QuerySource::Tag,
+        };
+        let spec = ScanSpec {
+            source,
+            domain: None,
+            predicate: None,
+            columns: Vec::new(),
+            sample: None,
+        };
+        ScanSource::resolve(tags.clone(), sets, &spec, None, ticket)
+    }
+
+    /// Materialize the build side as owned tag rows plus their stored
+    /// level-20 HTM ids (the zone index buckets by shift-ancestor of
+    /// `htm20` — no per-row spherical lookup; this is exactly why
+    /// materialized sets preserve `htm20`). Resolution and the batch
+    /// drain go through the same [`ScanSource`] seam as the probe side;
+    /// cancellation is checked per morsel — a whole-archive build side
+    /// is the most expensive thing a cancelled MATCH could otherwise
+    /// keep doing. The zone index holds row indices into the returned
+    /// vector.
+    fn collect_build(
+        input: &MatchInput,
+        tags: &Option<Arc<TagStore>>,
+        sets: &HashMap<String, Arc<ResultSet>>,
+        ticket: &TicketCore,
+    ) -> Option<(Vec<TagObject>, Vec<u64>, usize, usize)> {
+        let source = Self::resolve_input(input, tags, sets, ticket)?;
+        let mut rows = Vec::new();
+        let mut deep = Vec::new();
+        let mut bytes = 0usize;
+        let containers = source.n_morsels();
+        for idx in 0..containers {
+            if ticket.is_cancelled() {
+                return None;
+            }
+            let (stats, _) = source.scan_morsel(idx, |batch, _sel| {
+                for i in 0..batch.len() {
+                    rows.push(batch.row(i));
+                }
+                deep.extend_from_slice(batch.htm20);
+                true
+            });
+            bytes += stats.bytes_scanned;
+        }
+        Some((rows, deep, bytes, containers))
+    }
+
+    /// Drain probe morsels for worker `w`, streaming every surviving
+    /// pair (identity pairs excluded, sample applied probe-side,
+    /// predicate evaluated per pair). `on_pair` returns `false` to
+    /// abort (consumer hang-up). Registers the worker's accounting.
+    fn drain_worker(&self, w: usize, mut on_pair: impl FnMut(&PairSource<'_>) -> bool) {
+        let mut local = RegionScan::default();
+        let mut morsels = 0u64;
+        let mut pairs = 0u64;
+        let mut alive = true;
+        while alive && !self.ticket.is_cancelled() {
+            let Some(m) = self.queue.next(w) else { break };
+            morsels += 1;
+            let (stats, _) = self.probe.scan_morsel(m, |batch, sel| {
+                if self.ticket.is_cancelled() {
+                    return false;
+                }
+                for i in sel.iter_set() {
+                    let a = batch.row(i);
+                    if let Some(f) = self.sample {
+                        if !sample_hash_keep(a.obj_id, f) {
+                            continue;
+                        }
+                    }
+                    let probed = self.index.neighbors_within(
+                        &self.build,
+                        a.unit_vec(),
+                        self.radius_arcsec,
+                        |ri, sep| {
+                            if !alive {
+                                return;
+                            }
+                            let b = &self.build[ri as usize];
+                            // An object is not its own neighbor: the
+                            // self-join identity pair (sep = 0) carries
+                            // no information.
+                            if b.obj_id == a.obj_id {
+                                return;
+                            }
+                            let pair = PairSource {
+                                a: &a,
+                                b,
+                                sep_arcsec: sep,
+                            };
+                            if let Some(pred) = &self.predicate {
+                                match eval(pred, &pair) {
+                                    Ok(Value::Bool(true)) => {}
+                                    // Type errors drop the pair, like
+                                    // the row-wise scan fallback.
+                                    Ok(_) | Err(_) => return,
+                                }
+                            }
+                            pairs += 1;
+                            if !on_pair(&pair) {
+                                alive = false;
+                            }
+                        },
+                    );
+                    if let Err(e) = probed {
+                        self.ticket
+                            .record_failure(format!("MATCH probe failed: {e}"));
+                        return false;
+                    }
+                    if !alive {
+                        return false;
+                    }
+                }
+                true
+            });
+            local.merge(&stats);
+        }
+        self.ticket.note_worker(WorkerScan {
+            bytes_scanned: local.bytes_scanned as u64,
+            morsels,
+            rows_selected: pairs,
+        });
+        self.ticket.absorb_scan(&local);
+    }
+}
+
+/// Spawn a MATCH projection scan: probe workers drain morsels from the
+/// byte-balanced queue, join each probe row against the zone index, and
+/// stream projected pair rows into the shared channel.
+fn spawn_match_scan(
+    env: &ExecEnv,
+    spec: ScanSpec,
+    m: MatchSpec,
+    ticket: &Arc<TicketCore>,
+) -> BatchHandle {
+    let (tx, rx) = bounded::<ResultBatch>(CHANNEL_DEPTH);
+    let columns: Arc<Vec<String>> = Arc::new(spec.columns.iter().map(|(n, _)| n.clone()).collect());
+    let exprs: Arc<Vec<Expr>> = Arc::new(spec.columns.iter().map(|(_, e)| e.clone()).collect());
+    let tags = env.tags.clone();
+    let sets = env.sets.clone();
+    let workers = env.workers.max(1);
+    let ticket = ticket.clone();
+    spawn_guarded(ticket.clone(), move || {
+        let Some((core, n_workers)) =
+            MatchJobCore::prepare(&tags, &sets, &spec, m, workers, ticket.clone())
+        else {
+            return;
+        };
+        let core = Arc::new(core);
+        for w in 1..n_workers {
+            let core = core.clone();
+            let exprs = exprs.clone();
+            let tx = tx.clone();
+            spawn_guarded(core.ticket.clone(), move || {
+                run_match_scan_worker(&core, &exprs, &tx, w)
+            });
+        }
+        run_match_scan_worker(&core, &exprs, &tx, 0);
+    });
+    BatchHandle { columns, rx }
+}
+
+/// One MATCH projection worker: evaluate the output expressions per
+/// pair and ship row batches (pair rows are heterogeneous expression
+/// results — the row form of the fabric, like every non-compiled path).
+fn run_match_scan_worker(core: &MatchJobCore, exprs: &[Expr], tx: &Sender<ResultBatch>, w: usize) {
+    let mut out: Vec<Row> = Vec::with_capacity(BATCH);
+    let mut aborted = false;
+    core.drain_worker(w, |pair| {
+        let mut row: Row = Vec::with_capacity(exprs.len());
+        for expr in exprs {
+            row.push(eval(expr, pair).unwrap_or(Value::Null));
+        }
+        out.push(row);
+        if out.len() >= BATCH {
+            core.ticket.note_batch(out.len());
+            if tx
+                .send(ResultBatch::Rows(std::mem::take(&mut out)))
+                .is_err()
+            {
+                aborted = true;
+                return false;
+            }
+        }
+        true
+    });
+    if !aborted && !out.is_empty() {
+        core.ticket.note_batch(out.len());
+        let _ = tx.send(ResultBatch::Rows(out));
+    }
+}
+
+/// Spawn a MATCH aggregate with in-scan folding: probe workers fold
+/// per-worker partial accumulators over the pairs they produce (the
+/// `COUNT(*)` pair-count of the paper's neighbor queries never ships a
+/// pair stream), and the coordinator merges partials into one row.
+fn spawn_match_agg_scan(
+    env: &ExecEnv,
+    spec: ScanSpec,
+    m: MatchSpec,
+    aggs: Vec<AggSpec>,
+    ticket: &Arc<TicketCore>,
+) -> BatchHandle {
+    let (tx, rx) = bounded::<ResultBatch>(CHANNEL_DEPTH);
+    let columns = Arc::new(aggs.iter().map(|a| a.name.clone()).collect::<Vec<_>>());
+    let funcs: Vec<AggFn> = aggs.iter().map(|a| a.func).collect();
+    let args: Arc<Vec<Option<Expr>>> = Arc::new(aggs.into_iter().map(|a| a.arg).collect());
+    let tags = env.tags.clone();
+    let sets = env.sets.clone();
+    let workers = env.workers.max(1);
+    let ticket = ticket.clone();
+    spawn_guarded(ticket.clone(), move || {
+        let Some((core, n_workers)) =
+            MatchJobCore::prepare(&tags, &sets, &spec, m, workers, ticket.clone())
+        else {
+            return;
+        };
+        let core = Arc::new(core);
+        let (ptx, prx) = bounded::<Vec<AggAcc>>(n_workers);
+        for w in 1..n_workers {
+            let core = core.clone();
+            let args = args.clone();
+            let funcs = funcs.clone();
+            let ptx = ptx.clone();
+            spawn_guarded(core.ticket.clone(), move || {
+                let _ = ptx.send(run_match_agg_worker(&core, &args, &funcs, w));
+            });
+        }
+        let _ = ptx.send(run_match_agg_worker(&core, &args, &funcs, 0));
+        drop(ptx);
+        let mut acc: Vec<AggAcc> = funcs.iter().map(|&f| AggAcc::new(f)).collect();
+        for partial in prx.iter() {
+            for (a, p) in acc.iter_mut().zip(partial) {
+                a.merge(p);
+            }
+        }
+        let row: Row = acc.into_iter().map(AggAcc::finish).collect();
+        ticket.note_emitted();
+        let _ = tx.send(ResultBatch::Rows(vec![row]));
+    });
+    BatchHandle { columns, rx }
+}
+
+/// One MATCH aggregate worker: fold each surviving pair straight into
+/// the partial accumulators.
+fn run_match_agg_worker(
+    core: &MatchJobCore,
+    args: &[Option<Expr>],
+    funcs: &[AggFn],
+    w: usize,
+) -> Vec<AggAcc> {
+    let mut accs: Vec<AggAcc> = funcs.iter().map(|&f| AggAcc::new(f)).collect();
+    let mut folded = 0u64;
+    core.drain_worker(w, |pair| {
+        folded += 1;
+        for (acc, arg) in accs.iter_mut().zip(args) {
+            let v = arg
+                .as_ref()
+                .and_then(|e| eval(e, pair).ok())
+                .and_then(|v| v.as_num());
+            acc.update(v);
+        }
+        true
+    });
+    // Folded pairs never ship as batches; count them into the scan
+    // totals like the in-scan aggregate over a normal scan does, so
+    // `QueryStats.scan.rows_scanned` stays comparable across shapes.
+    core.ticket.note_rows(folded);
+    accs
+}
+
+// ---------------------------------------------------------------------
+// The direct columnar INTO fast path
+// ---------------------------------------------------------------------
+
+/// Gate for the direct columnar INTO fast path: `Some(pred)` iff the
+/// scan reads a columnar source (tag partition or stored set) and its
+/// predicate (when present) compiles. The projection is irrelevant — an
+/// INTO materializes whole tag records, which the column lanes already
+/// carry.
+pub(crate) fn compile_into_scan(
+    spec: &ScanSpec,
+    tags_available: bool,
+    mode: ExecMode,
+) -> Option<Option<CompiledPredicate>> {
+    if mode != ExecMode::Auto || !columnar_source(spec, tags_available) {
+        return None;
+    }
+    match &spec.predicate {
+        None => Some(None),
+        Some(p) => compile_predicate(p).map(Some),
+    }
+}
+
+/// Drive a compiled tag/set scan straight into a materialization sink:
+/// selected rows leave the [`ColumnBatch`] lanes as owned tag records +
+/// `htm20`, with **no per-objid full-store fetch** — the direct columnar
+/// INTO fast path. The sink may error (quota enforcement) to abort the
+/// scan. Tag containers and stored sets both hold each object at most
+/// once, so the sink sees no duplicate object pointers (the property
+/// the slow path's dedup hash exists to establish for set-op streams).
+pub(crate) fn drive_into_scan(
+    tags: Option<Arc<TagStore>>,
+    sets: &HashMap<String, Arc<ResultSet>>,
+    spec: &ScanSpec,
+    pred: Option<CompiledPredicate>,
+    cover_level: Option<u8>,
+    ticket: &Arc<TicketCore>,
+    mut sink: impl FnMut(&TagObject, u64) -> Result<(), QueryError>,
+) -> Result<(), QueryError> {
+    let Some(source) = ScanSource::resolve(tags, sets, spec, cover_level, ticket) else {
+        return Err(QueryError::Exec(ticket.failure().unwrap_or_else(|| {
+            "INTO scan source resolution failed".to_string()
+        })));
+    };
+    if let Some(hit) = source.cover_cache_hit() {
+        ticket.note_cover(hit);
+    }
+    let mut scratch = BatchScratch::new();
+    let mut keep_scratch: Vec<usize> = Vec::new();
+    let mut local = RegionScan::default();
+    let mut selected = 0u64;
+    let mut morsels = 0u64;
+    let mut err: Option<QueryError> = None;
+    for m in 0..source.n_morsels() {
+        if ticket.is_cancelled() {
+            break;
+        }
+        morsels += 1;
+        let (stats, _) = source.scan_morsel(m, |batch, sel| {
+            let keep = select_rows(
+                &pred,
+                spec.sample,
+                batch,
+                sel,
+                &mut scratch,
+                &mut keep_scratch,
+            );
+            let kept = keep.count();
+            if kept > 0 {
+                selected += kept as u64;
+                ticket.note_batch(kept);
+                for i in keep.iter_set() {
+                    if let Err(e) = sink(&batch.row(i), batch.htm20[i]) {
+                        err = Some(e);
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        local.merge(&stats);
+        if err.is_some() {
+            break;
+        }
+    }
+    ticket.note_worker(WorkerScan {
+        bytes_scanned: local.bytes_scanned as u64,
+        morsels,
+        rows_selected: selected,
+    });
+    ticket.absorb_scan(&local);
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
 }
 
@@ -1222,8 +1733,7 @@ fn spawn_agg_scan(
     let workers = env.workers.max(1);
     let ticket = ticket.clone();
     spawn_guarded(ticket.clone(), move || {
-        let Some(source) = ScanSource::resolve(tags, &sets, &spec, cover_level, &ticket)
-        else {
+        let Some(source) = ScanSource::resolve(tags, &sets, &spec, cover_level, &ticket) else {
             return;
         };
         if let Some(hit) = source.cover_cache_hit() {

@@ -13,6 +13,10 @@ pub enum Tok {
     LParen,
     RParen,
     Comma,
+    /// `.` — the qualifier separator of `a.attr` / `b.attr` references
+    /// in MATCH queries (a dot followed by a digit still lexes as part
+    /// of a number).
+    Dot,
     Star,
     Plus,
     Minus,
@@ -43,23 +47,38 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, QueryError> {
         match c {
             ' ' | '\t' | '\r' | '\n' => i += 1,
             '(' => {
-                out.push(Spanned { tok: Tok::LParen, pos: i });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    pos: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { tok: Tok::RParen, pos: i });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    pos: i,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { tok: Tok::Comma, pos: i });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    pos: i,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Spanned { tok: Tok::Star, pos: i });
+                out.push(Spanned {
+                    tok: Tok::Star,
+                    pos: i,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Spanned { tok: Tok::Plus, pos: i });
+                out.push(Spanned {
+                    tok: Tok::Plus,
+                    pos: i,
+                });
                 i += 1;
             }
             '-' => {
@@ -69,42 +88,69 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, QueryError> {
                         i += 1;
                     }
                 } else {
-                    out.push(Spanned { tok: Tok::Minus, pos: i });
+                    out.push(Spanned {
+                        tok: Tok::Minus,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             '/' => {
-                out.push(Spanned { tok: Tok::Slash, pos: i });
+                out.push(Spanned {
+                    tok: Tok::Slash,
+                    pos: i,
+                });
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { tok: Tok::Le, pos: i });
+                    out.push(Spanned {
+                        tok: Tok::Le,
+                        pos: i,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Spanned { tok: Tok::Ne, pos: i });
+                    out.push(Spanned {
+                        tok: Tok::Ne,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { tok: Tok::Lt, pos: i });
+                    out.push(Spanned {
+                        tok: Tok::Lt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { tok: Tok::Ge, pos: i });
+                    out.push(Spanned {
+                        tok: Tok::Ge,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { tok: Tok::Gt, pos: i });
+                    out.push(Spanned {
+                        tok: Tok::Gt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             '=' => {
-                out.push(Spanned { tok: Tok::Eq, pos: i });
+                out.push(Spanned {
+                    tok: Tok::Eq,
+                    pos: i,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { tok: Tok::Ne, pos: i });
+                    out.push(Spanned {
+                        tok: Tok::Ne,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
                     return Err(QueryError::Lex {
@@ -123,8 +169,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, QueryError> {
                 let text = &input[digits_start..i];
                 let n: usize = text.parse().map_err(|_| QueryError::Lex {
                     pos: start,
-                    message: "'$' must be followed by a parameter number ($1, $2, ...)"
-                        .to_string(),
+                    message: "'$' must be followed by a parameter number ($1, $2, ...)".to_string(),
                 })?;
                 if n == 0 {
                     return Err(QueryError::Lex {
@@ -167,6 +212,14 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, QueryError> {
                 });
             }
             '0'..='9' | '.' => {
+                if c == '.' && !bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    out.push(Spanned {
+                        tok: Tok::Dot,
+                        pos: i,
+                    });
+                    i += 1;
+                    continue;
+                }
                 let start = i;
                 while i < bytes.len()
                     && (bytes[i].is_ascii_digit()
@@ -282,11 +335,7 @@ mod tests {
     fn strings_and_escapes() {
         assert_eq!(
             toks("'GALAXY' 'it''s'"),
-            vec![
-                Tok::Str("GALAXY".into()),
-                Tok::Str("it's".into()),
-                Tok::Eof
-            ]
+            vec![Tok::Str("GALAXY".into()), Tok::Str("it's".into()), Tok::Eof]
         );
     }
 

@@ -25,7 +25,18 @@
 //!   it through the *same* compiled-predicate + morsel-parallel worker
 //!   path as a tag scan (one morsel per materialized chunk). Sessions
 //!   are isolated namespaces with byte/set quotas and accumulated
-//!   [`SessionStats`].
+//!   [`SessionStats`]. Tag- and set-routed `INTO` statements take the
+//!   **direct columnar fast path**: whole tag records project straight
+//!   out of the scan's column lanes into the set builder — no per-objid
+//!   full-store fetch — an order of magnitude faster materialization.
+//! * `MATCH(a, b, radius_arcsec)` — stored sets are **joinable**: the
+//!   cross-match source yields every ordered pair within the radius
+//!   (set-vs-set or set-vs-archive), exposing `a.<attr>` / `b.<attr>`
+//!   and the `sep_arcsec` pseudo-column. The join runs morsel-parallel
+//!   over the probe side against a zone-partitioned (HTM-bucketed)
+//!   build index — the paper's "find objects near other objects" /
+//!   gravitational-lens queries as a first-class query source, and
+//!   `MATCH ... INTO pairs` materializes the result under quotas.
 //! * [`Archive::prepare`] / [`Session::prepare`] → [`Prepared`] —
 //!   parse/plan split from execution: inspect the plan, read the
 //!   plan-time [`CostEstimate`] (rows / bytes / containers — exact for
@@ -76,6 +87,18 @@
 //! let stats = session.run("SELECT COUNT(*), AVG(r) FROM cand")?;
 //! assert_eq!(stats.rows.len(), 1);
 //! assert!(refined.rows.len() <= session.set_info("cand").unwrap().rows);
+//!
+//! // Cross-identification in the same session: gravitational-lens
+//! // candidates are bright pairs within a few arcseconds — select the
+//! // candidates once, then join the set against itself.
+//! session.run("SELECT objid INTO bright FROM photoobj WHERE r < 20")?;
+//! let pairs = session.run(
+//!     "SELECT a.objid, b.objid, sep_arcsec FROM MATCH(bright, bright, 3) \
+//!      WHERE a.objid < b.objid",
+//! )?;
+//! let n = session.run("SELECT COUNT(*) FROM MATCH(bright, bright, 3)")?;
+//! // Ordered-pair semantics: COUNT sees both orderings of each pair.
+//! assert_eq!(n.rows[0][0].as_num().unwrap() as usize, 2 * pairs.rows.len());
 //! # Ok::<(), sdss_query::QueryError>(())
 //! ```
 //!
@@ -83,12 +106,14 @@
 //!
 //! * [`ast`] / [`lexer`] / [`parser`] — a small SQL-ish surface language
 //!   with spatial predicates (`CIRCLE`, `RECT`, `BAND`), set operators
-//!   (`UNION` / `INTERSECT` / `EXCEPT`), `$N` parameters, and `INTO` /
-//!   stored-set `FROM` sources
+//!   (`UNION` / `INTERSECT` / `EXCEPT`), `$N` parameters, `INTO` /
+//!   stored-set `FROM` sources, and the `MATCH(a, b, radius)` join
+//!   source with `a.`/`b.`-qualified projections
 //! * [`plan`] — the QET itself, built from the AST; [`QuerySource`]
-//!   routes each scan leaf (full store / tag partition / stored set);
-//!   spatial predicates compile to HTM covers for the base stores and
-//!   stay row-wise for sets; parameters bind per execution
+//!   routes each scan leaf (full store / tag partition / stored set /
+//!   cross-match join); spatial predicates compile to HTM covers for the
+//!   base stores and stay row-wise for sets and pairs; parameters bind
+//!   per execution
 //! * [`compile`] — predicate/projection compilation to register bytecode
 //!   evaluated over column batches (the E5 hot path, shared by tag
 //!   containers and stored-set chunks)
@@ -128,10 +153,8 @@ pub use compile::{
     compile_agg_inputs, compile_predicate, compile_projection, BatchScratch, CompiledAggInputs,
     CompiledPredicate, CompiledProjection,
 };
-pub use exec::{
-    ColumnData, ColumnarBatch, ExecMode, ResultBatch, Row, ScanTotals, WorkerScan,
-};
-pub use plan::{plans_built, PlanNode, QueryPlan, QuerySource};
+pub use exec::{ColumnData, ColumnarBatch, ExecMode, ResultBatch, Row, ScanTotals, WorkerScan};
+pub use plan::{plans_built, MatchInput, MatchSpec, PlanNode, QueryPlan, QuerySource};
 pub use session::{Session, SessionConfig, SessionInfo, SessionStats, StoredSetInfo};
 
 /// Errors produced by the query crate.

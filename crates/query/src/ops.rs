@@ -19,9 +19,35 @@ pub const TAG_ATTRS: [&str; 17] = [
 
 /// All attributes of the full photometric object exposed to queries.
 pub const FULL_ATTRS: [&str; 29] = [
-    "objid", "ra", "dec", "cx", "cy", "cz", "u", "g", "r", "i", "z", "ug", "gr", "ri", "iz",
-    "size", "class", "run", "camcol", "field", "mjd", "ra_err", "dec_err", "psf_r", "petro_r50_r",
-    "sb_r", "extinction_r", "spectro_target", "parent",
+    "objid",
+    "ra",
+    "dec",
+    "cx",
+    "cy",
+    "cz",
+    "u",
+    "g",
+    "r",
+    "i",
+    "z",
+    "ug",
+    "gr",
+    "ri",
+    "iz",
+    "size",
+    "class",
+    "run",
+    "camcol",
+    "field",
+    "mjd",
+    "ra_err",
+    "dec_err",
+    "psf_r",
+    "petro_r50_r",
+    "sb_r",
+    "extinction_r",
+    "spectro_target",
+    "parent",
 ];
 
 /// The scalar function table: canonical (upper-case) name and arity.
@@ -29,8 +55,8 @@ pub const FULL_ATTRS: [&str; 29] = [
 /// planner rewrites every call to the canonical name at plan time so
 /// per-row evaluation never pays `to_ascii_uppercase`.
 const FUNCTIONS: &[(&str, usize)] = &[
-    ("DIST", 2),      // DIST(ra, dec) → degrees to that point
-    ("FRAMELAT", 1),  // FRAMELAT('GALACTIC') → latitude in frame
+    ("DIST", 2),     // DIST(ra, dec) → degrees to that point
+    ("FRAMELAT", 1), // FRAMELAT('GALACTIC') → latitude in frame
     ("FRAMELON", 1),
     ("COLORDIST", 4), // COLORDIST(ug, gr, ri, iz) → color-space distance
     ("ABS", 1),
@@ -44,6 +70,16 @@ pub fn canonical_function_name(name: &str) -> Option<&'static str> {
         .iter()
         .find(|(n, _)| n.eq_ignore_ascii_case(name))
         .map(|&(n, _)| n)
+}
+
+/// Does a scalar function implicitly read *any* unqualified attribute
+/// of its row (position or colors)? Such functions cannot bind to one
+/// side of a MATCH pair and are rejected over pair sources.
+pub fn function_reads_implicit_attrs(name: &str) -> bool {
+    matches!(
+        canonical_function_name(name),
+        Some("DIST" | "FRAMELAT" | "FRAMELON" | "COLORDIST")
+    )
 }
 
 /// Does a scalar function read the object position implicitly?
@@ -226,9 +262,9 @@ fn eval_bin<S: AttrSource>(op: BinOp, a: &Expr, b: &Expr, src: &S) -> Result<Val
                 },
                 _ => None,
             };
-            result.map(Value::Bool).ok_or_else(|| {
-                QueryError::Type(format!("cannot compare {av:?} with {bv:?}"))
-            })
+            result
+                .map(Value::Bool)
+                .ok_or_else(|| QueryError::Type(format!("cannot compare {av:?} with {bv:?}")))
         }
     }
 }
@@ -251,8 +287,8 @@ fn eval_call<S: AttrSource>(name: &str, args: &[Expr], src: &S) -> Result<Value,
     // Resolve to the canonical static spelling (planned queries arrive
     // pre-normalized; direct `eval` callers may pass any case) — no
     // per-row string allocation either way.
-    let name = canonical_function_name(name)
-        .ok_or_else(|| QueryError::Unknown(name.to_string()))?;
+    let name =
+        canonical_function_name(name).ok_or_else(|| QueryError::Unknown(name.to_string()))?;
     let arity = function_arity(name).expect("canonical names have arities");
     if args.len() != arity {
         return Err(QueryError::Type(format!(
@@ -296,10 +332,18 @@ fn eval_call<S: AttrSource>(name: &str, args: &[Expr], src: &S) -> Result<Value,
                 num(eval(&args[3], src)?)?,
             ];
             let mine = [
-                num(src.attr("ug").ok_or_else(|| QueryError::Unknown("ug".into()))?)?,
-                num(src.attr("gr").ok_or_else(|| QueryError::Unknown("gr".into()))?)?,
-                num(src.attr("ri").ok_or_else(|| QueryError::Unknown("ri".into()))?)?,
-                num(src.attr("iz").ok_or_else(|| QueryError::Unknown("iz".into()))?)?,
+                num(src
+                    .attr("ug")
+                    .ok_or_else(|| QueryError::Unknown("ug".into()))?)?,
+                num(src
+                    .attr("gr")
+                    .ok_or_else(|| QueryError::Unknown("gr".into()))?)?,
+                num(src
+                    .attr("ri")
+                    .ok_or_else(|| QueryError::Unknown("ri".into()))?)?,
+                num(src
+                    .attr("iz")
+                    .ok_or_else(|| QueryError::Unknown("iz".into()))?)?,
             ];
             let d2: f64 = refs
                 .iter()

@@ -5,9 +5,10 @@
 //! ```text
 //! statement  := query [INTO ident]                             -- parse_statement
 //! query      := select ( (UNION|INTERSECT|EXCEPT) select )*   -- left assoc
-//! select     := SELECT items [INTO ident] FROM ident [WHERE expr]
+//! select     := SELECT items [INTO ident] FROM source [WHERE expr]
 //!               [ORDER BY ident [ASC|DESC]] [LIMIT num] [SAMPLE num]
 //!             | '(' query ')'
+//! source     := ident | MATCH '(' ident ',' ident ',' num ')'
 //! items      := '*' | item (',' item)*
 //! item       := agg '(' ('*'|expr) ')' | expr [AS ident]
 //! expr       := or ;  or := and (OR and)* ;  and := not (AND not)*
@@ -15,13 +16,19 @@
 //! cmp        := sum ((<|<=|>|>=|=|!=) sum | BETWEEN sum AND sum)?
 //! sum        := prod ((+|-) prod)* ;  prod := unary ((*|/) unary)*
 //! unary      := '-' unary | atom
-//! atom       := num | str | ident | ident '(' args ')' | '(' expr ')'
+//! atom       := num | str | attr | ident '(' args ')' | '(' expr ')'
+//! attr       := ident | ident '.' ident        -- a.objid over MATCH
 //! ```
 //!
 //! `CIRCLE`, `RECT` and `BAND` calls in predicate position become
-//! [`SpatialPred`]s; `TRUE`/`FALSE` literals are accepted.
+//! [`SpatialPred`]s; `TRUE`/`FALSE` literals are accepted. A MATCH
+//! source joins two tables / stored sets by angular proximity (radius
+//! in arcseconds); its rows expose `a.`/`b.`-qualified tag attributes
+//! and the `sep_arcsec` pseudo-column.
 
-use crate::ast::{AggFn, BinOp, Expr, Query, SelectItem, SelectStmt, SetOp, SpatialPred, UnOp, Value};
+use crate::ast::{
+    AggFn, BinOp, Expr, Query, SelectItem, SelectStmt, SetOp, SpatialPred, TableSource, UnOp, Value,
+};
 use crate::lexer::{lex, Spanned, Tok};
 use crate::QueryError;
 
@@ -190,7 +197,7 @@ impl Parser {
             None
         };
         self.expect_kw("FROM")?;
-        let table = self.ident()?.to_ascii_lowercase();
+        let table = self.table_source()?;
         let predicate = if self.eat_kw("WHERE") {
             Some(self.expr()?)
         } else {
@@ -198,7 +205,19 @@ impl Parser {
         };
         let order_by = if self.eat_kw("ORDER") {
             self.expect_kw("BY")?;
-            let col = self.ident()?;
+            // Accept the qualified form too (`ORDER BY a.objid` over a
+            // MATCH source), mirroring the atom parser's lower-casing so
+            // the key matches the projected column name.
+            let mut col = self.ident()?;
+            if *self.peek() == Tok::Dot {
+                self.bump();
+                let field = self.ident()?;
+                col = format!(
+                    "{}.{}",
+                    col.to_ascii_lowercase(),
+                    field.to_ascii_lowercase()
+                );
+            }
             let desc = if self.eat_kw("DESC") {
                 true
             } else {
@@ -236,6 +255,35 @@ impl Parser {
             limit,
             sample,
         })
+    }
+
+    /// The FROM clause: a table name, or `MATCH(a, b, radius_arcsec)` —
+    /// the cross-match join source over two tables / stored sets.
+    fn table_source(&mut self) -> Result<TableSource, QueryError> {
+        if self.at_kw("MATCH") && self.toks.get(self.at + 1).map(|s| &s.tok) == Some(&Tok::LParen) {
+            self.bump(); // MATCH
+            self.bump(); // (
+            let a = self.ident()?.to_ascii_lowercase();
+            self.expect_tok(Tok::Comma, ",")?;
+            let b = self.ident()?.to_ascii_lowercase();
+            self.expect_tok(Tok::Comma, ",")?;
+            let radius_arcsec = self.number()?;
+            self.expect_tok(Tok::RParen, ")")?;
+            if !radius_arcsec.is_finite() || radius_arcsec <= 0.0 {
+                return self.err("MATCH radius must be a positive number of arcseconds");
+            }
+            // A match cap cannot exceed the sphere: reject statically
+            // rather than after the build side has been collected.
+            if radius_arcsec > 180.0 * 3600.0 {
+                return self.err("MATCH radius exceeds 180 degrees (648000 arcseconds)");
+            }
+            return Ok(TableSource::Match {
+                a,
+                b,
+                radius_arcsec,
+            });
+        }
+        Ok(TableSource::Named(self.ident()?.to_ascii_lowercase()))
     }
 
     fn select_items(&mut self) -> Result<Vec<SelectItem>, QueryError> {
@@ -433,6 +481,17 @@ impl Parser {
                     return Ok(Expr::Lit(Value::Bool(false)));
                 }
                 self.bump();
+                // `a.objid` — a qualified attribute of a MATCH source
+                // (validated against the join sides at plan time).
+                if *self.peek() == Tok::Dot {
+                    self.bump();
+                    let field = self.ident()?;
+                    return Ok(Expr::Attr(format!(
+                        "{}.{}",
+                        name.to_ascii_lowercase(),
+                        field.to_ascii_lowercase()
+                    )));
+                }
                 if *self.peek() == Tok::LParen {
                     self.bump();
                     let mut args = Vec::new();
@@ -529,7 +588,7 @@ mod tests {
         match q {
             Query::Select(s) => {
                 assert_eq!(s.items.len(), 2);
-                assert_eq!(s.table, "photoobj");
+                assert_eq!(s.table.named(), Some("photoobj"));
                 assert!(s.predicate.is_none());
             }
             _ => panic!("expected select"),
@@ -661,7 +720,11 @@ mod tests {
         let q = parse("SELECT ra FROM photoobj WHERE BAND('GALACTIC', -10, 10)").unwrap();
         let Query::Select(s) = q else { panic!() };
         match s.predicate.unwrap() {
-            Expr::Spatial(SpatialPred::Band { frame, lat_lo, lat_hi }) => {
+            Expr::Spatial(SpatialPred::Band {
+                frame,
+                lat_lo,
+                lat_hi,
+            }) => {
                 assert_eq!(frame, "GALACTIC");
                 assert_eq!((lat_lo, lat_hi), (-10.0, 10.0));
             }
@@ -695,7 +758,7 @@ mod tests {
         let q = parse("SELECT objid, r INTO Bright FROM photoobj WHERE r < 20").unwrap();
         let Query::Select(s) = q else { panic!() };
         assert_eq!(s.into.as_deref(), Some("bright"), "names lower-cased");
-        assert_eq!(s.table, "photoobj");
+        assert_eq!(s.table.named(), Some("photoobj"));
 
         // Trailing position (statement level) — works for set ops too.
         let (q, into) = parse_statement(
@@ -716,8 +779,56 @@ mod tests {
     fn stored_set_sources_parse_as_tables() {
         let q = parse("SELECT objid, r FROM MySet WHERE r < 20").unwrap();
         let Query::Select(s) = q else { panic!() };
-        assert_eq!(s.table, "myset");
+        assert_eq!(s.table.named(), Some("myset"));
         assert!(s.into.is_none());
+    }
+
+    #[test]
+    fn match_source_and_qualified_attrs() {
+        let q = parse(
+            "SELECT a.objid, b.R, sep_arcsec FROM MATCH(Bright, photoobj, 3.5) \
+             WHERE a.objid < b.objid",
+        )
+        .unwrap();
+        let Query::Select(s) = q else { panic!() };
+        assert_eq!(
+            s.table,
+            TableSource::Match {
+                a: "bright".into(),
+                b: "photoobj".into(),
+                radius_arcsec: 3.5
+            }
+        );
+        match &s.items[0] {
+            SelectItem::Expr {
+                expr: Expr::Attr(a),
+                name,
+            } => {
+                assert_eq!(a, "a.objid");
+                assert_eq!(
+                    name, "a.objid",
+                    "qualified default names keep the qualifier"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        match &s.items[1] {
+            SelectItem::Expr {
+                expr: Expr::Attr(a),
+                ..
+            } => assert_eq!(a, "b.r", "qualified attrs lower-case"),
+            other => panic!("{other:?}"),
+        }
+        // Bad shapes are parse errors.
+        assert!(parse("SELECT a.objid FROM MATCH(x, y, 0)").is_err());
+        assert!(parse("SELECT a.objid FROM MATCH(x, y, -2)").is_err());
+        assert!(parse("SELECT a.objid FROM MATCH(x, y)").is_err());
+        assert!(parse("SELECT a.objid FROM MATCH(x, 3)").is_err());
+        assert!(parse("SELECT a. FROM MATCH(x, y, 1)").is_err());
+        // `match` without parens is still an ordinary table name.
+        let q = parse("SELECT objid FROM match").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        assert_eq!(s.table.named(), Some("match"));
     }
 
     #[test]

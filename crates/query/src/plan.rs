@@ -11,9 +11,7 @@
 //! 3. **Tree shaping** — set operations become internal QET nodes; sort /
 //!    aggregate / limit stack on top of scans.
 
-use crate::ast::{
-    AggFn, Expr, Query, SelectItem, SelectStmt, SetOp, SpatialPred,
-};
+use crate::ast::{AggFn, Expr, Query, SelectItem, SelectStmt, SetOp, SpatialPred, TableSource};
 use crate::ops::{function_arity, FULL_ATTRS, TAG_ATTRS};
 use crate::QueryError;
 use sdss_htm::{Domain, Region};
@@ -28,10 +26,42 @@ pub fn plans_built() -> u64 {
     PLANS_BUILT.load(Ordering::Relaxed)
 }
 
+/// One side of a `MATCH(a, b, radius)` cross-match join: the base
+/// archive (its tag partition) or a stored session set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchInput {
+    /// The tag vertical partition of the base archive (`photoobj`/`tag`).
+    Archive,
+    /// A named stored set, resolved against the session's pinned
+    /// snapshot at prepare time.
+    Set(String),
+}
+
+impl MatchInput {
+    fn label(&self) -> String {
+        match self {
+            MatchInput::Archive => "archive".to_string(),
+            MatchInput::Set(name) => format!("set:{name}"),
+        }
+    }
+}
+
+/// The `MATCH(a, b, radius_arcsec)` join description carried by a scan
+/// leaf: probe side `a` (one morsel per chunk/container), build side `b`
+/// (zone-partitioned into an HTM bucket index), and the match radius.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchSpec {
+    /// Probe side — its chunks become the scan morsels.
+    pub a: MatchInput,
+    /// Build side — zone-indexed in memory before probing starts.
+    pub b: MatchInput,
+    pub radius_arcsec: f64,
+}
+
 /// Where a scan leaf reads its rows from. Replaces the old implicit
 /// tags-vs-full-store routing flag: a query source is now first-class,
 /// and stored session sets sit beside the base stores as equal citizens.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum QuerySource {
     /// The ~1.2 KB full photometric objects.
     Full,
@@ -41,6 +71,11 @@ pub enum QuerySource {
     /// (resolved to a pinned snapshot at prepare time). Tag-shaped:
     /// exposes exactly the tag attributes, scans columnar.
     Set(String),
+    /// A `MATCH(a, b, radius)` cross-match join: rows are the ordered
+    /// pairs within the radius, exposing `a.<attr>` / `b.<attr>` plus
+    /// `sep_arcsec`. Executes morsel-parallel over the probe side
+    /// against the zone-partitioned build side.
+    Match(MatchSpec),
 }
 
 impl QuerySource {
@@ -50,6 +85,12 @@ impl QuerySource {
             QuerySource::Full => "full".to_string(),
             QuerySource::Tag => "tag".to_string(),
             QuerySource::Set(name) => format!("set:{name}"),
+            QuerySource::Match(m) => format!(
+                "match:{}~{}@{}\"",
+                m.a.label(),
+                m.b.label(),
+                m.radius_arcsec
+            ),
         }
     }
 }
@@ -89,7 +130,10 @@ pub enum PlanNode {
         desc: bool,
     },
     /// Streaming row-count cutoff.
-    Limit { child: Box<PlanNode>, n: usize },
+    Limit {
+        child: Box<PlanNode>,
+        n: usize,
+    },
     /// Blocking aggregation (one output row).
     Aggregate {
         child: Box<PlanNode>,
@@ -120,15 +164,24 @@ impl PlanNode {
     pub fn max_param(&self) -> usize {
         fn scan_max(s: &ScanSpec) -> usize {
             let p = s.predicate.as_ref().map_or(0, Expr::max_param);
-            let c = s.columns.iter().map(|(_, e)| e.max_param()).max().unwrap_or(0);
+            let c = s
+                .columns
+                .iter()
+                .map(|(_, e)| e.max_param())
+                .max()
+                .unwrap_or(0);
             p.max(c)
         }
         match self {
             PlanNode::Scan(s) => scan_max(s),
             PlanNode::Sort { child, .. } | PlanNode::Limit { child, .. } => child.max_param(),
-            PlanNode::Aggregate { child, aggs } => child
-                .max_param()
-                .max(aggs.iter().filter_map(|a| a.arg.as_ref()).map(Expr::max_param).max().unwrap_or(0)),
+            PlanNode::Aggregate { child, aggs } => child.max_param().max(
+                aggs.iter()
+                    .filter_map(|a| a.arg.as_ref())
+                    .map(Expr::max_param)
+                    .max()
+                    .unwrap_or(0),
+            ),
             PlanNode::Set { left, right, .. } => left.max_param().max(right.max_param()),
         }
     }
@@ -187,15 +240,24 @@ impl PlanNode {
     /// Names of every stored set this tree scans (deduplicated) — what
     /// a session prepare needs to pin, and nothing more.
     pub fn referenced_sets(&self) -> Vec<&str> {
+        fn push<'a>(name: &'a str, out: &mut Vec<&'a str>) {
+            if !out.contains(&name) {
+                out.push(name);
+            }
+        }
         fn walk<'a>(node: &'a PlanNode, out: &mut Vec<&'a str>) {
             match node {
-                PlanNode::Scan(s) => {
-                    if let QuerySource::Set(name) = &s.source {
-                        if !out.contains(&name.as_str()) {
-                            out.push(name);
+                PlanNode::Scan(s) => match &s.source {
+                    QuerySource::Set(name) => push(name, out),
+                    QuerySource::Match(m) => {
+                        for input in [&m.a, &m.b] {
+                            if let MatchInput::Set(name) = input {
+                                push(name, out);
+                            }
                         }
                     }
-                }
+                    QuerySource::Full | QuerySource::Tag => {}
+                },
                 PlanNode::Sort { child, .. }
                 | PlanNode::Limit { child, .. }
                 | PlanNode::Aggregate { child, .. } => walk(child, out),
@@ -291,6 +353,16 @@ impl QueryPlan {
     }
 }
 
+/// The column an `INTO` materialization treats as the object pointer:
+/// `objid`, or — for MATCH sources, whose natural projections are
+/// qualified — `a.objid` / `b.objid` (first present wins). Also used by
+/// the session writer sink to locate the pointer at fold time.
+pub fn pointer_column(columns: &[String]) -> Option<usize> {
+    ["objid", "a.objid", "b.objid"]
+        .iter()
+        .find_map(|want| columns.iter().position(|c| c == want))
+}
+
 /// INTO targets must be legal set names and the materialized rows must
 /// carry the object pointer (a stored set is a bag of tagged objects).
 fn validate_into(name: &str, root: &PlanNode) -> Result<(), QueryError> {
@@ -299,10 +371,10 @@ fn validate_into(name: &str, root: &PlanNode) -> Result<(), QueryError> {
             "INTO {name}: the base catalog names are reserved"
         )));
     }
-    if !root.columns().iter().any(|c| c == "objid") {
+    if pointer_column(&root.columns()).is_none() {
         return Err(QueryError::Type(
-            "INTO requires objid in the select list (stored sets are \
-             bags of object pointers)"
+            "INTO requires objid (or a.objid / b.objid for MATCH) in the \
+             select list (stored sets are bags of object pointers)"
                 .to_string(),
         ));
     }
@@ -372,17 +444,48 @@ fn plan_query(query: &Query, tags_available: bool) -> Result<PlanNode, QueryErro
 }
 
 fn plan_select(s: &SelectStmt, tags_available: bool) -> Result<PlanNode, QueryError> {
-    // Any table name other than the two base catalogs is a stored-set
-    // reference, resolved against the session workspace at prepare time.
-    let set_source = s.table != "photoobj" && s.table != "tag";
+    // Resolve the FROM clause. A MATCH source names two inputs (archive
+    // or stored set); any other table name besides the two base catalogs
+    // is a stored-set reference, resolved against the session workspace
+    // at prepare time.
+    let match_spec: Option<MatchSpec> = match &s.table {
+        TableSource::Match {
+            a,
+            b,
+            radius_arcsec,
+        } => {
+            let resolve = |n: &str| {
+                if n == "photoobj" || n == "tag" {
+                    MatchInput::Archive
+                } else {
+                    MatchInput::Set(n.to_string())
+                }
+            };
+            let (ma, mb) = (resolve(a), resolve(b));
+            if !tags_available && (ma == MatchInput::Archive || mb == MatchInput::Archive) {
+                return Err(QueryError::Type(
+                    "MATCH against the archive requires the tag store".to_string(),
+                ));
+            }
+            Some(MatchSpec {
+                a: ma,
+                b: mb,
+                radius_arcsec: *radius_arcsec,
+            })
+        }
+        TableSource::Named(_) => None,
+    };
+    let table_name = s.table.named().unwrap_or("MATCH");
+    let set_source = match_spec.is_none() && table_name != "photoobj" && table_name != "tag";
 
     // --- split the predicate into spatial conjuncts and the residual ---
     // Stored sets have no HTM container clustering to cover, so their
     // spatial factors stay in the residual predicate and evaluate
     // row-wise (compiled `SpatialMask` on the columnar path, geometry in
-    // the interpreter otherwise).
+    // the interpreter otherwise). MATCH pair predicates are inherently
+    // row-wise too: the join itself is the spatial restriction.
     let (domain, residual) = match &s.predicate {
-        Some(p) if !set_source => extract_spatial(p)?,
+        Some(p) if !set_source && match_spec.is_none() => extract_spatial(p)?,
         Some(p) => (None, Some(p.clone())),
         None => (None, None),
     };
@@ -400,6 +503,13 @@ fn plan_select(s: &SelectStmt, tags_available: bool) -> Result<PlanNode, QueryEr
     for item in &s.items {
         match item {
             SelectItem::Star => {
+                if match_spec.is_some() {
+                    return Err(QueryError::Type(
+                        "SELECT * is ambiguous over a MATCH source; project \
+                         a.<attr> / b.<attr> explicitly"
+                            .to_string(),
+                    ));
+                }
                 for a in TAG_ATTRS {
                     columns.push((a.to_string(), Expr::Attr(a.to_string())));
                 }
@@ -440,26 +550,102 @@ fn plan_select(s: &SelectStmt, tags_available: bool) -> Result<PlanNode, QueryEr
     if let Some(p) = &residual {
         p.attrs_ref(&mut attrs);
     }
-    if let Some((key, _)) = &s.order_by {
-        // Order key must be an output column, not a table attribute.
-        let key_is_output = columns.iter().any(|(n, _)| n == key)
-            || aggs.iter().any(|a| &a.name == key);
-        if !key_is_output {
-            return Err(QueryError::Unknown(format!("ORDER BY column {key}")));
+    // Order key must be an output column, not a table attribute. The
+    // match is case-insensitive (identifiers are, everywhere else in
+    // the language) and canonicalizes to the projected column's actual
+    // name so execution's by-name key lookup always hits.
+    let order_by = match &s.order_by {
+        Some((key, desc)) => {
+            let canonical = columns
+                .iter()
+                .map(|(n, _)| n)
+                .chain(aggs.iter().map(|a| &a.name))
+                .find(|n| n.eq_ignore_ascii_case(key));
+            match canonical {
+                Some(name) => Some((name.clone(), *desc)),
+                None => return Err(QueryError::Unknown(format!("ORDER BY column {key}"))),
+            }
         }
+        None => None,
+    };
+    if match_spec.is_some() {
+        // MATCH rows are pairs: every attribute must be qualified to a
+        // join side (and name a tag attribute — both inputs are
+        // tag-shaped) or be the separation pseudo-column.
+        for a in &attrs {
+            let ok = *a == "sep_arcsec"
+                || a.strip_prefix("a.")
+                    .or_else(|| a.strip_prefix("b."))
+                    .is_some_and(|base| TAG_ATTRS.contains(&base));
+            if !ok {
+                return Err(QueryError::Unknown(format!(
+                    "attribute {a} in a MATCH query (project a.<tag attr>, \
+                     b.<tag attr> or sep_arcsec)"
+                )));
+            }
+        }
+        // Spatial predicates and implicit-attribute functions (DIST,
+        // FRAMELAT, COLORDIST, ...) are as ambiguous over a pair as an
+        // unqualified attribute: they would silently bind one side
+        // only (or error per pair), so they are rejected rather than
+        // mis-answered.
+        fn no_rowwise_geometry(e: &Expr) -> Result<(), QueryError> {
+            match e {
+                Expr::Spatial(_) => Err(QueryError::Type(
+                    "spatial predicates are ambiguous over a MATCH source \
+                     (restrict the inputs before joining, or filter on \
+                     a./b. attributes and sep_arcsec)"
+                        .to_string(),
+                )),
+                Expr::Unary(_, a) => no_rowwise_geometry(a),
+                Expr::Bin(_, a, b) => {
+                    no_rowwise_geometry(a)?;
+                    no_rowwise_geometry(b)
+                }
+                Expr::Between(a, b, c) => {
+                    no_rowwise_geometry(a)?;
+                    no_rowwise_geometry(b)?;
+                    no_rowwise_geometry(c)
+                }
+                Expr::Call(name, args) => {
+                    if crate::ops::function_reads_implicit_attrs(name) {
+                        return Err(QueryError::Type(format!(
+                            "{name} reads unqualified row attributes and is \
+                             ambiguous over a MATCH source"
+                        )));
+                    }
+                    args.iter().try_for_each(no_rowwise_geometry)
+                }
+                Expr::Attr(_) | Expr::Lit(_) | Expr::Param(_) => Ok(()),
+            }
+        }
+        if let Some(p) = &residual {
+            no_rowwise_geometry(p)?;
+        }
+        for (_, e) in &columns {
+            no_rowwise_geometry(e)?;
+        }
+        for a in &aggs {
+            if let Some(e) = &a.arg {
+                no_rowwise_geometry(e)?;
+            }
+        }
+        validate_functions(&columns, &aggs, &residual)?;
+    } else {
+        validate_names(&attrs, &columns, &aggs, &residual)?;
     }
-    validate_names(&attrs, &columns, &aggs, &residual)?;
 
-    let force_tag = s.table == "tag";
+    let force_tag = table_name == "tag";
     let tag_ok = attrs.iter().all(|a| TAG_ATTRS.contains(a));
-    if (force_tag || set_source) && !tag_ok {
+    if (force_tag || set_source) && !tag_ok && match_spec.is_none() {
         return Err(QueryError::Type(format!(
-            "query against `{}` uses attributes outside the tag record",
-            s.table
+            "query against `{table_name}` uses attributes outside the tag record"
         )));
     }
-    let source = if set_source {
-        QuerySource::Set(s.table.clone())
+    let source = if let Some(m) = match_spec {
+        QuerySource::Match(m)
+    } else if set_source {
+        QuerySource::Set(table_name.to_string())
     } else if (force_tag || tag_ok) && tags_available {
         QuerySource::Tag
     } else {
@@ -492,11 +678,11 @@ fn plan_select(s: &SelectStmt, tags_available: bool) -> Result<PlanNode, QueryEr
             aggs,
         };
     }
-    if let Some((key, desc)) = &s.order_by {
+    if let Some((key, desc)) = order_by {
         node = PlanNode::Sort {
             child: Box::new(node),
-            key: key.clone(),
-            desc: *desc,
+            key,
+            desc,
         };
     }
     if let Some(n) = s.limit {
@@ -520,7 +706,17 @@ fn validate_names(
             return Err(QueryError::Unknown(format!("attribute {a}")));
         }
     }
-    // Check function names/arities recursively.
+    validate_functions(columns, aggs, residual)
+}
+
+/// Check function names/arities recursively across every expression of
+/// the select (shared by named-table and MATCH validation — MATCH does
+/// its own attribute checks but functions resolve identically).
+fn validate_functions(
+    columns: &[(String, Expr)],
+    aggs: &[AggSpec],
+    residual: &Option<Expr>,
+) -> Result<(), QueryError> {
     fn check(e: &Expr) -> Result<(), QueryError> {
         match e {
             Expr::Call(name, args) => {
@@ -585,9 +781,9 @@ fn extract_spatial(pred: &Expr) -> Result<(Option<Domain>, Option<Expr>), QueryE
             other => residual.push(other),
         }
     }
-    let residual = residual.into_iter().reduce(|a, b| {
-        Expr::Bin(crate::ast::BinOp::And, Box::new(a), Box::new(b))
-    });
+    let residual = residual
+        .into_iter()
+        .reduce(|a, b| Expr::Bin(crate::ast::BinOp::And, Box::new(a), Box::new(b)));
     Ok((domain, residual))
 }
 
@@ -656,7 +852,7 @@ mod tests {
     }
 
     #[test]
-    fn no_tag_store_forces_full(){
+    fn no_tag_store_forces_full() {
         let p = plan(&parse("SELECT ra FROM photoobj").unwrap(), false).unwrap();
         match &p.root {
             PlanNode::Scan(s) => assert_eq!(s.source, QuerySource::Full),
@@ -668,8 +864,8 @@ mod tests {
     fn stored_set_sources_resolve_and_keep_spatial_rowwise() {
         // An unknown table name is a stored-set reference; its spatial
         // factors stay in the residual (sets have no cover to extract).
-        let p = plan_sql("SELECT objid, r FROM bright WHERE CIRCLE(185, 15, 1) AND r < 20")
-            .unwrap();
+        let p =
+            plan_sql("SELECT objid, r FROM bright WHERE CIRCLE(185, 15, 1) AND r < 20").unwrap();
         match &p.root {
             PlanNode::Scan(s) => {
                 assert_eq!(s.source, QuerySource::Set("bright".to_string()));
@@ -713,15 +909,13 @@ mod tests {
         assert!(plan_sql("SELECT objid INTO photoobj FROM tag").is_err());
         // INTO buried in a set-op branch is rejected with a pointer to
         // the trailing statement form.
-        assert!(plan_sql(
-            "(SELECT objid INTO s FROM photoobj) UNION (SELECT objid FROM photoobj)"
-        )
-        .is_err());
+        assert!(
+            plan_sql("(SELECT objid INTO s FROM photoobj) UNION (SELECT objid FROM photoobj)")
+                .is_err()
+        );
         // The trailing form attaches via set_into, once.
-        let mut p = plan_sql(
-            "(SELECT objid FROM photoobj) UNION (SELECT objid FROM photoobj)",
-        )
-        .unwrap();
+        let mut p =
+            plan_sql("(SELECT objid FROM photoobj) UNION (SELECT objid FROM photoobj)").unwrap();
         p.set_into("merged".to_string()).unwrap();
         assert_eq!(p.into.as_deref(), Some("merged"));
         assert!(p.set_into("again".to_string()).is_err());
@@ -762,10 +956,7 @@ mod tests {
 
     #[test]
     fn node_stacking_order() {
-        let p = plan_sql(
-            "SELECT ra, r FROM photoobj WHERE r < 21 ORDER BY r LIMIT 5",
-        )
-        .unwrap();
+        let p = plan_sql("SELECT ra, r FROM photoobj WHERE r < 21 ORDER BY r LIMIT 5").unwrap();
         // Limit on top of Sort on top of Scan.
         match &p.root {
             PlanNode::Limit { child, n } => {
@@ -787,10 +978,9 @@ mod tests {
 
     #[test]
     fn set_ops_need_objid_and_same_columns() {
-        assert!(plan_sql(
-            "(SELECT objid FROM photoobj) UNION (SELECT objid FROM photoobj)"
-        )
-        .is_ok());
+        assert!(
+            plan_sql("(SELECT objid FROM photoobj) UNION (SELECT objid FROM photoobj)").is_ok()
+        );
         assert!(plan_sql("(SELECT ra FROM photoobj) UNION (SELECT ra FROM photoobj)").is_err());
         assert!(plan_sql(
             "(SELECT objid, ra FROM photoobj) UNION (SELECT objid, dec FROM photoobj)"

@@ -34,6 +34,7 @@
 //! `Arc`'d chunks stay alive until the last reader is gone.
 
 use crate::archive::{Archive, Prepared, QueryOutput, QueryStats};
+use crate::plan::pointer_column;
 use crate::QueryError;
 use sdss_catalog::TagObject;
 use sdss_storage::{ResultSet, ResultSetBuilder, RESULT_SET_CHUNK_ROWS};
@@ -326,13 +327,23 @@ impl Session {
     }
 }
 
-/// The `INTO` writer sink: drive the (admission-held) stream, fold its
-/// batches into a [`ResultSetBuilder`] — one tag record per distinct
-/// `objid`, fetched through the full store's id index so every query
-/// shape (tag scans, full-route scans, set operations, sorted/limited
-/// streams) materializes uniformly — and commit the set under the
-/// session's quotas. Quota violations abort mid-stream: dropping the
-/// stream cancels the execution and returns its admission slots.
+/// The `INTO` writer sink. Two routes materialize a set:
+///
+/// * **Direct columnar fast path** — a bare tag- or set-routed scan with
+///   a compilable predicate projects whole tag records straight out of
+///   the scan's column lanes into the [`ResultSetBuilder`]
+///   ([`Prepared::run_into_columnar`]): no per-objid full-store fetch,
+///   no dedup hash (those sources hold each object once), no channel
+///   fabric. This is the order-of-magnitude materialization win.
+/// * **Stream-and-fetch slow path** — every other shape (full-route
+///   scans, set operations, sorted/limited streams, MATCH pair sets)
+///   drives the admission-held stream and fetches one tag record per
+///   distinct object pointer through the full store's id index, so all
+///   query shapes materialize uniformly.
+///
+/// Both routes quota-check live while folding; a violation aborts
+/// cleanly (dropping the slow path's stream cancels the execution) and
+/// returns the admission slots.
 pub(crate) fn run_into(prepared: &Prepared, params: &[f64]) -> Result<QueryOutput, QueryError> {
     let name = prepared
         .into_set()
@@ -345,15 +356,26 @@ pub(crate) fn run_into(prepared: &Prepared, params: &[f64]) -> Result<QueryOutpu
     ws.check_set_slot(&name)?;
 
     let columns = prepared.columns().to_vec();
-    let objid_idx = columns
-        .iter()
-        .position(|c| c == "objid")
-        .expect("the planner requires objid in INTO select lists");
-    let store = prepared.archive().store().clone();
     let budget = ws
         .config
         .max_bytes
         .saturating_sub(ws.bytes_excluding(&name));
+
+    if let Some((set, stats)) =
+        prepared.run_into_columnar(params, &name, ws.config.chunk_rows, budget)?
+    {
+        ws.note_query(&stats);
+        ws.insert_set(&name, Arc::new(set))?;
+        return Ok(QueryOutput {
+            columns,
+            rows: Vec::new(),
+            stats,
+        });
+    }
+
+    let objid_idx = pointer_column(&columns)
+        .expect("the planner requires an object pointer in INTO select lists");
+    let store = prepared.archive().store().clone();
 
     let mut stream = prepared.stream_raw(params)?;
     let mut seen: HashSet<u64> = HashSet::new();

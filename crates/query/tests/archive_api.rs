@@ -96,7 +96,9 @@ fn concurrent_queries_match_single_threaded_results() {
 #[test]
 fn cancellation_stops_batches_early() {
     let archive = build_archive(92, 9000);
-    let prepared = archive.prepare("SELECT objid, ra, r FROM photoobj").unwrap();
+    let prepared = archive
+        .prepare("SELECT objid, ra, r FROM photoobj")
+        .unwrap();
 
     // Baseline: total batches a full drain produces.
     let full = prepared.stream().unwrap();
@@ -108,7 +110,10 @@ fn cancellation_stops_batches_early() {
         n += stats.scan.batches_emitted;
         n
     };
-    assert!(total_batches > 12, "need a long scan, got {total_batches} batches");
+    assert!(
+        total_batches > 12,
+        "need a long scan, got {total_batches} batches"
+    );
 
     // Cancelled run: consume one batch, cancel, drain the rest.
     let mut stream = prepared.stream().unwrap();
@@ -222,7 +227,9 @@ fn prepared_params_rebind_matches_literals() {
     assert!(prepared.run_with(&[1.0]).is_err());
     assert!(prepared.run_with(&[1.0, 2.0, 3.0]).is_err());
     // An unparameterized statement rejects stray parameters.
-    let plain = archive.prepare("SELECT objid FROM photoobj LIMIT 1").unwrap();
+    let plain = archive
+        .prepare("SELECT objid FROM photoobj LIMIT 1")
+        .unwrap();
     assert!(plain.run_with(&[5.0]).is_err());
 }
 

@@ -43,8 +43,7 @@ impl QueryGen {
 
     fn num_attr(&mut self) -> String {
         self.pick(&[
-            "ra", "dec", "cx", "cy", "cz", "u", "g", "r", "i", "z", "ug", "gr", "ri", "iz",
-            "size",
+            "ra", "dec", "cx", "cy", "cz", "u", "g", "r", "i", "z", "ug", "gr", "ri", "iz", "size",
         ])
         .to_string()
     }

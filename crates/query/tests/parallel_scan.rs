@@ -24,11 +24,7 @@ fn build_stores(seed: u64, n_galaxies: usize) -> (Arc<ObjectStore>, Arc<TagStore
 
 /// An archive capped at `workers` scan workers per query (slot pool wide
 /// enough that admission never throttles the test).
-fn archive_with_workers(
-    store: &Arc<ObjectStore>,
-    tags: &Arc<TagStore>,
-    workers: usize,
-) -> Archive {
+fn archive_with_workers(store: &Arc<ObjectStore>, tags: &Arc<TagStore>, workers: usize) -> Archive {
     Archive::with_config(
         store.clone(),
         Some(tags.clone()),
@@ -69,7 +65,10 @@ struct Lcg(u64);
 
 impl Lcg {
     fn next_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         lo + (hi - lo) * ((self.0 >> 11) as f64 / (1u64 << 53) as f64)
     }
 }
@@ -86,7 +85,9 @@ fn parallel_matches_serial_on_randomized_predicates() {
     for _ in 0..6 {
         let r_cut = rng.next_f64(18.0, 23.5);
         let color = rng.next_f64(-0.2, 0.8);
-        sweeps.push(format!("SELECT objid, ra, dec, r FROM photoobj WHERE r < {r_cut:.4}"));
+        sweeps.push(format!(
+            "SELECT objid, ra, dec, r FROM photoobj WHERE r < {r_cut:.4}"
+        ));
         sweeps.push(format!(
             "SELECT objid, gr FROM photoobj WHERE gr > {color:.4} AND r < {r_cut:.4}"
         ));
@@ -188,7 +189,10 @@ fn aggregates_fold_in_scan_and_match_channel_path() {
         assert!(b.stats.workers_used > 1, "{sql}");
         assert!(b.stats.morsels > 0, "{sql}");
         // Folded rows are still accounted as scanned rows.
-        assert_eq!(b.stats.scan.rows_scanned, a.stats.scan.rows_scanned, "{sql}");
+        assert_eq!(
+            b.stats.scan.rows_scanned, a.stats.scan.rows_scanned,
+            "{sql}"
+        );
     }
 
     // Empty-selection aggregates keep their NULL/0 semantics.

@@ -4,8 +4,7 @@
 
 use sdss_catalog::SkyModel;
 use sdss_query::{
-    AdmissionConfig, Archive, ArchiveConfig, QueryError, QueryOutput, Session, SessionConfig,
-    Value,
+    AdmissionConfig, Archive, ArchiveConfig, QueryError, QueryOutput, Session, SessionConfig, Value,
 };
 use sdss_storage::{ObjectStore, StoreConfig, TagStore};
 use std::sync::Arc;
@@ -24,11 +23,7 @@ fn build_stores(seed: u64, n_galaxies: usize) -> (Arc<ObjectStore>, Arc<TagStore
     (Arc::new(store), Arc::new(tags))
 }
 
-fn archive_with_workers(
-    store: &Arc<ObjectStore>,
-    tags: &Arc<TagStore>,
-    workers: usize,
-) -> Archive {
+fn archive_with_workers(store: &Arc<ObjectStore>, tags: &Arc<TagStore>, workers: usize) -> Archive {
     Archive::with_config(
         store.clone(),
         Some(tags.clone()),
@@ -106,7 +101,9 @@ fn into_then_from_equals_composed_direct_query_randomized() {
         let p1 = format!("r < {r1:.4}");
         let p2 = format!("gr > {color:.4} AND r < {r2:.4}");
         let out = session
-            .run(&format!("SELECT objid, r INTO cand FROM photoobj WHERE {p1}"))
+            .run(&format!(
+                "SELECT objid, r INTO cand FROM photoobj WHERE {p1}"
+            ))
             .unwrap();
         assert!(out.rows.is_empty(), "INTO returns no rows");
         let refined = session
@@ -214,6 +211,98 @@ fn stored_set_scans_ride_the_parallel_compiled_path() {
 }
 
 #[test]
+fn stored_set_limit_under_parallel_workers_cancels_and_releases() {
+    // Bug sweep: a stored-set scan with LIMIT under multiple workers
+    // must stop the remaining scan workers once the limit is hit (the
+    // finished stream cancels its ticket) and return every admission
+    // slot — no lingering unaccounted background work.
+    let (store, tags) = build_stores(59, 4000);
+    let archive = archive_with_workers(&store, &tags, 4);
+    let session = small_chunk_session(&archive);
+    session
+        .run("SELECT objid INTO sweep FROM photoobj WHERE r < 30")
+        .unwrap();
+    assert!(session.set_info("sweep").unwrap().chunks > 1);
+
+    let prepared = session
+        .prepare("SELECT objid, r FROM sweep WHERE r < 30 LIMIT 7")
+        .unwrap();
+    assert!(
+        prepared.planned_workers() > 1,
+        "limit scans still parallelize"
+    );
+    let mut stream = prepared.stream().unwrap();
+    let ticket = stream.ticket();
+    let mut rows = 0usize;
+    while let Some(batch) = stream.next_batch() {
+        rows += batch.len();
+    }
+    assert_eq!(rows, 7, "limit respected");
+    let stats = stream.finish();
+    assert!(
+        ticket.is_cancelled(),
+        "finish must cancel the ticket so workers past the limit stop scanning"
+    );
+    // Workers may still be winding down when the stream finishes, so
+    // worker counts are racy here — the hard guarantees are the limit,
+    // the cancellation, and the released slots.
+    assert!(stats.rows == 7);
+    assert_eq!(archive.admission().running, 0, "slots leaked after LIMIT");
+
+    // The one-shot path holds the same contract.
+    let out = session
+        .run("SELECT objid, r FROM sweep WHERE r < 30 LIMIT 3")
+        .unwrap();
+    assert_eq!(out.rows.len(), 3);
+    assert_eq!(archive.admission().running, 0);
+}
+
+#[test]
+fn into_fast_path_equals_fetch_path() {
+    // The direct columnar INTO fast path (bare tag-routed scan) and the
+    // stream-and-fetch slow path (forced here via a huge LIMIT, which
+    // keeps the scan identical but stacks a node over it) must
+    // materialize identical sets.
+    let (store, tags) = build_stores(60, 2500);
+    let archive = archive_with_workers(&store, &tags, 2);
+    let session = small_chunk_session(&archive);
+
+    session
+        .run("SELECT objid INTO fast FROM photoobj WHERE r < 21.5 AND gr > 0.1")
+        .unwrap();
+    session
+        .run("SELECT objid INTO slow FROM photoobj WHERE r < 21.5 AND gr > 0.1 LIMIT 100000000")
+        .unwrap();
+    let fast = session.set_info("fast").unwrap();
+    let slow = session.set_info("slow").unwrap();
+    assert_eq!(fast.rows, slow.rows);
+    assert_eq!(fast.bytes, slow.bytes);
+
+    let a = session.run("SELECT objid, r, gr FROM fast").unwrap();
+    let b = session.run("SELECT objid, r, gr FROM slow").unwrap();
+    assert_eq!(keyed(&a), keyed(&b), "fast/fetch INTO paths diverged");
+
+    // The fast path reports itself: columnar stats, rows emitted, and
+    // scan bytes bounded by the tag partition (never the full store).
+    let (out, stats) = session
+        .run_with_stats("SELECT objid INTO fast2 FROM photoobj WHERE r < 21.5")
+        .unwrap();
+    assert!(out.rows.is_empty());
+    assert!(stats.columnar, "bare tag INTO must take the columnar path");
+    assert!(stats.rows_emitted > 0);
+    assert!(stats.scan.bytes_scanned as usize <= tags.bytes());
+
+    // Stored sets re-materialize through the fast path too (refinement).
+    session
+        .run("SELECT objid INTO refined FROM fast WHERE gr > 0.4")
+        .unwrap();
+    let direct = archive
+        .run("SELECT objid FROM photoobj WHERE r < 21.5 AND gr > 0.1 AND gr > 0.4")
+        .unwrap();
+    assert_eq!(session.set_info("refined").unwrap().rows, direct.rows.len());
+}
+
+#[test]
 fn concurrent_sessions_are_isolated() {
     let (store, tags) = build_stores(53, 2000);
     let archive = archive_with_workers(&store, &tags, 2);
@@ -269,14 +358,15 @@ fn quotas_fail_cleanly_and_release_admission() {
         max_bytes: 4 * 1024,
         ..SessionConfig::default()
     });
-    let err = tiny
-        .run("SELECT objid INTO big FROM photoobj")
-        .unwrap_err();
+    let err = tiny.run("SELECT objid INTO big FROM photoobj").unwrap_err();
     match &err {
         QueryError::Exec(msg) => assert!(msg.contains("quota"), "unhelpful error: {msg}"),
         other => panic!("expected Exec quota error, got {other:?}"),
     }
-    assert!(tiny.set_info("big").is_none(), "failed INTO must not commit");
+    assert!(
+        tiny.set_info("big").is_none(),
+        "failed INTO must not commit"
+    );
     assert_eq!(archive.admission().running, 0, "slots leaked");
 
     // Set-count quota: the second *distinct* name errors, replacement of
@@ -319,7 +409,11 @@ fn set_lifecycle_listing_pinning_and_refinement() {
         assert!(info.bytes > 0);
         assert!(info.chunks >= 1);
     }
-    let total = archive.run("SELECT objid FROM photoobj").unwrap().rows.len();
+    let total = archive
+        .run("SELECT objid FROM photoobj")
+        .unwrap()
+        .rows
+        .len();
     assert_eq!(listing[0].rows + listing[1].rows, total);
 
     // Archive-level session registry sees the workspace.

@@ -1,0 +1,410 @@
+//! Integration tests for the `MATCH(a, b, radius_arcsec)` cross-match
+//! join source: set-vs-set and set-vs-archive pair equivalence against a
+//! brute-force O(n·m) great-circle oracle, morsel-parallel execution
+//! over the probe side, in-scan pair-count folding, `MATCH ... INTO`
+//! materialization under session quotas, and the plan-time validation
+//! surface.
+
+use sdss_catalog::{PhotoObj, SkyModel};
+use sdss_query::{
+    AdmissionConfig, Archive, ArchiveConfig, QueryError, QueryOutput, Session, SessionConfig,
+};
+use sdss_storage::{ObjectStore, StoreConfig, TagStore};
+use std::sync::Arc;
+
+fn build_stores(seed: u64, n_galaxies: usize) -> (Arc<ObjectStore>, Arc<TagStore>, Vec<PhotoObj>) {
+    let model = SkyModel {
+        n_galaxies,
+        n_stars: n_galaxies / 3,
+        n_quasars: n_galaxies / 12,
+        ..SkyModel::small(seed)
+    };
+    let objs = model.generate().unwrap();
+    let mut store = ObjectStore::new(StoreConfig::default()).unwrap();
+    store.insert_batch(&objs).unwrap();
+    let tags = TagStore::from_store(&store);
+    (Arc::new(store), Arc::new(tags), objs)
+}
+
+fn archive_with_workers(store: &Arc<ObjectStore>, tags: &Arc<TagStore>, workers: usize) -> Archive {
+    Archive::with_config(
+        store.clone(),
+        Some(tags.clone()),
+        ArchiveConfig {
+            admission: AdmissionConfig {
+                max_worker_slots: 16,
+                heavy_bytes: u64::MAX,
+                max_heavy: 1,
+                max_workers_per_query: workers,
+                max_bypass: 4,
+            },
+            ..ArchiveConfig::default()
+        },
+    )
+}
+
+/// A session cutting small chunks so even modest sets give the match
+/// join several probe morsels.
+fn small_chunk_session(archive: &Archive) -> Session {
+    archive.session_with(SessionConfig {
+        chunk_rows: 256,
+        ..SessionConfig::default()
+    })
+}
+
+/// Ordered `(a.objid, b.objid)` pairs out of a MATCH query result.
+fn pair_keys(out: &QueryOutput) -> Vec<(u64, u64)> {
+    let mut keys: Vec<(u64, u64)> = out
+        .rows
+        .iter()
+        .map(|r| (r[0].as_id().unwrap(), r[1].as_id().unwrap()))
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// The brute-force O(n·m) great-circle oracle: every ordered pair within
+/// the radius, identity pairs excluded.
+fn oracle_pairs(a: &[&PhotoObj], b: &[&PhotoObj], radius_arcsec: f64) -> Vec<(u64, u64)> {
+    let mut pairs = Vec::new();
+    for p in a {
+        for q in b {
+            if p.obj_id == q.obj_id {
+                continue;
+            }
+            let sep = p.unit_vec().separation_deg(q.unit_vec()) * 3600.0;
+            if sep <= radius_arcsec {
+                pairs.push((p.obj_id, q.obj_id));
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Tiny deterministic generator for randomized parameters.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        lo + (hi - lo) * ((self.0 >> 11) as f64 / (1u64 << 53) as f64)
+    }
+}
+
+#[test]
+fn set_vs_set_match_equals_brute_force_oracle_randomized() {
+    let (store, tags, objs) = build_stores(71, 1200);
+    let serial = archive_with_workers(&store, &tags, 1);
+    let parallel = archive_with_workers(&store, &tags, 4);
+
+    let mut rng = Lcg(0x9e37_79b9);
+    // Radii chosen to straddle the zone-index level boundaries (level
+    // 10 up to 200", level 7 up to 3600"): zone-boundary pairs at every
+    // bucket granularity must survive, and the brute-force comparison
+    // catches any cover-margin loss.
+    for (trial, &radius) in [5.0, 60.0, 199.9, 200.1, 900.0, 3500.0].iter().enumerate() {
+        let r1 = rng.next_f64(20.0, 23.0);
+        let r2 = rng.next_f64(19.0, 22.0);
+        let archive = if trial % 2 == 0 { &parallel } else { &serial };
+        let session = small_chunk_session(archive);
+        session
+            .run(&format!(
+                "SELECT objid INTO s1 FROM photoobj WHERE r < {r1:.4}"
+            ))
+            .unwrap();
+        session
+            .run(&format!(
+                "SELECT objid INTO s2 FROM photoobj WHERE r < {r2:.4}"
+            ))
+            .unwrap();
+        let out = session
+            .run(&format!(
+                "SELECT a.objid, b.objid, sep_arcsec FROM MATCH(s1, s2, {radius})"
+            ))
+            .unwrap();
+        let a_side: Vec<&PhotoObj> = objs.iter().filter(|o| (o.mag(2) as f64) < r1).collect();
+        let b_side: Vec<&PhotoObj> = objs.iter().filter(|o| (o.mag(2) as f64) < r2).collect();
+        let want = oracle_pairs(&a_side, &b_side, radius);
+        assert_eq!(
+            pair_keys(&out),
+            want,
+            "trial {trial}: MATCH(s1, s2, {radius}) diverged from the oracle \
+             (r1 = {r1:.4}, r2 = {r2:.4})"
+        );
+        // Every reported separation is within the radius and correct.
+        for row in &out.rows {
+            let sep = row[2].as_num().unwrap();
+            assert!(sep <= radius, "pair outside radius: {sep} > {radius}");
+        }
+    }
+}
+
+#[test]
+fn set_vs_archive_match_equals_set_vs_materialized_sky() {
+    let (store, tags, objs) = build_stores(72, 1000);
+    let archive = archive_with_workers(&store, &tags, 2);
+    let session = small_chunk_session(&archive);
+    session
+        .run("SELECT objid INTO probe FROM photoobj WHERE r < 21")
+        .unwrap();
+    // The whole sky as a stored set: MATCH(probe, photoobj, r) must
+    // produce exactly the same pairs as MATCH(probe, sky, r).
+    session
+        .run("SELECT objid INTO sky FROM photoobj WHERE r < 99")
+        .unwrap();
+    let vs_archive = session
+        .run("SELECT a.objid, b.objid FROM MATCH(probe, photoobj, 120)")
+        .unwrap();
+    let vs_set = session
+        .run("SELECT a.objid, b.objid FROM MATCH(probe, sky, 120)")
+        .unwrap();
+    assert_eq!(pair_keys(&vs_archive), pair_keys(&vs_set));
+
+    // ... and both agree with the oracle.
+    let probe: Vec<&PhotoObj> = objs.iter().filter(|o| (o.mag(2) as f64) < 21.0).collect();
+    let sky: Vec<&PhotoObj> = objs.iter().collect();
+    assert_eq!(pair_keys(&vs_archive), oracle_pairs(&probe, &sky, 120.0));
+
+    // Archive-as-probe mirrors the pairs (ordered-pair semantics).
+    let flipped = session
+        .run("SELECT a.objid, b.objid FROM MATCH(photoobj, probe, 120)")
+        .unwrap();
+    let mut mirrored: Vec<(u64, u64)> = pair_keys(&vs_archive)
+        .into_iter()
+        .map(|(a, b)| (b, a))
+        .collect();
+    mirrored.sort_unstable();
+    assert_eq!(pair_keys(&flipped), mirrored);
+}
+
+#[test]
+fn match_runs_morsel_parallel_and_folds_pair_counts_in_scan() {
+    let (store, tags, _) = build_stores(73, 3000);
+    let archive = archive_with_workers(&store, &tags, 4);
+    let session = small_chunk_session(&archive);
+    session
+        .run("SELECT objid INTO all FROM photoobj WHERE r < 30")
+        .unwrap();
+    let info = session.set_info("all").unwrap();
+    assert!(info.chunks > 1, "need a multi-chunk probe side");
+
+    let prepared = session
+        .prepare("SELECT a.objid, b.objid, sep_arcsec FROM MATCH(all, all, 60)")
+        .unwrap();
+    assert!(
+        prepared.planned_workers() > 1,
+        "match joins must parallelize"
+    );
+    let out = prepared.run().unwrap();
+    assert!(
+        !out.rows.is_empty(),
+        "a 60\" self-match on a dense field pairs up"
+    );
+    assert!(
+        out.stats.workers_used > 1,
+        "match probe never engaged the pool: {} workers",
+        out.stats.workers_used
+    );
+    assert_eq!(
+        out.stats.morsels, info.chunks as u64,
+        "one morsel per probe-side chunk"
+    );
+    assert_eq!(
+        out.stats.worker_bytes.iter().sum::<u64>(),
+        info.bytes as u64,
+        "probe-side bytes accounted per worker"
+    );
+    // Self-join ordered-pair semantics: (p, q) and (q, p) both appear,
+    // identity pairs never do.
+    let keys = pair_keys(&out);
+    for &(a, b) in &keys {
+        assert_ne!(a, b, "identity pair leaked");
+        assert!(
+            keys.binary_search(&(b, a)).is_ok(),
+            "missing mirror of ({a}, {b})"
+        );
+    }
+
+    // COUNT over the same MATCH folds in-scan: one batch through the
+    // fabric, the same pair count, and multiple workers.
+    let cnt = session
+        .run("SELECT COUNT(*) FROM MATCH(all, all, 60)")
+        .unwrap();
+    assert_eq!(cnt.rows[0][0].as_num().unwrap() as usize, out.rows.len());
+    assert_eq!(cnt.stats.batches, 1, "in-scan folding ships one batch");
+    assert!(cnt.stats.workers_used > 1);
+
+    // Pair predicates filter row-wise: a.objid < b.objid halves the
+    // ordered pairs.
+    let half = session
+        .run("SELECT a.objid, b.objid FROM MATCH(all, all, 60) WHERE a.objid < b.objid")
+        .unwrap();
+    assert_eq!(half.rows.len() * 2, out.rows.len());
+}
+
+#[test]
+fn match_into_materializes_under_session_quotas() {
+    let (store, tags, _) = build_stores(74, 1500);
+    let archive = archive_with_workers(&store, &tags, 2);
+
+    // Roomy session: MATCH ... INTO lands the distinct probe-side
+    // objects that have a neighbor.
+    let session = small_chunk_session(&archive);
+    session
+        .run("SELECT objid INTO cand FROM photoobj WHERE r < 22")
+        .unwrap();
+    session
+        .run("SELECT a.objid AS objid INTO paired FROM MATCH(cand, cand, 90)")
+        .unwrap();
+    let paired = session.set_info("paired").expect("set landed");
+    assert!(paired.rows > 0);
+    let distinct = session
+        .run("SELECT a.objid, b.objid FROM MATCH(cand, cand, 90)")
+        .unwrap();
+    let mut a_ids: Vec<u64> = distinct
+        .rows
+        .iter()
+        .map(|r| r[0].as_id().unwrap())
+        .collect();
+    a_ids.sort_unstable();
+    a_ids.dedup();
+    assert_eq!(
+        paired.rows,
+        a_ids.len(),
+        "one record per distinct probe objid"
+    );
+    // The default qualified projection works as the pointer too.
+    session
+        .run("SELECT a.objid INTO paired2 FROM MATCH(cand, cand, 90)")
+        .unwrap();
+    assert_eq!(session.set_info("paired2").unwrap().rows, paired.rows);
+
+    // Quota enforcement: a byte budget that fits `cand` but not a
+    // second materialization aborts the MATCH INTO cleanly.
+    let cand_bytes = session.set_info("cand").unwrap().bytes;
+    let tight = archive.session_with(SessionConfig {
+        max_bytes: (cand_bytes + 256) as u64,
+        chunk_rows: 256,
+        ..SessionConfig::default()
+    });
+    tight
+        .run("SELECT objid INTO cand FROM photoobj WHERE r < 22")
+        .unwrap();
+    let err = tight
+        .run("SELECT a.objid AS objid INTO paired FROM MATCH(cand, cand, 90)")
+        .unwrap_err();
+    match &err {
+        QueryError::Exec(msg) => assert!(msg.contains("quota"), "unhelpful error: {msg}"),
+        other => panic!("expected Exec quota error, got {other:?}"),
+    }
+    assert!(
+        tight.set_info("paired").is_none(),
+        "failed INTO must not commit"
+    );
+    assert_eq!(archive.admission().running, 0, "slots leaked");
+}
+
+#[test]
+fn match_validation_rejects_bad_shapes_at_plan_time() {
+    let (store, tags, _) = build_stores(75, 400);
+    let archive = archive_with_workers(&store, &tags, 2);
+    let session = small_chunk_session(&archive);
+    session
+        .run("SELECT objid INTO s FROM photoobj WHERE r < 22")
+        .unwrap();
+
+    // Unqualified attributes are ambiguous over a pair source.
+    assert!(matches!(
+        session.prepare("SELECT objid FROM MATCH(s, s, 5)"),
+        Err(QueryError::Unknown(_))
+    ));
+    // Qualified names must be tag attributes.
+    assert!(matches!(
+        session.prepare("SELECT a.psf_r FROM MATCH(s, s, 5)"),
+        Err(QueryError::Unknown(_))
+    ));
+    // SELECT * cannot pick a side.
+    assert!(matches!(
+        session.prepare("SELECT * FROM MATCH(s, s, 5)"),
+        Err(QueryError::Type(_))
+    ));
+    // Spatial predicates are as side-ambiguous as unqualified attrs:
+    // they would silently bind one side, so they're rejected.
+    assert!(matches!(
+        session.prepare("SELECT a.objid FROM MATCH(s, s, 5) WHERE CIRCLE(185, 15, 1)"),
+        Err(QueryError::Type(_))
+    ));
+    assert!(session
+        .prepare("SELECT a.objid FROM MATCH(s, s, 5) WHERE DIST(185, 15) < 1")
+        .is_err());
+    // ...as are functions reading unqualified row attributes implicitly.
+    assert!(matches!(
+        session.prepare(
+            "SELECT a.objid FROM MATCH(s, s, 5) WHERE COLORDIST(0.5, 0.4, 0.3, 0.2) < 0.6"
+        ),
+        Err(QueryError::Type(_))
+    ));
+    // The radius must be positive.
+    assert!(session
+        .prepare("SELECT a.objid FROM MATCH(s, s, 0)")
+        .is_err());
+    assert!(session
+        .prepare("SELECT a.objid FROM MATCH(s, s, -3)")
+        .is_err());
+    // Unknown stored sets fail at prepare time, naming the set.
+    assert!(matches!(
+        session.prepare("SELECT a.objid FROM MATCH(nosuch, s, 5)"),
+        Err(QueryError::Unknown(_))
+    ));
+    // INTO from a MATCH needs a pointer column.
+    assert!(matches!(
+        session.prepare("SELECT sep_arcsec INTO p FROM MATCH(s, s, 5)"),
+        Err(QueryError::Type(_))
+    ));
+    // ORDER BY accepts qualified pair columns.
+    let by_a = session
+        .run("SELECT a.objid, b.objid FROM MATCH(s, s, 120) ORDER BY a.objid LIMIT 10")
+        .unwrap();
+    for w in by_a.rows.windows(2) {
+        assert!(w[0][0].as_id().unwrap() <= w[1][0].as_id().unwrap());
+    }
+    // sep_arcsec projects and filters; ORDER BY composes over it.
+    let out = session
+        .run(
+            "SELECT a.objid, b.objid, sep_arcsec FROM MATCH(s, s, 120) \
+             WHERE sep_arcsec > 10 ORDER BY sep_arcsec LIMIT 5",
+        )
+        .unwrap();
+    assert!(out.rows.len() <= 5);
+    for w in out.rows.windows(2) {
+        assert!(w[0][2].as_num().unwrap() <= w[1][2].as_num().unwrap());
+    }
+    for row in &out.rows {
+        assert!(row[2].as_num().unwrap() > 10.0);
+    }
+}
+
+#[test]
+fn prepared_match_pins_its_set_snapshots() {
+    let (store, tags, _) = build_stores(76, 800);
+    let archive = archive_with_workers(&store, &tags, 2);
+    let session = small_chunk_session(&archive);
+    session
+        .run("SELECT objid INTO s FROM photoobj WHERE r < 22")
+        .unwrap();
+    let prepared = session
+        .prepare("SELECT a.objid, b.objid FROM MATCH(s, s, 60)")
+        .unwrap();
+    let before = prepared.run().unwrap().rows.len();
+    // Dropping the set does not invalidate the prepared join.
+    session.drop_set("s").unwrap();
+    assert_eq!(prepared.run().unwrap().rows.len(), before);
+    // ...but a fresh prepare no longer resolves it.
+    assert!(session
+        .prepare("SELECT a.objid FROM MATCH(s, s, 60)")
+        .is_err());
+}

@@ -229,7 +229,11 @@ mod tests {
         // The published pole/center constants are rounded to ~1e-5 deg and
         // are not exactly orthogonal; sub-arcsecond residual is expected.
         assert!(g.dec_deg().abs() < 5e-4, "b = {}", g.dec_deg());
-        assert!(g.ra_deg().min(360.0 - g.ra_deg()) < 1e-6, "l = {}", g.ra_deg());
+        assert!(
+            g.ra_deg().min(360.0 - g.ra_deg()) < 1e-6,
+            "l = {}",
+            g.ra_deg()
+        );
     }
 
     #[test]
@@ -244,7 +248,11 @@ mod tests {
         // Known value: NCP is at b ≈ +27.13 deg (the galactic pole dec).
         let ncp = SkyPos::new(0.0, 90.0).unwrap();
         let g = Frame::Galactic.from_equatorial_pos(ncp);
-        assert!((g.dec_deg() - GAL_POLE_DEC).abs() < 1e-6, "b = {}", g.dec_deg());
+        assert!(
+            (g.dec_deg() - GAL_POLE_DEC).abs() < 1e-6,
+            "b = {}",
+            g.dec_deg()
+        );
         // l of the NCP is 122.93 deg (the standard "theta0" constant).
         assert!((g.ra_deg() - 122.932).abs() < 0.01, "l = {}", g.ra_deg());
     }
@@ -264,7 +272,11 @@ mod tests {
         let zero_eq = Frame::Galactic.to_equatorial_pos(zero_gal);
         let sg = Frame::Supergalactic.from_equatorial_pos(zero_eq);
         assert!(sg.dec_deg().abs() < 1e-6, "SGB = {}", sg.dec_deg());
-        assert!(sg.ra_deg().min(360.0 - sg.ra_deg()) < 1e-6, "SGL = {}", sg.ra_deg());
+        assert!(
+            sg.ra_deg().min(360.0 - sg.ra_deg()) < 1e-6,
+            "SGL = {}",
+            sg.ra_deg()
+        );
     }
 
     #[test]

@@ -16,7 +16,11 @@ pub struct Vec3 {
 }
 
 impl Vec3 {
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     #[inline]
     pub const fn new(x: f64, y: f64, z: f64) -> Self {
@@ -110,11 +114,23 @@ pub struct UnitVec3 {
 
 impl UnitVec3 {
     /// +x axis: (ra, dec) = (0, 0).
-    pub const X: UnitVec3 = UnitVec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const X: UnitVec3 = UnitVec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// +y axis: (ra, dec) = (90, 0).
-    pub const Y: UnitVec3 = UnitVec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const Y: UnitVec3 = UnitVec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
     /// +z axis: the north celestial pole.
-    pub const Z: UnitVec3 = UnitVec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const Z: UnitVec3 = UnitVec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     /// Construct without checking the invariant.
     ///
@@ -142,7 +158,11 @@ impl UnitVec3 {
 
     #[inline]
     pub const fn as_vec3(self) -> Vec3 {
-        Vec3 { x: self.x, y: self.y, z: self.z }
+        Vec3 {
+            x: self.x,
+            y: self.y,
+            z: self.z,
+        }
     }
 
     #[inline]
@@ -161,7 +181,11 @@ impl UnitVec3 {
     #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn neg(self) -> UnitVec3 {
-        UnitVec3 { x: -self.x, y: -self.y, z: -self.z }
+        UnitVec3 {
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 
     /// Angular separation to another unit vector, in **degrees**.

@@ -150,6 +150,28 @@ impl ColumnBatch<'_> {
     pub fn unit_vec(&self, i: usize) -> UnitVec3 {
         UnitVec3::new_unchecked(self.x[i], self.y[i], self.z[i])
     }
+
+    /// Rebuild row `i` of this batch as an owned record — the batch-
+    /// windowed sibling of [`ColumnChunk::row`] (the MATCH probe side
+    /// and the direct columnar INTO path both need whole rows back out
+    /// of the lanes).
+    pub fn row(&self, i: usize) -> TagObject {
+        TagObject {
+            obj_id: self.obj_id[i],
+            x: self.x[i],
+            y: self.y[i],
+            z: self.z[i],
+            mags: [
+                self.mags[0][i],
+                self.mags[1][i],
+                self.mags[2][i],
+                self.mags[3][i],
+                self.mags[4][i],
+            ],
+            size: self.size[i],
+            class: ObjClass::from_u8(self.class[i]).expect("batch holds valid class bytes"),
+        }
+    }
 }
 
 /// Zero-copy view over one serialized 64-byte tag record: decodes single

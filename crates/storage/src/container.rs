@@ -115,7 +115,11 @@ impl Container {
     }
 
     /// Append a full photometric object (serializing it).
-    pub fn push_photo(&mut self, obj: &PhotoObj, scratch: &mut Vec<u8>) -> Result<(), StorageError> {
+    pub fn push_photo(
+        &mut self,
+        obj: &PhotoObj,
+        scratch: &mut Vec<u8>,
+    ) -> Result<(), StorageError> {
         scratch.clear();
         obj.write_to(scratch);
         self.push_record(scratch, obj.mag(2), obj.class)

@@ -156,11 +156,7 @@ impl CoverCache {
     /// hundred), and eviction only runs on insert.
     fn evict_to_capacity(&self, inner: &mut Inner) {
         while inner.map.len() > self.cap_entries || inner.bytes > self.cap_bytes {
-            let Some((&key, _)) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-            else {
+            let Some((&key, _)) = inner.map.iter().min_by_key(|(_, e)| e.last_used) else {
                 break;
             };
             if let Some(evicted) = inner.map.remove(&key) {

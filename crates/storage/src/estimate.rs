@@ -31,6 +31,9 @@ pub struct CostModel {
     pub scan_bandwidth_bps: f64,
     /// Cover depth used for estimating the bisected-container overlap.
     pub overlap_level: u8,
+    /// Seconds per probe row of a cross-match join (the per-probe HTM
+    /// zone lookup dominates; see the query crate's MATCH estimator).
+    pub match_probe_seconds: f64,
 }
 
 impl Default for CostModel {
@@ -38,6 +41,7 @@ impl Default for CostModel {
         CostModel {
             scan_bandwidth_bps: 150.0e6, // the paper's 150 MB/s/node figure
             overlap_level: 11,
+            match_probe_seconds: 25.0e-6, // measured per-probe cover cost
         }
     }
 }

@@ -44,6 +44,7 @@ pub mod resultset;
 pub mod sample;
 pub mod store;
 pub mod vertical;
+pub mod zone;
 
 pub use column::{ColumnBatch, ColumnChunk, SelectionMask, TagView, BATCH_ROWS};
 pub use container::{Container, ContainerStats};
@@ -56,6 +57,7 @@ pub use resultset::{ResultSet, ResultSetBuilder, RESULT_SET_CHUNK_ROWS};
 pub use sample::sample_hash_keep;
 pub use store::{ObjectStore, RegionScan, StoreConfig, TouchCounters};
 pub use vertical::{TagMorsel, TagScanPlan, TagStore};
+pub use zone::ZoneIndex;
 
 /// Errors produced by the storage crate.
 #[derive(Debug, Clone, PartialEq)]

@@ -62,7 +62,11 @@ impl MorselQueue {
         .expect("workers >= 1");
         let shards = (0..workers)
             .map(|w| Shard {
-                morsels: pm.containers_of(w).into_iter().map(|id| id as u32).collect(),
+                morsels: pm
+                    .containers_of(w)
+                    .into_iter()
+                    .map(|id| id as u32)
+                    .collect(),
                 next: AtomicUsize::new(0),
             })
             .collect();
@@ -115,7 +119,10 @@ impl MorselQueue {
 
     /// Morsels claimed across all workers.
     pub fn total_dispatched(&self) -> u64 {
-        self.per_worker.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.per_worker
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 }
 

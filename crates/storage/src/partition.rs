@@ -112,7 +112,11 @@ impl PartitionMap {
 
     /// Repartition for a new server count — the paper's "as new servers
     /// are added, the data will repartition".
-    pub fn repartition(&self, store: &ObjectStore, n_servers: usize) -> Result<PartitionMap, StorageError> {
+    pub fn repartition(
+        &self,
+        store: &ObjectStore,
+        n_servers: usize,
+    ) -> Result<PartitionMap, StorageError> {
         PartitionMap::build(store, n_servers)
     }
 
@@ -235,7 +239,11 @@ mod tests {
         let mut items: Vec<(u64, usize)> = Vec::new();
         let mut total = 0usize;
         for i in 0..64u64 {
-            let bytes = if i < 4 { 200_000 } else { 3_000 + (i as usize * 37) % 900 };
+            let bytes = if i < 4 {
+                200_000
+            } else {
+                3_000 + (i as usize * 37) % 900
+            };
             items.push((i, bytes));
             total += bytes;
         }

@@ -135,8 +135,7 @@ impl ResultSetBuilder {
         self.rows += 1;
         if self.current.len() >= self.chunk_rows {
             self.done_bytes += self.current.bytes();
-            self.done
-                .push(Arc::new(std::mem::take(&mut self.current)));
+            self.done.push(Arc::new(std::mem::take(&mut self.current)));
         }
     }
 

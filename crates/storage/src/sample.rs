@@ -126,10 +126,7 @@ mod tests {
         let s = store(4, 4000);
         let sampled_tags = build_sample_tags(&s, 0.01).unwrap();
         let reduction = s.bytes() as f64 / (sampled_tags.bytes() as f64).max(1.0);
-        assert!(
-            reduction > 500.0,
-            "combined reduction only {reduction:.0}x"
-        );
+        assert!(reduction > 500.0, "combined reduction only {reduction:.0}x");
     }
 
     proptest! {

@@ -314,46 +314,50 @@ impl TagStore {
         let mut stats = RegionScan::default();
         Self::record_cover(&walk, &mut stats);
         let mut err: Option<StorageError> = None;
-        self.for_each_touched_container(&walk, &mut stats, |raw, container, container_full, stats| {
-            let mut read = |mut rec: &[u8]| match TagObject::read_from(&mut rec) {
-                Ok(tag) => Some(tag),
-                Err(e) => {
-                    err = Some(e.into());
-                    None
-                }
-            };
-            if container_full {
-                for rec in container.iter_records() {
-                    let Some(tag) = read(rec) else { return false };
-                    stats.objects_yielded += 1;
-                    if !f(&tag) {
-                        return false;
+        self.for_each_touched_container(
+            &walk,
+            &mut stats,
+            |raw, container, container_full, stats| {
+                let mut read = |mut rec: &[u8]| match TagObject::read_from(&mut rec) {
+                    Ok(tag) => Some(tag),
+                    Err(e) => {
+                        err = Some(e.into());
+                        None
                     }
-                }
-                return true;
-            }
-            let deep_ids = &self.columns[raw].htm20;
-            for (slot, rec) in container.iter_records().enumerate() {
-                let deep_id = deep_ids[slot] >> walk.shift;
-                if full.contains(deep_id) {
-                    let Some(tag) = read(rec) else { return false };
-                    stats.objects_yielded += 1;
-                    if !f(&tag) {
-                        return false;
-                    }
-                } else if partial.contains(deep_id) {
-                    let Some(tag) = read(rec) else { return false };
-                    stats.objects_exact_tested += 1;
-                    if domain.contains(tag.unit_vec()) {
+                };
+                if container_full {
+                    for rec in container.iter_records() {
+                        let Some(tag) = read(rec) else { return false };
                         stats.objects_yielded += 1;
                         if !f(&tag) {
                             return false;
                         }
                     }
+                    return true;
                 }
-            }
-            true
-        });
+                let deep_ids = &self.columns[raw].htm20;
+                for (slot, rec) in container.iter_records().enumerate() {
+                    let deep_id = deep_ids[slot] >> walk.shift;
+                    if full.contains(deep_id) {
+                        let Some(tag) = read(rec) else { return false };
+                        stats.objects_yielded += 1;
+                        if !f(&tag) {
+                            return false;
+                        }
+                    } else if partial.contains(deep_id) {
+                        let Some(tag) = read(rec) else { return false };
+                        stats.objects_exact_tested += 1;
+                        if domain.contains(tag.unit_vec()) {
+                            stats.objects_yielded += 1;
+                            if !f(&tag) {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                true
+            },
+        );
         match err {
             Some(e) => Err(e),
             None => Ok(stats),
@@ -436,7 +440,10 @@ impl TagStore {
                 SelectionMask::all_set(batch.len())
             } else {
                 let cover = plan.cover.as_ref().expect("bisected morsels have a cover");
-                let domain = plan.domain.as_ref().expect("bisected morsels have a domain");
+                let domain = plan
+                    .domain
+                    .as_ref()
+                    .expect("bisected morsels have a domain");
                 let (full, partial) = (cover.full_ranges(), cover.partial_ranges());
                 let mut sel = SelectionMask::none_set(batch.len());
                 for (i, &deep) in batch.htm20.iter().enumerate() {

@@ -1,0 +1,144 @@
+//! Zone-partitioned spatial index for cross-identification.
+//!
+//! Paper, §Data Products: "each subsequent astronomical survey will want
+//! to cross-identify its objects with the SDSS catalog". The primitive
+//! behind every cross-match — the dataflow hash machine's nearest
+//! neighbor and the query engine's `MATCH(a, b, radius)` pair join — is
+//! the same: file the build side under its home HTM trixel (a *zone*),
+//! and expand each probe by the match radius so candidates come from
+//! exactly the zones the match cap can intersect (the hash machine's
+//! one-sided replication argument — expanding one side suffices for
+//! completeness, including across zone boundaries).
+//!
+//! It lives in the storage crate, beneath both consumers: the query
+//! engine joins [`crate::ResultSet`] chunks against it and
+//! `dataflow::xmatch` re-exports it as the build side of its
+//! nearest-neighbor matcher.
+
+use crate::StorageError;
+use sdss_catalog::TagObject;
+use sdss_htm::{lookup_id, Cover, Region};
+use sdss_skycoords::UnitVec3;
+use std::collections::HashMap;
+
+/// A zone-partitioned spatial index over a reference catalog: reference
+/// row indices bucketed by home HTM trixel at a fixed level.
+#[derive(Debug, Clone)]
+pub struct ZoneIndex {
+    level: u8,
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+impl ZoneIndex {
+    /// Index `reference` at the given bucket level.
+    pub fn build(reference: &[TagObject], level: u8) -> Result<ZoneIndex, StorageError> {
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (i, r) in reference.iter().enumerate() {
+            let home =
+                lookup_id(r.unit_vec(), level).map_err(|e| StorageError::Htm(e.to_string()))?;
+            buckets.entry(home.raw()).or_default().push(i as u32);
+        }
+        Ok(ZoneIndex { level, buckets })
+    }
+
+    /// Index rows by their stored level-20 HTM ids — no spherical
+    /// lookup at all: the level-`level` home bucket is the deep id's
+    /// ancestor, `htm20 >> 2*(20 - level)` (the same shift the tag
+    /// scan's cover filter uses). This is why materialized result sets
+    /// keep `htm20` per row: the cross-match build side indexes at
+    /// integer-shift speed.
+    pub fn build_from_deep(htm20: &[u64], level: u8) -> ZoneIndex {
+        // Clamp the stored level too: probe covers are computed at
+        // `self.level`, so it must be the same level the buckets were
+        // keyed at.
+        let level = level.min(20);
+        let shift = 2 * (20 - level) as u64;
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (i, &deep) in htm20.iter().enumerate() {
+            buckets.entry(deep >> shift).or_default().push(i as u32);
+        }
+        ZoneIndex { level, buckets }
+    }
+
+    /// A bucket level matched to the radius: fine zones for arcsecond
+    /// astrometric tolerances, coarser ones once the match cap spans
+    /// whole trixels (a level-10 trixel subtends ~3 arcmin).
+    pub fn level_for_radius(radius_arcsec: f64) -> u8 {
+        if radius_arcsec <= 200.0 {
+            10
+        } else if radius_arcsec <= 3600.0 {
+            7
+        } else {
+            4
+        }
+    }
+
+    /// The bucket level this index was built at.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Stream every reference object within `radius_arcsec` of `probe`
+    /// as `(reference index, separation arcsec)` — *all* pairs, not just
+    /// the nearest (the pair-join primitive). Returns the number of
+    /// candidate distance computations performed.
+    pub fn neighbors_within(
+        &self,
+        reference: &[TagObject],
+        probe: UnitVec3,
+        radius_arcsec: f64,
+        mut f: impl FnMut(u32, f64),
+    ) -> Result<usize, StorageError> {
+        let cap = Region::circle_vec(probe, radius_arcsec / 3600.0)
+            .map_err(|e| StorageError::Htm(e.to_string()))?;
+        let cover =
+            Cover::compute(&cap, self.level).map_err(|e| StorageError::Htm(e.to_string()))?;
+        let mut comparisons = 0usize;
+        for bucket in cover.touched_ranges().iter_ids() {
+            let Some(members) = self.buckets.get(&bucket) else {
+                continue;
+            };
+            for &ri in members {
+                comparisons += 1;
+                let sep = probe.separation_deg(reference[ri as usize].unit_vec()) * 3600.0;
+                if sep <= radius_arcsec {
+                    f(ri, sep);
+                }
+            }
+        }
+        Ok(comparisons)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdss_catalog::SkyModel;
+
+    #[test]
+    fn deep_id_build_matches_spherical_build() {
+        // The shift-ancestor bucketing must agree with the spherical
+        // lookup at every level the radius heuristic picks.
+        let objs = SkyModel::small(31).generate().unwrap();
+        let tags: Vec<TagObject> = objs.iter().map(TagObject::from_photo).collect();
+        let deep: Vec<u64> = objs.iter().map(|o| o.htm20).collect();
+        for level in [4u8, 7, 10] {
+            let spherical = ZoneIndex::build(&tags, level).unwrap();
+            let shifted = ZoneIndex::build_from_deep(&deep, level);
+            let collect = |ix: &ZoneIndex, probe: &TagObject| {
+                let mut v = Vec::new();
+                ix.neighbors_within(&tags, probe.unit_vec(), 300.0, |ri, _| v.push(ri))
+                    .unwrap();
+                v.sort_unstable();
+                v
+            };
+            for probe in tags.iter().step_by(40) {
+                assert_eq!(
+                    collect(&spherical, probe),
+                    collect(&shifted, probe),
+                    "level {level}"
+                );
+            }
+        }
+    }
+}

@@ -63,10 +63,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tables = read_packets(&sink)?;
     let total: usize = tables.iter().map(|t| t.rows.len()).sum();
     assert_eq!(total, rows.len());
-    println!("re-parsed {} packets: {} rows, columns: {:?}",
+    println!(
+        "re-parsed {} packets: {} rows, columns: {:?}",
         tables.len(),
         total,
-        tables[0].columns.iter().map(|c| c.name.as_str()).collect::<Vec<_>>()
+        tables[0]
+            .columns
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect::<Vec<_>>()
     );
     let _ = TagObject::SERIALIZED_LEN;
     Ok(())

@@ -71,10 +71,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\ncross-match (2 arcsec radius):");
     println!("  matched:    {}", report.matched);
-    println!("  unmatched:  {}  (candidate new detections)", report.unmatched);
-    println!("  ambiguous:  {}  (nearest neighbor chosen)", report.ambiguous);
-    println!("  comparisons: {} (vs {} brute-force)", report.comparisons,
-        reference.len() * probe.len());
+    println!(
+        "  unmatched:  {}  (candidate new detections)",
+        report.unmatched
+    );
+    println!(
+        "  ambiguous:  {}  (nearest neighbor chosen)",
+        report.ambiguous
+    );
+    println!(
+        "  comparisons: {} (vs {} brute-force)",
+        report.comparisons,
+        reference.len() * probe.len()
+    );
 
     let mean_sep: f64 =
         matches.iter().map(|m| m.sep_arcsec).sum::<f64>() / matches.len().max(1) as f64;

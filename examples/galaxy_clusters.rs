@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("found {} friend links", pairs.len());
 
     // Union-find over the links.
-    let idx_of: HashMap<u64, usize> = tags.iter().enumerate().map(|(i, t)| (t.obj_id, i)).collect();
+    let idx_of: HashMap<u64, usize> = tags
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.obj_id, i))
+        .collect();
     let mut parent: Vec<usize> = (0..tags.len()).collect();
     fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
@@ -65,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut clusters: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() >= 8).collect();
     clusters.sort_by_key(|g| std::cmp::Reverse(g.len()));
 
-    println!("\nphotometric cluster catalog: {} clusters (>= 8 members)", clusters.len());
+    println!(
+        "\nphotometric cluster catalog: {} clusters (>= 8 members)",
+        clusters.len()
+    );
     println!(
         "{:>4} {:>9} {:>12} {:>12} {:>9} {:>9}",
         "#", "members", "RA center", "Dec center", "r_bright", "radius'"

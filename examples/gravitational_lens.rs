@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let by_id: std::collections::HashMap<u64, &TagObject> =
         tags.iter().map(|t| (t.obj_id, t)).collect();
-    println!("\n{:<22} {:<22} {:>10} {:>7} {:>7}", "object A", "object B", "sep (\")", "r_A", "r_B");
+    println!(
+        "\n{:<22} {:<22} {:>10} {:>7} {:>7}",
+        "object A", "object B", "sep (\")", "r_A", "r_B"
+    );
     for p in pairs.iter().take(10) {
         let (a, b) = (by_id[&p.a], by_id[&p.b]);
         println!(

@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|d| d.as_secs_f64() * 1e3)
             .unwrap_or(0.0)
     );
-    println!("{:<22} {:>13} {:>13} {:>7} {:>7}", "objid", "RA", "Dec", "r", "g-r");
+    println!(
+        "{:<22} {:>13} {:>13} {:>7} {:>7}",
+        "objid", "RA", "Dec", "r", "g-r"
+    );
     for row in &out.rows {
         let ra = row[1].as_num().unwrap();
         let dec = row[2].as_num().unwrap();
@@ -74,9 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 4. Aggregates and the special angular-distance operator.
-    let stats = archive.run(
-        "SELECT COUNT(*), AVG(r), MIN(r), MAX(r) FROM photoobj WHERE DIST(185, 15) < 2.5",
-    )?;
+    let stats = archive
+        .run("SELECT COUNT(*), AVG(r), MIN(r), MAX(r) FROM photoobj WHERE DIST(185, 15) < 2.5")?;
     let row = &stats.rows[0];
     println!(
         "\nwithin 2.5 deg of field center: {} objects, r in [{:.2}, {:.2}], mean {:.2}",

@@ -12,8 +12,11 @@ use sdss::htm::{Cover, Region};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's Figure 4 query: a declination band intersected with a
     // latitude constraint in another coordinate system.
-    let query = Region::band(Frame::Equatorial, 10.0, 25.0)?
-        .intersect(&Region::band(Frame::Galactic, 40.0, 90.0)?);
+    let query = Region::band(Frame::Equatorial, 10.0, 25.0)?.intersect(&Region::band(
+        Frame::Galactic,
+        40.0,
+        90.0,
+    )?);
     let level = 6;
     let cover = Cover::compute(&query, level)?;
     let s = cover.stats();

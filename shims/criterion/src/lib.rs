@@ -83,7 +83,8 @@ impl Bencher {
             warm_iters += 1;
         }
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
-        let batch = ((self.measurement.as_secs_f64() / 10.0 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let batch = ((self.measurement.as_secs_f64() / 10.0 / per_iter.max(1e-9)) as u64)
+            .clamp(1, 1_000_000);
 
         let mut total_ns = 0f64;
         let mut min_ns = f64::INFINITY;

@@ -49,10 +49,7 @@ pub mod channel {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
         });
-        (
-            Sender { chan: chan.clone() },
-            Receiver { chan },
-        )
+        (Sender { chan: chan.clone() }, Receiver { chan })
     }
 
     /// A bounded channel: `send` blocks while `cap` messages are queued.

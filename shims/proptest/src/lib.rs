@@ -169,7 +169,9 @@ macro_rules! prop_assert_ne {
         if lhs == rhs {
             return Err(format!(
                 "assertion failed: {} != {}\n  both: {:?}",
-                stringify!($a), stringify!($b), lhs
+                stringify!($a),
+                stringify!($b),
+                lhs
             ));
         }
     }};
